@@ -1,0 +1,195 @@
+//! Reimplementation of Approximate Task Memoization (ATM) — the
+//! closest prior work, compared against in §6.2.
+//!
+//! Following the paper's description of ATM's hashing: the inputs are
+//! concatenated into a 1-D byte vector, a vector of byte indices is
+//! shuffled (once, deterministically), and the bytes selected by the
+//! first `n` indices form the lookup key. Sampling means bytes outside
+//! the sample never influence the key, so two genuinely different
+//! inputs can alias (false hits that add error), while the scheme pays
+//! a software hashing + task-management price on every invocation.
+//!
+//! The paper implements ATM from its description and reports speedups
+//! only for blackscholes/fft/inversek2j/kmeans and slowdowns elsewhere
+//! (geometric-mean 0.8×); our cost model is anchored to the same
+//! observations.
+
+use crate::cost::{self, ContenderOutcome, KernelProfile, SoftwareOverhead};
+use axmemo_core::unit::LookupEvent;
+use axmemo_sim::stats::RunStats;
+use std::collections::HashMap;
+
+/// ATM contender state.
+#[derive(Debug)]
+pub struct AtmModel {
+    /// Bytes sampled per key.
+    sample_len: usize,
+    /// The fixed shuffled index vector (long enough for any input).
+    shuffle: Vec<usize>,
+    /// key -> (representative full input, data)
+    table: HashMap<Vec<u8>, (Vec<u8>, u64)>,
+}
+
+impl AtmModel {
+    /// New model sampling `sample_len` bytes with a deterministic
+    /// shuffle seeded by `seed`.
+    pub fn new(sample_len: usize, seed: u64) -> Self {
+        // Fisher-Yates over a generous index range with xorshift.
+        let mut idx: Vec<usize> = (0..256).collect();
+        let mut s = seed | 1;
+        for i in (1..idx.len()).rev() {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            let j = (s.wrapping_mul(0x2545_F491_4F6C_DD1D) % (i as u64 + 1)) as usize;
+            idx.swap(i, j);
+        }
+        Self {
+            sample_len,
+            shuffle: idx,
+            table: HashMap::new(),
+        }
+    }
+
+    /// The sampled key of an input byte vector.
+    pub fn key(&self, input: &[u8]) -> Vec<u8> {
+        self.shuffle
+            .iter()
+            .filter(|&&i| i < input.len())
+            .take(self.sample_len)
+            .map(|&i| input[i])
+            .collect()
+    }
+
+    /// Replay the event stream; returns (lookups, hits, wrong_hits)
+    /// where a wrong hit is a key match whose full inputs differ (the
+    /// aliasing sampling invites).
+    pub fn replay(&mut self, events: &[LookupEvent]) -> (u64, u64, u64) {
+        let mut lookups = 0;
+        let mut hits = 0;
+        let mut wrong = 0;
+        for ev in events {
+            lookups += 1;
+            let key = self.key(&ev.input_bytes);
+            match self.table.get(&key) {
+                Some((full, _)) => {
+                    hits += 1;
+                    if full != &ev.input_bytes {
+                        wrong += 1;
+                    }
+                }
+                None => {
+                    if let Some(data) = ev.data {
+                        self.table.insert(key, (ev.input_bytes.clone(), data));
+                    }
+                }
+            }
+        }
+        (lookups, hits, wrong)
+    }
+
+    /// Full evaluation: replay + cost model.
+    pub fn evaluate(
+        &mut self,
+        baseline: &RunStats,
+        profile: &KernelProfile,
+        events: &[LookupEvent],
+    ) -> ContenderOutcome {
+        let (lookups, hits, wrong) = self.replay(events);
+        cost::estimate(
+            baseline,
+            profile,
+            &self.overhead(),
+            lookups,
+            hits,
+            wrong,
+        )
+    }
+
+    /// ATM's software price: per-byte gathering through the shuffled
+    /// index vector (load index, load byte, store into key ≈ 3 insts
+    /// per sampled byte — but over the *sampled* bytes only), a hash-map
+    /// probe, and task-runtime management per invocation.
+    pub fn overhead(&self) -> SoftwareOverhead {
+        SoftwareOverhead {
+            // Sampling reads `sample_len` bytes regardless of input
+            // size; normalise to the per-input-byte field by folding the
+            // fixed cost into lookup_insts instead.
+            hash_insts_per_byte: 0,
+            lookup_insts: 3 * self.sample_len as u64 + 30,
+            update_insts: 12,
+            task_insts: 40,
+            // Hash-map probe: pointer chase that usually misses cache.
+            extra_cycles_per_lookup: 60,
+            dram_per_lookup: 1,
+        }
+    }
+}
+
+impl Default for AtmModel {
+    fn default() -> Self {
+        // ATM samples a small fixed number of bytes; 8 keeps keys cheap
+        // while covering the small-input benchmarks completely.
+        Self::new(8, 0xA73)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmemo_core::ids::LutId;
+
+    fn ev(bytes: &[u8], data: u64) -> LookupEvent {
+        LookupEvent {
+            lut: LutId::new(0).unwrap(),
+            crc: 0,
+            input_bytes: bytes.to_vec(),
+            hit: false,
+            data: Some(data),
+        }
+    }
+
+    #[test]
+    fn identical_inputs_hit() {
+        let mut atm = AtmModel::default();
+        let events = vec![ev(&[1, 2, 3, 4], 9), ev(&[1, 2, 3, 4], 9)];
+        let (l, h, w) = atm.replay(&events);
+        assert_eq!((l, h, w), (2, 1, 0));
+    }
+
+    #[test]
+    fn sampling_causes_false_hits_on_large_inputs() {
+        let mut atm = AtmModel::new(4, 7);
+        // 36-byte inputs differing only outside the 4 sampled bytes.
+        let mut a = vec![0u8; 36];
+        let mut b = vec![0u8; 36];
+        // Find a byte NOT among the first 4 sampled indices.
+        let sampled: Vec<usize> = atm
+            .shuffle
+            .iter()
+            .filter(|&&i| i < 36)
+            .take(4)
+            .copied()
+            .collect();
+        let untouched = (0..36).find(|i| !sampled.contains(i)).unwrap();
+        a[untouched] = 1;
+        b[untouched] = 2;
+        let events = vec![ev(&a, 1), ev(&b, 2)];
+        let (_, h, w) = atm.replay(&events);
+        assert_eq!(h, 1);
+        assert_eq!(w, 1, "different inputs aliased through the sample");
+    }
+
+    #[test]
+    fn key_is_deterministic() {
+        let atm = AtmModel::default();
+        assert_eq!(atm.key(&[5, 6, 7, 8]), atm.key(&[5, 6, 7, 8]));
+    }
+
+    #[test]
+    fn key_handles_short_inputs() {
+        let atm = AtmModel::new(8, 1);
+        let k = atm.key(&[1, 2]);
+        assert!(k.len() <= 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cost model shared by the software contenders.
+//!
+//! Software memoization replaces the memoized kernel with software
+//! hashing + a memory lookup. Its run time is estimated from the
+//! baseline run by subtracting the kernel cost on hits and adding the
+//! per-invocation software overhead — the same accounting the paper's
+//! Fig. 7/8 bars express (overhead dominated by "the significant
+//! overhead of CRC calculation in software").
+
+use axmemo_sim::ir::{Inst, Program};
+use axmemo_sim::pipeline::LatencyModel;
+use axmemo_sim::stats::RunStats;
+
+/// Static cost of one memoized-region invocation, measured from the
+/// region's instructions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Instructions inside the region (per invocation).
+    pub insts: u64,
+    /// Latency-weighted cycles of the region's critical path upper
+    /// bound (sum of latencies — an in-order estimate).
+    pub cycles: u64,
+    /// Total memoization input bytes per invocation.
+    pub input_bytes: u64,
+}
+
+/// Measure the region(s) of `program`: instruction count and weighted
+/// cycles between each `RegionBegin`/`RegionEnd` pair, *averaged* over
+/// the regions — each lookup replayed by a contender skips exactly one
+/// region, so the per-lookup saving must be a per-region figure, not
+/// the sum over all memoized blocks.
+pub fn kernel_profile(program: &Program, input_bytes: u64) -> KernelProfile {
+    let lat = LatencyModel::default();
+    let mut insts = 0u64;
+    let mut cycles = 0u64;
+    let mut regions = 0u64;
+    let mut depth = 0u32;
+    for inst in &program.insts {
+        match inst {
+            Inst::RegionBegin { .. } => {
+                depth += 1;
+                regions += 1;
+            }
+            Inst::RegionEnd { .. } => depth -= 1,
+            _ if depth > 0 => {
+                insts += 1;
+                cycles += match *inst {
+                    Inst::IAlu { op, .. } => lat.ialu(op).0,
+                    Inst::FBin { op, .. } => lat.fbin(op).0,
+                    Inst::FUn { op, .. } => lat.fun(op).0,
+                    Inst::Ld { .. } | Inst::MemoLdCrc { .. } => 2,
+                    _ => 1,
+                };
+            }
+            _ => {}
+        }
+    }
+    let regions = regions.max(1);
+    KernelProfile {
+        insts: insts / regions,
+        cycles: cycles / regions,
+        input_bytes,
+    }
+}
+
+/// Per-invocation overhead of a software memoization scheme, in
+/// dynamic instructions (cycles ≈ instructions on the 2-wide in-order
+/// core, since the overhead is dependent integer code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareOverhead {
+    /// Hashing instructions per input byte (paper: CRC needs 1 AND +
+    /// 1 LOAD + 1 XOR per byte = 3).
+    pub hash_insts_per_byte: u64,
+    /// Fixed instructions per lookup (index arithmetic, array load,
+    /// compare, branch).
+    pub lookup_insts: u64,
+    /// Fixed instructions per update (store + bookkeeping).
+    pub update_insts: u64,
+    /// Fixed task-management instructions per invocation (ATM only).
+    pub task_insts: u64,
+    /// Extra stall cycles per lookup that are *not* instructions —
+    /// chiefly the DRAM latency of probing a gigabyte-scale software
+    /// table whose random CRC indexing defeats the caches.
+    pub extra_cycles_per_lookup: u64,
+    /// DRAM accesses per lookup (for the energy estimate).
+    pub dram_per_lookup: u64,
+}
+
+/// Result of replaying a contender over a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContenderOutcome {
+    /// Lookups replayed.
+    pub lookups: u64,
+    /// Hits under the contender's policy.
+    pub hits: u64,
+    /// Hits whose stored data disagreed with the true data (collision /
+    /// sampling aliasing) — the source of the contender's extra error.
+    pub wrong_hits: u64,
+    /// Estimated dynamic instructions of the contender's run.
+    pub insts: f64,
+    /// Estimated cycles.
+    pub cycles: f64,
+    /// Speedup vs. the hardware-free baseline run.
+    pub speedup: f64,
+    /// Dynamic-instruction ratio vs. baseline (Fig. 8's software bar).
+    pub inst_ratio: f64,
+    /// Energy ratio vs. baseline (baseline / contender; > 1 = saving).
+    pub energy_ratio: f64,
+}
+
+impl ContenderOutcome {
+    /// Hit rate under the contender's policy.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Collision rate among hits (the paper reports 1% average, up to
+    /// 6.6%, for the software LUT).
+    pub fn collision_rate(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.wrong_hits as f64 / self.hits as f64
+        }
+    }
+}
+
+/// Combine replay counts with the cost model into an outcome.
+pub fn estimate(
+    baseline: &RunStats,
+    profile: &KernelProfile,
+    overhead: &SoftwareOverhead,
+    lookups: u64,
+    hits: u64,
+    wrong_hits: u64,
+) -> ContenderOutcome {
+    let per_invocation_overhead = overhead.hash_insts_per_byte * profile.input_bytes
+        + overhead.lookup_insts
+        + overhead.task_insts;
+    let misses = lookups - hits;
+    let added_insts =
+        lookups * per_invocation_overhead + misses * overhead.update_insts;
+    let saved_insts = hits * profile.insts;
+    let saved_cycles = hits * profile.cycles;
+    let insts = baseline.dynamic_insts as f64 + added_insts as f64 - saved_insts as f64;
+    // Overhead code is serial integer work (~1 cycle per instruction)
+    // plus the non-instruction stalls of probing the software table.
+    let stall_cycles = lookups * overhead.extra_cycles_per_lookup;
+    let cycles = baseline.cycles as f64 + added_insts as f64 + stall_cycles as f64
+        - saved_cycles as f64;
+    // Energy: ~60 pJ of pipeline overhead per instruction and ~2 nJ per
+    // DRAM access (the constants of axmemo_sim::energy). The kernel
+    // instructions saved on hits give back their pipeline overhead.
+    const PJ_PER_INST: f64 = 60.0;
+    const PJ_PER_DRAM: f64 = 2000.0;
+    let baseline_pj = baseline.dynamic_insts as f64 * PJ_PER_INST;
+    let contender_pj =
+        insts * PJ_PER_INST + (lookups * overhead.dram_per_lookup) as f64 * PJ_PER_DRAM;
+    ContenderOutcome {
+        lookups,
+        hits,
+        wrong_hits,
+        insts,
+        cycles,
+        speedup: baseline.cycles as f64 / cycles.max(1.0),
+        inst_ratio: insts / baseline.dynamic_insts.max(1) as f64,
+        energy_ratio: baseline_pj / contender_pj.max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> KernelProfile {
+        KernelProfile {
+            insts: 50,
+            cycles: 200,
+            input_bytes: 24,
+        }
+    }
+
+    fn overhead() -> SoftwareOverhead {
+        SoftwareOverhead {
+            hash_insts_per_byte: 3,
+            lookup_insts: 10,
+            update_insts: 4,
+            task_insts: 0,
+            extra_cycles_per_lookup: 0,
+            dram_per_lookup: 0,
+        }
+    }
+
+    fn baseline() -> RunStats {
+        RunStats {
+            cycles: 1_000_000,
+            dynamic_insts: 400_000,
+            ..RunStats::default()
+        }
+    }
+
+    #[test]
+    fn high_hit_rate_with_big_kernel_speeds_up() {
+        let o = estimate(&baseline(), &profile(), &overhead(), 4000, 3900, 0);
+        assert!(o.speedup > 1.0, "speedup {}", o.speedup);
+    }
+
+    #[test]
+    fn low_hit_rate_slows_down() {
+        let o = estimate(&baseline(), &profile(), &overhead(), 4000, 40, 0);
+        assert!(o.speedup < 1.0, "speedup {}", o.speedup);
+        assert!(o.inst_ratio > 1.0);
+    }
+
+    #[test]
+    fn rates_are_well_defined() {
+        let o = estimate(&baseline(), &profile(), &overhead(), 100, 50, 5);
+        assert!((o.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((o.collision_rate() - 0.1).abs() < 1e-12);
+        let z = estimate(&baseline(), &profile(), &overhead(), 0, 0, 0);
+        assert_eq!(z.hit_rate(), 0.0);
+        assert_eq!(z.collision_rate(), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # axmemo-baselines
+//!
+//! The two memoization contenders the paper compares against in §6:
+//!
+//! * [`software_lut`] — the software implementation of AxMemo's own
+//!   scheme: an 8-bit table-driven CRC computed in software (12
+//!   instructions per 4-byte input), a huge direct-mapped array indexed
+//!   by `CRC % 2^28` (1 GB at 4 B/entry; the 4 discarded MSBs cause its
+//!   nonzero collision rate), and no dedicated hardware.
+//! * [`atm`] — a reimplementation of Approximate Task Memoization
+//!   (Brumar et al.), which keys the lookup on a *sample* of the
+//!   concatenated input bytes selected by a fixed shuffled index vector,
+//!   plus task-runtime overhead per invocation.
+//!
+//! Both are evaluated by **replaying the lookup-event stream** recorded
+//! by the hardware memoization unit
+//! ([`axmemo_core::unit::LookupEvent`]): each contender decides
+//! hit/miss with its own policy and charges its own instruction
+//! overheads through a cost model anchored to the baseline run's
+//! statistics. This mirrors the paper's methodology of applying the
+//! contenders "on our benchmarks".
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod atm;
+pub mod cost;
+pub mod software_lut;
+
+pub use atm::AtmModel;
+pub use cost::{ContenderOutcome, KernelProfile};
+pub use software_lut::SoftwareLut;

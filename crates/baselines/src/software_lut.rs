@@ -1,0 +1,159 @@
+//! The software-LUT memoization contender (§6.1–6.2).
+//!
+//! Same scheme as AxMemo but entirely in software: the CRC is computed
+//! with the 8-bit table-driven algorithm (3 instructions per byte), and
+//! the lookup table is a plain array of 2^28 entries indexed by
+//! `CRC % 2^28`. Because the index discards the CRC's 4 most
+//! significant bits and the array stores data without tags, two inputs
+//! whose CRCs share low 28 bits silently alias — the paper measures a
+//! 1% average (up to 6.6%) collision rate and correspondingly higher
+//! output error for this contender.
+//!
+//! The replay consumes the hardware unit's recorded
+//! [`LookupEvent`] stream, applies the software policy to decide
+//! hits/collisions, and prices the run with [`cost::estimate`].
+
+use crate::cost::{self, ContenderOutcome, KernelProfile, SoftwareOverhead};
+use axmemo_core::unit::LookupEvent;
+use axmemo_sim::stats::RunStats;
+use std::collections::HashMap;
+
+/// Number of index bits (2^28 entries ≈ 1 GB of 4-byte data).
+pub const INDEX_BITS: u32 = 28;
+
+/// The software LUT state: a (sparse model of a) 2^28-entry
+/// direct-mapped, tagless array per logical LUT.
+#[derive(Debug, Default)]
+pub struct SoftwareLut {
+    /// array[(lut_id, index)] = (full CRC of the writer, data).
+    array: HashMap<(u8, u32), (u64, u64)>,
+}
+
+impl SoftwareLut {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replay the event stream; returns (lookups, hits, wrong_hits).
+    ///
+    /// A *hit* is any lookup whose array slot is populated (the tagless
+    /// array cannot tell a collision from a true match). A *wrong hit*
+    /// is a hit whose resident entry was written under a different full
+    /// CRC — the collision the discarded 4 MSBs cause.
+    pub fn replay(&mut self, events: &[LookupEvent]) -> (u64, u64, u64) {
+        let mut lookups = 0;
+        let mut hits = 0;
+        let mut wrong = 0;
+        for ev in events {
+            lookups += 1;
+            let index = (ev.crc & ((1u64 << INDEX_BITS) - 1)) as u32;
+            let key = (ev.lut.raw(), index);
+            match self.array.get(&key) {
+                Some(&(writer_crc, _)) => {
+                    hits += 1;
+                    if writer_crc != ev.crc {
+                        wrong += 1;
+                    }
+                }
+                None => {
+                    // Miss: the software path computes and stores.
+                    if let Some(data) = ev.data {
+                        self.array.insert(key, (ev.crc, data));
+                    }
+                }
+            }
+        }
+        (lookups, hits, wrong)
+    }
+
+    /// Full evaluation: replay + cost model.
+    pub fn evaluate(
+        &mut self,
+        baseline: &RunStats,
+        profile: &KernelProfile,
+        events: &[LookupEvent],
+    ) -> ContenderOutcome {
+        let (lookups, hits, wrong) = self.replay(events);
+        cost::estimate(
+            baseline,
+            profile,
+            &Self::overhead(),
+            lookups,
+            hits,
+            wrong,
+        )
+    }
+
+    /// §6.1's software cost: 12 instructions per 4-byte input (3 per
+    /// byte: AND, LOAD, XOR), plus index/load/compare/branch and a
+    /// store on update.
+    pub fn overhead() -> SoftwareOverhead {
+        SoftwareOverhead {
+            hash_insts_per_byte: 3,
+            lookup_insts: 10,
+            update_insts: 4,
+            task_insts: 0,
+            // A 1 GB array indexed by a CRC is a guaranteed cache miss:
+            // every probe pays a DRAM round trip.
+            extra_cycles_per_lookup: 110,
+            dram_per_lookup: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmemo_core::ids::LutId;
+
+    fn ev(crc: u64, data: u64) -> LookupEvent {
+        LookupEvent {
+            lut: LutId::new(0).unwrap(),
+            crc,
+            input_bytes: vec![],
+            hit: false,
+            data: Some(data),
+        }
+    }
+
+    #[test]
+    fn repeat_crc_hits() {
+        let mut lut = SoftwareLut::new();
+        let events = vec![ev(42, 7), ev(42, 7), ev(42, 7)];
+        let (lookups, hits, wrong) = lut.replay(&events);
+        assert_eq!((lookups, hits, wrong), (3, 2, 0));
+    }
+
+    #[test]
+    fn discarded_msbs_cause_collisions() {
+        let mut lut = SoftwareLut::new();
+        // Two CRCs identical in the low 28 bits, different above.
+        let a = 0x0ABC_DEF0u64;
+        let b = a | (0xFu64 << 28);
+        assert_ne!(a, b);
+        let events = vec![ev(a, 1), ev(b, 2)];
+        let (_, hits, wrong) = lut.replay(&events);
+        assert_eq!(hits, 1);
+        assert_eq!(wrong, 1);
+    }
+
+    #[test]
+    fn distinct_indexes_do_not_interfere() {
+        let mut lut = SoftwareLut::new();
+        let events = vec![ev(1, 1), ev(2, 2), ev(3, 3)];
+        let (_, hits, _) = lut.replay(&events);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn logical_luts_are_separated() {
+        let mut lut = SoftwareLut::new();
+        let mut e1 = ev(5, 1);
+        let mut e2 = ev(5, 2);
+        e1.lut = LutId::new(0).unwrap();
+        e2.lut = LutId::new(1).unwrap();
+        let (_, hits, _) = lut.replay(&[e1, e2]);
+        assert_eq!(hits, 0);
+    }
+}

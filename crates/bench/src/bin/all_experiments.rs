@@ -1,0 +1,39 @@
+//! Run every experiment (tables 1/2/4/5, figures 7-11, the ATM
+//! comparison and the L2-size sensitivity) by invoking their binaries
+//! in sequence. Useful for regenerating EXPERIMENTS.md data in one go:
+//!
+//! ```text
+//! AXMEMO_SCALE=small cargo run --release -p axmemo-bench --bin all_experiments
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "table2",
+        "table4_5",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "atm_compare",
+        "l2_sensitivity",
+        "ablation_crc",
+        "ablation_two_level",
+        "ablation_branch_predictor",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n==================== {bin} ====================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 8: dynamic instruction count of the memoized run normalised
+//! to the baseline, with the memoization-instruction share (the black
+//! bar segment), per benchmark and LUT configuration; plus the
+//! software-LUT contender's instruction ratio (~2x in the paper).
+
+use axmemo_bench::{
+    collect_events, mean, paper_configs, run_cell, scale_from_env, software_lut_outcome,
+};
+use axmemo_workloads::all_benchmarks;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env();
+    let configs = paper_configs();
+    println!("Figure 8: normalised dynamic instruction count, scale {scale:?}");
+    println!(
+        "{:<14} | {}",
+        "Benchmark",
+        configs
+            .iter()
+            .map(|(n, _)| format!("{n:>22}"))
+            .collect::<Vec<_>>()
+            .join(" | ")
+            + &format!(" | {:>14}", "Software LUT")
+    );
+
+    let mut totals: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let mut sw_ratios = Vec::new();
+    for bench in all_benchmarks() {
+        let mut cells = vec![format!("{:<14}", bench.meta().name)];
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let r = run_cell(bench.as_ref(), scale, cfg)?;
+            // total ratio (memo share of the *memoized* run in parens)
+            cells.push(format!(
+                "{:>13.3} ({:>4.1}%)",
+                r.dyn_inst_ratio,
+                100.0 * r.memo_inst_fraction
+            ));
+            totals[i].push(r.dyn_inst_ratio);
+        }
+        let inputs = collect_events(bench.as_ref(), scale)?;
+        let sw = software_lut_outcome(&inputs);
+        cells.push(format!("{:>14.3}", sw.inst_ratio));
+        sw_ratios.push(sw.inst_ratio);
+        println!("{}", cells.join(" | "));
+    }
+    println!();
+    for (i, (name, _)) in configs.iter().enumerate() {
+        println!(
+            "{name}: mean dynamic-instruction reduction {:.1}%",
+            100.0 * (1.0 - mean(&totals[i]))
+        );
+    }
+    println!(
+        "Software LUT: mean instruction ratio {:.2}x (paper: ~2.0x)",
+        mean(&sw_ratios)
+    );
+    Ok(())
+}

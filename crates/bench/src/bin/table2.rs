@@ -1,0 +1,31 @@
+//! Table 2: benchmark inventory — domain, description, dataset,
+//! memoization input sizes, and truncated bits per memoized block.
+
+use axmemo_workloads::all_benchmarks;
+
+fn main() {
+    println!("Table 2: evaluated benchmarks");
+    println!(
+        "| {:<14} | {:<20} | {:<48} | {:>12} | {:>10} |",
+        "Benchmark", "Domain", "Dataset (synthetic stand-in)", "Input bytes", "Trunc bits"
+    );
+    for bench in all_benchmarks() {
+        let m = bench.meta();
+        let bytes = m
+            .input_bytes
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let trunc = m
+            .truncated_bits
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "| {:<14} | {:<20} | {:<48} | {:>12} | {:>10} |",
+            m.name, m.domain, m.dataset, bytes, trunc
+        );
+    }
+}

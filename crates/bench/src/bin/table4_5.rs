@@ -1,0 +1,47 @@
+//! Tables 4 & 5: ISA timing parameters and the synthesised hardware's
+//! area / energy / latency figures, including the §6.1 area-overhead
+//! claim (memoization hardware ≈ 2% of the two-core HPI processor).
+
+use axmemo_isa::MemoTiming;
+use axmemo_sim::energy::{l1_lut_energy, AreaModel, EnergyModel};
+
+fn main() {
+    let t = MemoTiming::paper();
+    println!("Table 4: AxMemo ISA timing parameters");
+    println!("| instruction | latency |");
+    println!(
+        "| ld_crc / reg_crc | {} cycle per byte (no CPU stall unless the input queue is full) |",
+        t.crc_cycles_per_byte
+    );
+    println!(
+        "| lookup | {} cycles (L1 LUT) / {} cycles (L2 LUT) |",
+        t.lookup_l1_cycles, t.lookup_l2_cycles
+    );
+    println!("| update | {} cycles |", t.update_cycles);
+    println!(
+        "| invalidate | {} cycle per way in a set |",
+        t.invalidate_cycles_per_way
+    );
+
+    println!();
+    println!("Table 5: area, energy and latency at 32 nm");
+    println!("| unit | area (mm^2) | energy (pJ) |");
+    for (label, bytes) in [("LUT (4KB)", 4096), ("LUT (8KB)", 8192), ("LUT (16KB)", 16384)] {
+        let a = AreaModel::for_l1_lut(bytes);
+        println!("| {label} | {:.4} | {:.4} |", a.l1_lut, l1_lut_energy(bytes));
+    }
+    let a = AreaModel::for_l1_lut(16 * 1024);
+    let e = EnergyModel::for_l1_lut(16 * 1024);
+    println!("| CRC32 unit | {:.4} | {:.4} |", a.crc_unit, e.crc_beat);
+    println!(
+        "| hash registers | {:.4} | {:.4} |",
+        a.hash_registers, e.hash_register
+    );
+    println!();
+    println!(
+        "Area overhead (2 cores, 16KB L1 LUTs): {:.3} mm^2 = {:.2}% of the {:.2} mm^2 HPI processor",
+        a.memoization_area(2),
+        100.0 * a.overhead_fraction(2),
+        a.processor
+    );
+}

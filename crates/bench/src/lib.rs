@@ -1,0 +1,169 @@
+//! # axmemo-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (see DESIGN.md's experiment index), all built on the
+//! helpers in this library crate.
+//!
+//! Scale is selected with the `AXMEMO_SCALE` environment variable
+//! (`tiny` | `small` | `full`, default `small`). `tiny` is a smoke
+//! setting; `small` reproduces the trends in seconds; `full` approaches
+//! the paper's dataset sizes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use axmemo_baselines::cost::kernel_profile;
+use axmemo_baselines::{AtmModel, ContenderOutcome, SoftwareLut};
+use axmemo_compiler::codegen::memoize;
+use axmemo_core::config::MemoConfig;
+use axmemo_core::unit::LookupEvent;
+use axmemo_sim::cpu::{SimConfig, Simulator};
+use axmemo_sim::stats::RunStats;
+use axmemo_workloads::{run_benchmark, Benchmark, BenchmarkResult, Dataset, Scale};
+
+/// Read the scale from `AXMEMO_SCALE` (default `small`).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("AXMEMO_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("full") => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+/// The four hardware configurations of §6.2, labelled as in the
+/// figures.
+pub fn paper_configs() -> Vec<(String, MemoConfig)> {
+    MemoConfig::paper_sweep()
+}
+
+/// Run one (benchmark × config) cell on the evaluation dataset.
+///
+/// # Errors
+///
+/// Propagates simulator/codegen failures.
+pub fn run_cell(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    memo: &MemoConfig,
+) -> Result<BenchmarkResult, Box<dyn std::error::Error>> {
+    run_benchmark(bench, scale, Dataset::Eval, memo)
+}
+
+/// Everything the software contenders need: the recorded lookup-event
+/// stream, the baseline stats, and the kernel profile.
+#[derive(Debug)]
+pub struct ContenderInputs {
+    /// Lookup events recorded from the memoized hardware run.
+    pub events: Vec<LookupEvent>,
+    /// Baseline (no memoization) run statistics.
+    pub baseline: RunStats,
+    /// Static kernel profile of the memoized region(s).
+    pub profile: axmemo_baselines::KernelProfile,
+}
+
+/// Collect contender inputs for one benchmark: run the baseline for
+/// stats, then run the memoized binary with a *very large* LUT and no
+/// quality sampling so the event stream reflects the workload's true
+/// reuse, recording every lookup.
+///
+/// # Errors
+///
+/// Propagates simulator/codegen failures.
+pub fn collect_events(
+    bench: &dyn Benchmark,
+    scale: Scale,
+) -> Result<ContenderInputs, Box<dyn std::error::Error>> {
+    let (program, specs) = bench.program(scale);
+    let memoized = memoize(&program, &specs)?;
+
+    let mut base_sim = Simulator::new(SimConfig::baseline())?;
+    let mut base_machine = bench.setup(scale, Dataset::Eval);
+    let baseline = base_sim.run(&program, &mut base_machine)?;
+
+    let cfg = MemoConfig {
+        data_width: bench.data_width(),
+        quality_monitoring: false,
+        ..MemoConfig::l1_l2(16 * 1024, 512 * 1024)
+    };
+    let mut sim = Simulator::new(SimConfig::with_memo(cfg))?;
+    sim.memo_unit_mut()
+        .expect("memo configured")
+        .enable_event_log();
+    let mut machine = bench.setup(scale, Dataset::Eval);
+    sim.run(&memoized, &mut machine)?;
+    let events = sim
+        .memo_unit_mut()
+        .expect("memo configured")
+        .take_event_log();
+
+    let input_bytes: u64 = bench
+        .meta()
+        .input_bytes
+        .iter()
+        .map(|&b| b as u64)
+        .sum::<u64>()
+        / bench.meta().input_bytes.len().max(1) as u64;
+    let profile = kernel_profile(&program, input_bytes);
+    Ok(ContenderInputs {
+        events,
+        baseline,
+        profile,
+    })
+}
+
+/// Evaluate the software-LUT contender for one benchmark.
+pub fn software_lut_outcome(inputs: &ContenderInputs) -> ContenderOutcome {
+    SoftwareLut::new().evaluate(&inputs.baseline, &inputs.profile, &inputs.events)
+}
+
+/// Evaluate the ATM contender for one benchmark.
+pub fn atm_outcome(inputs: &ContenderInputs) -> ContenderOutcome {
+    AtmModel::default().evaluate(&inputs.baseline, &inputs.profile, &inputs.events)
+}
+
+/// Geometric mean (the paper's summary statistic for speedups).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Render a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn scale_env_parsing_defaults_to_small() {
+        // No env mutation here (tests run in parallel); just exercise
+        // the default path.
+        let s = scale_from_env();
+        assert!(matches!(s, Scale::Tiny | Scale::Small | Scale::Full));
+    }
+}

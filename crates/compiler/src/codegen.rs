@@ -1,0 +1,353 @@
+//! Code generation: rewriting a region-annotated program into its
+//! memoized form (§2's control-flow transformation / Fig. 1).
+//!
+//! Given a baseline [`Program`] containing `RegionBegin`/`RegionEnd`
+//! markers and a [`RegionSpec`] per region, the transform:
+//!
+//! 1. converts each marked input *load* into `ld_crc` (the paper: "the
+//!    AxMemo compiler replaces the normal load with this instruction"),
+//! 2. inserts `reg_crc` beats for register-borne inputs plus a `lookup`
+//!    and a hit branch right after `RegionBegin`,
+//! 3. inserts `update` right before `RegionEnd`,
+//! 4. retargets all control flow across the inserted instructions.
+//!
+//! On a hit the branch jumps past `RegionEnd`, skipping the computation;
+//! the `lookup` destination register already holds the memoized output.
+
+use axmemo_core::ids::LutId;
+use axmemo_sim::ir::{Inst, MemWidth, Program, Reg};
+
+/// A register-borne memoization input (becomes a `reg_crc` beat).
+#[derive(Debug, Clone, Copy)]
+pub struct RegInput {
+    /// Source register.
+    pub reg: Reg,
+    /// Beat width (4 or 8 bytes).
+    pub width: MemWidth,
+    /// Truncated LSBs.
+    pub trunc: u8,
+}
+
+/// Specification of one memoizable region.
+#[derive(Debug, Clone)]
+pub struct RegionSpec {
+    /// The region id matching the program's markers.
+    pub region: u32,
+    /// Logical LUT assigned to this block.
+    pub lut: LutId,
+    /// Static indices (in the *baseline* program) of `Ld` instructions
+    /// to convert into `ld_crc`. These are the block's memory inputs and
+    /// typically precede `RegionBegin`.
+    pub input_loads: Vec<InputLoad>,
+    /// Register inputs hashed at region entry.
+    pub reg_inputs: Vec<RegInput>,
+    /// Register that holds the block's (possibly packed) output at
+    /// `RegionEnd`; also the `lookup` destination.
+    pub output: Reg,
+}
+
+/// One input load to convert to `ld_crc`.
+#[derive(Debug, Clone, Copy)]
+pub struct InputLoad {
+    /// Static instruction index of the `Ld` in the baseline program.
+    pub index: usize,
+    /// Truncated LSBs for this input.
+    pub trunc: u8,
+}
+
+/// Failure during code generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// A region id in a spec has no matching markers.
+    RegionNotFound(u32),
+    /// An `input_loads` index does not point at a `Ld` instruction.
+    NotALoad(usize),
+    /// The rewritten program failed validation.
+    Invalid(String),
+}
+
+impl core::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodegenError::RegionNotFound(id) => write!(f, "region {id} has no markers"),
+            CodegenError::NotALoad(i) => write!(f, "instruction {i} is not a Ld"),
+            CodegenError::Invalid(e) => write!(f, "rewritten program invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Rewrite `program` into its memoized form according to `specs`.
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] when a spec references a missing region or a
+/// non-load instruction, or when the rewrite produces an invalid
+/// program (which would indicate a bug in the transform).
+pub fn memoize(program: &Program, specs: &[RegionSpec]) -> Result<Program, CodegenError> {
+    let n = program.insts.len();
+    // 1. Per-position insertion lists.
+    //    before[i] = instructions inserted immediately before old inst i.
+    let mut before: Vec<Vec<Inst>> = vec![Vec::new(); n + 1];
+    // Replacement for single instructions (ld -> ld_crc).
+    let mut replace: Vec<Option<Inst>> = vec![None; n];
+    // The hit-branch needs a target *after* RegionEnd; record fixups as
+    // (position-of-placeholder-in-before[i], i, old_target_index).
+    struct BranchFixup {
+        at: usize,       // before-list position index (old inst index)
+        slot: usize,     // index within before[at]
+        old_target: usize, // old index whose new position is the target
+    }
+    let mut fixups: Vec<BranchFixup> = Vec::new();
+
+    for spec in specs {
+        let begin = program
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::RegionBegin { id } if *id == spec.region))
+            .ok_or(CodegenError::RegionNotFound(spec.region))?;
+        let end = program
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::RegionEnd { id } if *id == spec.region))
+            .ok_or(CodegenError::RegionNotFound(spec.region))?;
+
+        // Convert input loads to ld_crc.
+        for il in &spec.input_loads {
+            match program.insts.get(il.index) {
+                Some(Inst::Ld {
+                    width,
+                    rd,
+                    base,
+                    offset,
+                }) => {
+                    replace[il.index] = Some(Inst::MemoLdCrc {
+                        width: *width,
+                        rd: *rd,
+                        base: *base,
+                        offset: *offset,
+                        lut: spec.lut,
+                        trunc: il.trunc,
+                    });
+                }
+                _ => return Err(CodegenError::NotALoad(il.index)),
+            }
+        }
+
+        // Entry sequence right after RegionBegin (i.e. before begin+1).
+        let entry = &mut before[begin + 1];
+        for ri in &spec.reg_inputs {
+            entry.push(Inst::MemoRegCrc {
+                width: ri.width,
+                src: ri.reg,
+                lut: spec.lut,
+                trunc: ri.trunc,
+            });
+        }
+        entry.push(Inst::MemoLookup {
+            rd: spec.output,
+            lut: spec.lut,
+        });
+        // Placeholder branch; target fixed after renumbering.
+        entry.push(Inst::BranchMemoHit { target: 0 });
+        fixups.push(BranchFixup {
+            at: begin + 1,
+            slot: entry.len() - 1,
+            old_target: end + 1, // first instruction after RegionEnd
+        });
+
+        // Update just before RegionEnd.
+        before[end].push(Inst::MemoUpdate {
+            src: spec.output,
+            lut: spec.lut,
+        });
+
+        // End-of-program invalidate (§4: "only used at the end of the
+        // program execution"), inserted before every Halt.
+        for (i, inst) in program.insts.iter().enumerate() {
+            if matches!(inst, Inst::Halt) {
+                before[i].push(Inst::MemoInvalidate { lut: spec.lut });
+            }
+        }
+    }
+
+    // 2. Renumber: new_pos[i] = index of old instruction i in output.
+    let mut new_pos = vec![0usize; n + 1];
+    let mut out_len = 0usize;
+    for i in 0..n {
+        out_len += before[i].len();
+        new_pos[i] = out_len;
+        out_len += 1;
+    }
+    out_len += before[n].len();
+    new_pos[n] = out_len;
+
+    // 3. Emit, retargeting branches to old targets.
+    let retarget = |t: usize| new_pos[t];
+    let mut insts = Vec::with_capacity(out_len);
+    for i in 0..n {
+        for (slot, ins) in before[i].iter().enumerate() {
+            let mut ins = *ins;
+            if let Inst::BranchMemoHit { target } = &mut ins {
+                // Either a fixup placeholder or (impossible here) an
+                // original; resolve via the fixup table.
+                if let Some(f) = fixups.iter().find(|f| f.at == i && f.slot == slot) {
+                    *target = retarget(f.old_target);
+                } else {
+                    *target = retarget(*target);
+                }
+            }
+            insts.push(ins);
+        }
+        let mut ins = replace[i].unwrap_or(program.insts[i]);
+        match &mut ins {
+            Inst::Branch { target, .. } | Inst::Jump { target } | Inst::BranchMemoHit { target } => {
+                *target = retarget(*target);
+            }
+            _ => {}
+        }
+        insts.push(ins);
+    }
+    insts.extend(before[n].iter().copied());
+
+    let out = Program { insts };
+    out.validate().map_err(CodegenError::Invalid)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmemo_core::config::MemoConfig;
+    use axmemo_sim::builder::ProgramBuilder;
+    use axmemo_sim::cpu::{Machine, SimConfig, Simulator};
+    use axmemo_sim::ir::{Cond, FBinOp, IAluOp, Operand};
+
+    /// Baseline: loop over 64 inputs; region squares each via fdiv chain.
+    fn baseline() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.movi(1, 0).movi(2, 64).movi(3, 0x1000);
+        let top = b.label("top");
+        b.bind(top);
+        b.alu(IAluOp::Shl, 4, 1, Operand::Imm(2));
+        b.alu(IAluOp::Add, 4, 4, Operand::Reg(3));
+        b.ld(MemWidth::B4, 10, 4, 0); // input load -> ld_crc (index 5)
+        b.region_begin(1);
+        b.fbin(FBinOp::Mul, 11, 10, 10);
+        b.fbin(FBinOp::Div, 11, 11, 10);
+        b.fbin(FBinOp::Mul, 11, 11, 10);
+        b.region_end(1);
+        b.st(MemWidth::B4, 11, 4, 0x1000);
+        b.alu(IAluOp::Add, 1, 1, Operand::Imm(1));
+        b.branch(Cond::LtS, 1, Operand::Reg(2), top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn spec() -> RegionSpec {
+        RegionSpec {
+            region: 1,
+            lut: LutId::new(0).unwrap(),
+            input_loads: vec![InputLoad { index: 5, trunc: 0 }],
+            reg_inputs: vec![],
+            output: 11,
+        }
+    }
+
+    #[test]
+    fn transform_inserts_memo_instructions() {
+        let p = baseline();
+        let m = memoize(&p, &[spec()]).unwrap();
+        assert!(m.validate().is_ok());
+        let has = |f: fn(&Inst) -> bool| m.insts.iter().any(f);
+        assert!(has(|i| matches!(i, Inst::MemoLdCrc { .. })));
+        assert!(has(|i| matches!(i, Inst::MemoLookup { .. })));
+        assert!(has(|i| matches!(i, Inst::BranchMemoHit { .. })));
+        assert!(has(|i| matches!(i, Inst::MemoUpdate { .. })));
+        // The original plain load was replaced.
+        assert_eq!(
+            m.insts
+                .iter()
+                .filter(|i| matches!(i, Inst::Ld { .. }))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn memoized_program_produces_same_outputs() {
+        let p = baseline();
+        let mp = memoize(&p, &[spec()]).unwrap();
+
+        // Run baseline.
+        let mut sim_b = Simulator::new(SimConfig::baseline()).unwrap();
+        let mut mb = Machine::new(64 * 1024);
+        for i in 0..64 {
+            mb.store_f32(0x1000 + 4 * i, (i % 4 + 1) as f32);
+        }
+        sim_b.run(&p, &mut mb).unwrap();
+
+        // Run memoized (no truncation, exact memoization).
+        let mut sim_m =
+            Simulator::new(SimConfig::with_memo(MemoConfig::l1_only(4096))).unwrap();
+        let mut mm = Machine::new(64 * 1024);
+        for i in 0..64 {
+            mm.store_f32(0x1000 + 4 * i, (i % 4 + 1) as f32);
+        }
+        let stats = sim_m.run(&mp, &mut mm).unwrap();
+
+        for i in 0..64u64 {
+            assert_eq!(
+                mb.load_f32(0x2000 + 4 * i),
+                mm.load_f32(0x2000 + 4 * i),
+                "output {i}"
+            );
+        }
+        // And hits actually occurred (4 unique values).
+        let us = sim_m.memo_unit().unwrap().stats();
+        assert!(us.reported_hits >= 56, "hits {}", us.reported_hits);
+        assert!(stats.memo_insts > 0);
+    }
+
+    #[test]
+    fn memoized_program_is_faster_on_redundant_inputs() {
+        let p = baseline();
+        let mp = memoize(&p, &[spec()]).unwrap();
+        let mut sim_b = Simulator::new(SimConfig::baseline()).unwrap();
+        let mut mb = Machine::new(64 * 1024);
+        for i in 0..64 {
+            mb.store_f32(0x1000 + 4 * i, 2.0);
+        }
+        let base = sim_b.run(&p, &mut mb).unwrap();
+        let mut sim_m =
+            Simulator::new(SimConfig::with_memo(MemoConfig::l1_only(4096))).unwrap();
+        let mut mm = Machine::new(64 * 1024);
+        for i in 0..64 {
+            mm.store_f32(0x1000 + 4 * i, 2.0);
+        }
+        let memo = sim_m.run(&mp, &mut mm).unwrap();
+        assert!(
+            memo.cycles < base.cycles,
+            "memo {} !< base {}",
+            memo.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn missing_region_errors() {
+        let p = baseline();
+        let mut s = spec();
+        s.region = 9;
+        assert!(matches!(memoize(&p, &[s]), Err(CodegenError::RegionNotFound(9))));
+    }
+
+    #[test]
+    fn non_load_input_errors() {
+        let p = baseline();
+        let mut s = spec();
+        s.input_loads[0].index = 0; // movi, not a load
+        assert!(matches!(memoize(&p, &[s]), Err(CodegenError::NotALoad(0))));
+    }
+}

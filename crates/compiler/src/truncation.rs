@@ -1,0 +1,176 @@
+//! Truncation-bit selection by profiling (§5, "Code Generation").
+//!
+//! For each memoized block the compiler picks the number of truncated
+//! LSBs per input that maximises hit rate while keeping output error
+//! under a bound: < 0.1% for numeric outputs, < 1% for images. The
+//! profiling runs the block's *golden* function over a sample input set
+//! (disjoint from the evaluation set) with truncated inputs and measures
+//! the paper's Equation 2 error.
+
+use axmemo_core::truncate::truncate_bits;
+
+/// Error bound for numeric outputs (0.1%).
+pub const NUMERIC_ERROR_BOUND: f64 = 0.001;
+/// Error bound for image outputs (1%).
+pub const IMAGE_ERROR_BOUND: f64 = 0.01;
+
+/// The paper's Equation 2 output-error metric:
+/// `Σ (x̂ᵢ - xᵢ)² / Σ xᵢ²`.
+pub fn output_error(exact: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(exact.len(), approx.len(), "output length mismatch");
+    let num: f64 = exact
+        .iter()
+        .zip(approx)
+        .map(|(x, xh)| (xh - x) * (xh - x))
+        .sum();
+    let den: f64 = exact.iter().map(|x| x * x).sum();
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+/// Misclassification rate for boolean outputs (jmeint's metric).
+pub fn misclassification_rate(exact: &[bool], approx: &[bool]) -> f64 {
+    assert_eq!(exact.len(), approx.len());
+    if exact.is_empty() {
+        return 0.0;
+    }
+    let wrong = exact.iter().zip(approx).filter(|(a, b)| a != b).count();
+    wrong as f64 / exact.len() as f64
+}
+
+/// A memoized block's golden function for profiling: maps one input
+/// tuple (f32 values) to its output tuple.
+pub trait ProfileKernel {
+    /// Evaluate the block exactly.
+    fn eval(&self, inputs: &[f32]) -> Vec<f32>;
+}
+
+impl<F> ProfileKernel for F
+where
+    F: Fn(&[f32]) -> Vec<f32>,
+{
+    fn eval(&self, inputs: &[f32]) -> Vec<f32> {
+        self(inputs)
+    }
+}
+
+/// Truncate every element of an input tuple by `bits`.
+pub fn truncate_inputs(inputs: &[f32], bits: u32) -> Vec<f32> {
+    inputs
+        .iter()
+        .map(|&v| f32::from_bits(truncate_bits(u64::from(v.to_bits()), bits) as u32))
+        .collect()
+}
+
+/// Profile `kernel` over `samples` and return the Equation 2 error at a
+/// given truncation level.
+pub fn error_at_bits<K: ProfileKernel + ?Sized>(
+    kernel: &K,
+    samples: &[Vec<f32>],
+    bits: u32,
+) -> f64 {
+    let mut exact = Vec::new();
+    let mut approx = Vec::new();
+    for s in samples {
+        exact.extend(kernel.eval(s).into_iter().map(f64::from));
+        approx.extend(
+            kernel
+                .eval(&truncate_inputs(s, bits))
+                .into_iter()
+                .map(f64::from),
+        );
+    }
+    output_error(&exact, &approx)
+}
+
+/// Select the largest truncation (0..=max_bits) whose profiled error
+/// stays within `bound`. Returns the chosen bit count.
+pub fn select_truncation<K: ProfileKernel + ?Sized>(
+    kernel: &K,
+    samples: &[Vec<f32>],
+    max_bits: u32,
+    bound: f64,
+) -> u32 {
+    let mut best = 0;
+    for bits in 0..=max_bits {
+        let err = error_at_bits(kernel, samples, bits);
+        if err <= bound {
+            best = bits;
+        } else {
+            break; // error grows monotonically enough in practice
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation2_on_identical_outputs_is_zero() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(output_error(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn equation2_known_value() {
+        // x = [3, 4], x̂ = [3, 5]: num = 1, den = 25 => 0.04
+        assert!((output_error(&[3.0, 4.0], &[3.0, 5.0]) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation2_zero_denominator() {
+        assert_eq!(output_error(&[0.0], &[0.0]), 0.0);
+        assert!(output_error(&[0.0], &[1.0]).is_infinite());
+    }
+
+    #[test]
+    fn misclassification_counts_flips() {
+        let a = [true, false, true, true];
+        let b = [true, true, true, false];
+        assert!((misclassification_rate(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(misclassification_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn insensitive_kernel_gets_aggressive_truncation() {
+        // Kernel that rounds: tiny input perturbations are invisible.
+        let kernel = |xs: &[f32]| vec![xs[0].round()];
+        let samples: Vec<Vec<f32>> = (0..32).map(|i| vec![i as f32 + 0.25]).collect();
+        let bits = select_truncation(&kernel, &samples, 20, NUMERIC_ERROR_BOUND);
+        assert!(bits >= 15, "bits {bits}");
+    }
+
+    #[test]
+    fn sensitive_kernel_gets_no_truncation() {
+        // Kernel that amplifies LSB perturbations: sin(1000x) swings
+        // visibly when mantissa bits are dropped.
+        let kernel = |xs: &[f32]| vec![(xs[0] * 20000.0).sin()];
+        let samples: Vec<Vec<f32>> = (0..32).map(|i| vec![1.0 + i as f32 * 1e-4]).collect();
+        let bits = select_truncation(&kernel, &samples, 20, NUMERIC_ERROR_BOUND);
+        assert!(bits <= 4, "bits {bits}");
+    }
+
+    #[test]
+    fn truncate_inputs_matches_core_truncation() {
+        let t = truncate_inputs(&[1.9999999], 16);
+        assert!(t[0] <= 1.9999999 && t[0] > 1.96);
+    }
+
+    #[test]
+    fn error_grows_with_truncation() {
+        let kernel = |xs: &[f32]| vec![xs[0] * 2.0];
+        let samples: Vec<Vec<f32>> = (1..64).map(|i| vec![i as f32 * 1.0001]).collect();
+        let e4 = error_at_bits(&kernel, &samples, 4);
+        let e16 = error_at_bits(&kernel, &samples, 16);
+        assert!(e16 >= e4);
+    }
+}

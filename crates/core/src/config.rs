@@ -1,0 +1,247 @@
+//! Hardware configuration for the memoization unit.
+//!
+//! Mirrors the design space explored in §6.1: L1 LUT sizes of 4/8/16 KB
+//! (dedicated SRAM), an optional inclusive L2 LUT of 256/512 KB carved out
+//! of last-level-cache ways, 32-bit CRC by default, and a set geometry
+//! where one set packs into a single 64-byte cache line (8-way × 4-byte
+//! data or 4-way × 8-byte data, §3.3).
+
+use crate::crc::CrcWidth;
+use crate::lut::{LutGeometry, LUT_LINE_BYTES};
+
+/// Width of a LUT data field (§3.3: "The LUT data is 4-byte by default,
+/// and we can configure it to 8-byte by combining two LUT entries").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataWidth {
+    /// 4-byte LUT data, 8-way sets.
+    #[default]
+    W4,
+    /// 8-byte LUT data, 4-way sets (half the tags unused).
+    W8,
+}
+
+impl DataWidth {
+    /// Data bytes per LUT entry.
+    pub fn bytes(self) -> usize {
+        match self {
+            DataWidth::W4 => 4,
+            DataWidth::W8 => 8,
+        }
+    }
+
+    /// Set associativity implied by the one-set-per-line packing rule.
+    pub fn ways(self) -> usize {
+        match self {
+            DataWidth::W4 => 8,
+            DataWidth::W8 => 4,
+        }
+    }
+}
+
+/// Complete memoization-unit configuration.
+///
+/// # Examples
+///
+/// ```
+/// use axmemo_core::config::MemoConfig;
+///
+/// // The paper's largest configuration: 8 KB L1 + 512 KB L2 LUT.
+/// let cfg = MemoConfig::l1_l2(8 * 1024, 512 * 1024);
+/// assert!(cfg.l2_bytes.is_some());
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// L1 LUT capacity in bytes (dedicated SRAM, ≤ 16 KB per §3.3).
+    pub l1_bytes: usize,
+    /// Optional inclusive L2 LUT capacity in bytes (partitioned from the
+    /// last-level cache; up to half of it).
+    pub l2_bytes: Option<usize>,
+    /// LUT data field width (determines associativity).
+    pub data_width: DataWidth,
+    /// CRC width used for tags.
+    pub crc_width: CrcWidth,
+    /// Number of SMT hardware threads sharing the unit.
+    pub smt_threads: usize,
+    /// Depth of the memoization unit's input queue (beats of ≤ 8 bytes).
+    /// `ld_crc`/`reg_crc` stall the CPU only when this queue is full
+    /// (Table 4).
+    pub input_queue_depth: usize,
+    /// Enable the quality-monitoring scheme (§6, "every 1 out of 100 LUT
+    /// hits is ignored...").
+    pub quality_monitoring: bool,
+}
+
+impl MemoConfig {
+    /// Single-level configuration with an L1 LUT of `l1_bytes`.
+    pub fn l1_only(l1_bytes: usize) -> Self {
+        Self {
+            l1_bytes,
+            l2_bytes: None,
+            ..Self::default()
+        }
+    }
+
+    /// Two-level configuration (L1 fixed at `l1_bytes`, inclusive L2 of
+    /// `l2_bytes` carved from the LLC).
+    pub fn l1_l2(l1_bytes: usize, l2_bytes: usize) -> Self {
+        Self {
+            l1_bytes,
+            l2_bytes: Some(l2_bytes),
+            ..Self::default()
+        }
+    }
+
+    /// The four hardware configurations evaluated in §6.2, in the order
+    /// the figures present them.
+    pub fn paper_sweep() -> Vec<(String, MemoConfig)> {
+        vec![
+            ("L1 (4KB)".into(), MemoConfig::l1_only(4 * 1024)),
+            ("L1 (8KB)".into(), MemoConfig::l1_only(8 * 1024)),
+            (
+                "L1 (8KB) + L2 (256KB)".into(),
+                MemoConfig::l1_l2(8 * 1024, 256 * 1024),
+            ),
+            (
+                "L1 (8KB) + L2 (512KB)".into(),
+                MemoConfig::l1_l2(8 * 1024, 512 * 1024),
+            ),
+        ]
+    }
+
+    /// Geometry of the L1 LUT under this configuration.
+    pub fn l1_geometry(&self) -> LutGeometry {
+        LutGeometry::from_capacity(self.l1_bytes, self.data_width)
+    }
+
+    /// Geometry of the L2 LUT, if enabled.
+    pub fn l2_geometry(&self) -> Option<LutGeometry> {
+        self.l2_bytes
+            .map(|b| LutGeometry::from_capacity(b, self.data_width))
+    }
+
+    /// Check the configuration against the paper's structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the L1 is larger than 16 KB, any level's
+    /// capacity is not a positive multiple of the 64-byte set line, the
+    /// thread count is zero, or the input queue is empty.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.l1_bytes == 0 || !self.l1_bytes.is_multiple_of(LUT_LINE_BYTES) {
+            return Err(ConfigError::BadCapacity(self.l1_bytes));
+        }
+        if self.l1_bytes > 16 * 1024 {
+            return Err(ConfigError::L1TooLarge(self.l1_bytes));
+        }
+        if let Some(l2) = self.l2_bytes {
+            if l2 == 0 || l2 % LUT_LINE_BYTES != 0 {
+                return Err(ConfigError::BadCapacity(l2));
+            }
+        }
+        if self.smt_threads == 0 {
+            return Err(ConfigError::NoThreads);
+        }
+        if self.input_queue_depth == 0 {
+            return Err(ConfigError::EmptyQueue);
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemoConfig {
+    fn default() -> Self {
+        Self {
+            l1_bytes: 8 * 1024,
+            l2_bytes: None,
+            data_width: DataWidth::default(),
+            crc_width: CrcWidth::default(),
+            smt_threads: 2,
+            input_queue_depth: 16,
+            quality_monitoring: true,
+        }
+    }
+}
+
+/// Validation failure for a [`MemoConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Capacity is zero or not a multiple of the 64-byte set line.
+    BadCapacity(usize),
+    /// Dedicated L1 SRAM exceeds the 16 KB ceiling from §3.3.
+    L1TooLarge(usize),
+    /// SMT thread count of zero.
+    NoThreads,
+    /// Input queue depth of zero.
+    EmptyQueue,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::BadCapacity(b) => {
+                write!(f, "LUT capacity {b} is not a positive multiple of 64 bytes")
+            }
+            ConfigError::L1TooLarge(b) => {
+                write!(f, "L1 LUT of {b} bytes exceeds the 16 KB dedicated-SRAM limit")
+            }
+            ConfigError::NoThreads => write!(f, "at least one SMT thread is required"),
+            ConfigError::EmptyQueue => write!(f, "input queue depth must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        MemoConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_sweep_configs_are_valid() {
+        for (name, cfg) in MemoConfig::paper_sweep() {
+            cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert_eq!(MemoConfig::paper_sweep().len(), 4);
+    }
+
+    #[test]
+    fn rejects_oversized_l1() {
+        let cfg = MemoConfig::l1_only(32 * 1024);
+        assert_eq!(cfg.validate(), Err(ConfigError::L1TooLarge(32 * 1024)));
+    }
+
+    #[test]
+    fn rejects_unaligned_capacity() {
+        let cfg = MemoConfig::l1_only(100);
+        assert_eq!(cfg.validate(), Err(ConfigError::BadCapacity(100)));
+        let cfg = MemoConfig::l1_l2(8 * 1024, 1000);
+        assert_eq!(cfg.validate(), Err(ConfigError::BadCapacity(1000)));
+    }
+
+    #[test]
+    fn rejects_zero_threads_and_queue() {
+        let cfg = MemoConfig {
+            smt_threads: 0,
+            ..MemoConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::NoThreads));
+        let cfg = MemoConfig {
+            input_queue_depth: 0,
+            ..MemoConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptyQueue));
+    }
+
+    #[test]
+    fn data_width_geometry_rule() {
+        assert_eq!(DataWidth::W4.ways(), 8);
+        assert_eq!(DataWidth::W8.ways(), 4);
+        assert_eq!(DataWidth::W4.bytes() * DataWidth::W4.ways(), 32);
+    }
+}

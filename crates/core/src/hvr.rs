@@ -1,0 +1,209 @@
+//! Hash Value Registers (HVRs) — §3.2.
+//!
+//! The HVRs hold the *in-flight* CRC state for each `{LUT_ID, TID}` pair,
+//! acting as the hardware context of the CRC calculation when the
+//! processor interleaves inputs destined for different logical LUTs (or
+//! from different SMT threads). `{LUT_ID, TID}` is the architectural name
+//! of a register; out-of-order cores would rename these, which we model
+//! with a simple checkpoint/restore interface.
+
+use crate::crc::{CrcAlgorithm, CrcState};
+use crate::ids::{LutId, ThreadId, MAX_LUTS};
+
+/// The Hash Value Register file.
+///
+/// Sized as `MAX_LUTS × smt_threads` registers (the paper's example: 8
+/// LUTs × 2 threads = 16 × 32-bit registers for CRC-32).
+///
+/// # Examples
+///
+/// ```
+/// use axmemo_core::crc::{CrcAlgorithm, CrcWidth, TableCrc};
+/// use axmemo_core::hvr::HashValueRegisters;
+/// use axmemo_core::ids::{LutId, ThreadId};
+///
+/// let crc = TableCrc::new(CrcWidth::W32);
+/// let mut hvr = HashValueRegisters::new(&crc, 2);
+/// let (lut, tid) = (LutId::new(0).unwrap(), ThreadId(0));
+/// hvr.accumulate(&crc, lut, tid, &42u32.to_le_bytes());
+/// let tag = hvr.take(&crc, lut, tid);
+/// assert_eq!(tag, crc.checksum(&42u32.to_le_bytes()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashValueRegisters {
+    regs: Vec<CrcState>,
+    threads: usize,
+}
+
+impl HashValueRegisters {
+    /// Allocate the register file for `threads` SMT threads, with every
+    /// register preset to the CRC init state.
+    pub fn new(crc: &dyn CrcAlgorithm, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread");
+        Self {
+            regs: vec![crc.init(); MAX_LUTS * threads],
+            threads,
+        }
+    }
+
+    /// Number of physical registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the file is empty (never true for a valid construction).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Total bits of register state (for the area model).
+    pub fn state_bits(&self) -> usize {
+        self.regs
+            .first()
+            .map(|s| s.width().bits() as usize * self.regs.len())
+            .unwrap_or(0)
+    }
+
+    fn slot(&self, lut: LutId, tid: ThreadId) -> usize {
+        assert!(
+            tid.index() < self.threads,
+            "thread {tid} out of range (have {})",
+            self.threads
+        );
+        tid.index() * MAX_LUTS + lut.index()
+    }
+
+    /// Stream `data` into the register named `{lut, tid}`.
+    pub fn accumulate(
+        &mut self,
+        crc: &dyn CrcAlgorithm,
+        lut: LutId,
+        tid: ThreadId,
+        data: &[u8],
+    ) {
+        let i = self.slot(lut, tid);
+        crc.feed(&mut self.regs[i], data);
+    }
+
+    /// Read out the finalised CRC value and reset the register for the
+    /// next memoization instance (done as part of `lookup`/`update`).
+    pub fn take(&mut self, crc: &dyn CrcAlgorithm, lut: LutId, tid: ThreadId) -> u64 {
+        let i = self.slot(lut, tid);
+        let v = crc.finalize(self.regs[i]);
+        self.regs[i] = crc.init();
+        v
+    }
+
+    /// Read the finalised value without resetting (used by `update`,
+    /// which must observe the same CRC the preceding `lookup` computed —
+    /// the unit latches it; see [`crate::unit::MemoizationUnit`]).
+    pub fn peek(&self, crc: &dyn CrcAlgorithm, lut: LutId, tid: ThreadId) -> u64 {
+        crc.finalize(self.regs[self.slot(lut, tid)])
+    }
+
+    /// Reset one register (abandoning a partially-hashed input set).
+    pub fn reset(&mut self, crc: &dyn CrcAlgorithm, lut: LutId, tid: ThreadId) {
+        let i = self.slot(lut, tid);
+        self.regs[i] = crc.init();
+    }
+
+    /// Snapshot the whole file (rename/checkpoint support for
+    /// out-of-order integration).
+    pub fn checkpoint(&self) -> Vec<CrcState> {
+        self.regs.clone()
+    }
+
+    /// Restore a snapshot taken with [`Self::checkpoint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match this file.
+    pub fn restore(&mut self, snapshot: &[CrcState]) {
+        assert_eq!(snapshot.len(), self.regs.len(), "snapshot size mismatch");
+        self.regs.copy_from_slice(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc::{CrcWidth, TableCrc};
+
+    fn setup() -> (TableCrc, HashValueRegisters) {
+        let crc = TableCrc::new(CrcWidth::W32);
+        let hvr = HashValueRegisters::new(&crc, 2);
+        (crc, hvr)
+    }
+
+    #[test]
+    fn sized_per_paper_example() {
+        let (_, hvr) = setup();
+        assert_eq!(hvr.len(), 16);
+        assert_eq!(hvr.state_bits(), 16 * 32);
+        assert!(!hvr.is_empty());
+    }
+
+    #[test]
+    fn interleaved_streams_do_not_interfere() {
+        let (crc, mut hvr) = setup();
+        let (a, b) = (LutId::new(0).unwrap(), LutId::new(1).unwrap());
+        let t = ThreadId(0);
+        // Interleave two input streams.
+        hvr.accumulate(&crc, a, t, b"AAAA");
+        hvr.accumulate(&crc, b, t, b"BB");
+        hvr.accumulate(&crc, a, t, b"aaaa");
+        hvr.accumulate(&crc, b, t, b"bb");
+        assert_eq!(hvr.take(&crc, a, t), crc.checksum(b"AAAAaaaa"));
+        assert_eq!(hvr.take(&crc, b, t), crc.checksum(b"BBbb"));
+    }
+
+    #[test]
+    fn threads_are_isolated() {
+        let (crc, mut hvr) = setup();
+        let lut = LutId::new(2).unwrap();
+        hvr.accumulate(&crc, lut, ThreadId(0), b"thread0");
+        hvr.accumulate(&crc, lut, ThreadId(1), b"thread1");
+        assert_eq!(hvr.take(&crc, lut, ThreadId(0)), crc.checksum(b"thread0"));
+        assert_eq!(hvr.take(&crc, lut, ThreadId(1)), crc.checksum(b"thread1"));
+    }
+
+    #[test]
+    fn take_resets_for_next_instance() {
+        let (crc, mut hvr) = setup();
+        let (lut, t) = (LutId::new(0).unwrap(), ThreadId(0));
+        hvr.accumulate(&crc, lut, t, b"first");
+        let first = hvr.take(&crc, lut, t);
+        hvr.accumulate(&crc, lut, t, b"first");
+        assert_eq!(hvr.take(&crc, lut, t), first);
+    }
+
+    #[test]
+    fn peek_is_nondestructive() {
+        let (crc, mut hvr) = setup();
+        let (lut, t) = (LutId::new(4).unwrap(), ThreadId(1));
+        hvr.accumulate(&crc, lut, t, b"xyz");
+        let p = hvr.peek(&crc, lut, t);
+        assert_eq!(p, hvr.peek(&crc, lut, t));
+        assert_eq!(p, hvr.take(&crc, lut, t));
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let (crc, mut hvr) = setup();
+        let (lut, t) = (LutId::new(0).unwrap(), ThreadId(0));
+        hvr.accumulate(&crc, lut, t, b"partial");
+        let snap = hvr.checkpoint();
+        hvr.accumulate(&crc, lut, t, b" state");
+        let with_more = hvr.peek(&crc, lut, t);
+        hvr.restore(&snap);
+        hvr.accumulate(&crc, lut, t, b" state");
+        assert_eq!(hvr.peek(&crc, lut, t), with_more);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_thread() {
+        let (crc, mut hvr) = setup();
+        hvr.accumulate(&crc, LutId::new(0).unwrap(), ThreadId(5), b"x");
+    }
+}

@@ -1,0 +1,284 @@
+//! Physical Hash Value Register file with renaming — the out-of-order
+//! integration sketched in §3.2/§4:
+//!
+//! > "For out-of-order processors, {LUT_ID, TID} is equivalent to the
+//! > architectural name of the Hash Value Register. To support the
+//! > instruction-level parallelism, more 'physical' Hash Value
+//! > Registers are needed and they should also be 'renamed'."
+//!
+//! [`RenamedHvrFile`] models that structure: a pool of physical CRC
+//! registers, a rename map from architectural `{LUT_ID, TID}` names to
+//! physical registers, a free list, and branch checkpoints. Each
+//! `ld_crc`/`reg_crc`/`lookup` allocates a new physical register whose
+//! value is derived from the previous mapping (CRC accumulation is a
+//! read-modify-write, exactly like a partial register update), so
+//! speculative beats can be squashed by restoring the map.
+
+use crate::crc::{CrcAlgorithm, CrcState};
+use crate::ids::{LutId, ThreadId, MAX_LUTS};
+use core::fmt;
+
+/// Physical register identifier.
+pub type PhysReg = u16;
+
+/// Allocation failure: the physical file is exhausted (the core must
+/// stall rename until a register retires — callers surface this as a
+/// pipeline stall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfPhysRegs;
+
+impl fmt::Display for OutOfPhysRegs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "physical hash-value registers exhausted")
+    }
+}
+
+impl std::error::Error for OutOfPhysRegs {}
+
+/// Snapshot of the rename map (taken at branches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    map: Vec<PhysReg>,
+    /// Physical registers allocated after this checkpoint must be freed
+    /// on restore; we record the free-list length instead and rebuild.
+    allocated_after: Vec<PhysReg>,
+}
+
+/// The renamed physical HVR file.
+#[derive(Debug, Clone)]
+pub struct RenamedHvrFile {
+    /// Physical register values.
+    regs: Vec<CrcState>,
+    /// Architectural name -> physical register.
+    map: Vec<PhysReg>,
+    /// Free physical registers.
+    free: Vec<PhysReg>,
+    /// Registers allocated since the last checkpoint (for squash).
+    speculative: Vec<PhysReg>,
+    threads: usize,
+}
+
+impl RenamedHvrFile {
+    /// Build a file with `phys_regs` physical registers serving
+    /// `threads` SMT threads. Requires at least one physical register
+    /// per architectural name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_regs < MAX_LUTS * threads`.
+    pub fn new(crc: &dyn CrcAlgorithm, phys_regs: usize, threads: usize) -> Self {
+        let arch = MAX_LUTS * threads;
+        assert!(
+            phys_regs >= arch,
+            "need >= {arch} physical registers, got {phys_regs}"
+        );
+        let regs = vec![crc.init(); phys_regs];
+        // Initial mapping: arch name i -> phys i; the rest are free.
+        let map: Vec<PhysReg> = (0..arch as PhysReg).collect();
+        let free: Vec<PhysReg> = (arch as PhysReg..phys_regs as PhysReg).rev().collect();
+        Self {
+            regs,
+            map,
+            free,
+            speculative: Vec::new(),
+            threads,
+        }
+    }
+
+    fn arch_index(&self, lut: LutId, tid: ThreadId) -> usize {
+        assert!(tid.index() < self.threads, "thread out of range");
+        tid.index() * MAX_LUTS + lut.index()
+    }
+
+    /// Number of free physical registers.
+    pub fn free_regs(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Current physical register backing an architectural name.
+    pub fn current(&self, lut: LutId, tid: ThreadId) -> PhysReg {
+        self.map[self.arch_index(lut, tid)]
+    }
+
+    /// Rename-and-accumulate: allocate a fresh physical register, seed
+    /// it with the old mapping's state, absorb `data`, and repoint the
+    /// architectural name. Returns the new physical register.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfPhysRegs`] when the free list is empty (rename stall).
+    pub fn accumulate(
+        &mut self,
+        crc: &dyn CrcAlgorithm,
+        lut: LutId,
+        tid: ThreadId,
+        data: &[u8],
+    ) -> Result<PhysReg, OutOfPhysRegs> {
+        let idx = self.arch_index(lut, tid);
+        let old = self.map[idx];
+        let new = self.free.pop().ok_or(OutOfPhysRegs)?;
+        let mut state = self.regs[old as usize];
+        crc.feed(&mut state, data);
+        self.regs[new as usize] = state;
+        self.map[idx] = new;
+        self.speculative.push(new);
+        // The old register would be freed at *retire*; this model frees
+        // it at rename-commit time, i.e. when `commit` is called.
+        Ok(new)
+    }
+
+    /// Read out the architectural value (for `lookup`) and reset the
+    /// name to a fresh init state.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfPhysRegs`] when no register is available for the reset
+    /// mapping.
+    pub fn take(
+        &mut self,
+        crc: &dyn CrcAlgorithm,
+        lut: LutId,
+        tid: ThreadId,
+    ) -> Result<u64, OutOfPhysRegs> {
+        let idx = self.arch_index(lut, tid);
+        let cur = self.map[idx];
+        let value = crc.finalize(self.regs[cur as usize]);
+        let fresh = self.free.pop().ok_or(OutOfPhysRegs)?;
+        self.regs[fresh as usize] = crc.init();
+        self.map[idx] = fresh;
+        self.speculative.push(fresh);
+        Ok(value)
+    }
+
+    /// Take a branch checkpoint.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        let cp = Checkpoint {
+            map: self.map.clone(),
+            allocated_after: std::mem::take(&mut self.speculative),
+        };
+        // Registers allocated before the checkpoint are now
+        // architectural; they were already removed from `speculative`.
+        cp
+    }
+
+    /// Squash back to `checkpoint`: restore the map and free every
+    /// physical register allocated since.
+    pub fn restore(&mut self, checkpoint: &Checkpoint) {
+        self.map.clone_from(&checkpoint.map);
+        for r in self.speculative.drain(..) {
+            self.free.push(r);
+        }
+    }
+
+    /// Commit speculative allocations: the *previous* physical
+    /// registers of renamed names become dead. This simplified model
+    /// reclaims everything not currently mapped.
+    pub fn commit(&mut self) {
+        self.speculative.clear();
+        let live: std::collections::HashSet<PhysReg> = self.map.iter().copied().collect();
+        self.free = (0..self.regs.len() as PhysReg)
+            .filter(|r| !live.contains(r))
+            .rev()
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc::{CrcWidth, TableCrc};
+
+    fn setup(phys: usize) -> (TableCrc, RenamedHvrFile) {
+        let crc = TableCrc::new(CrcWidth::W32);
+        let file = RenamedHvrFile::new(&crc, phys, 2);
+        (crc, file)
+    }
+
+    fn name() -> (LutId, ThreadId) {
+        (LutId::new(0).unwrap(), ThreadId(0))
+    }
+
+    #[test]
+    fn accumulate_take_matches_flat_hvr() {
+        let (crc, mut file) = setup(32);
+        let (lut, tid) = name();
+        file.accumulate(&crc, lut, tid, b"hello ").unwrap();
+        file.accumulate(&crc, lut, tid, b"world").unwrap();
+        let v = file.take(&crc, lut, tid).unwrap();
+        assert_eq!(v, crc.checksum(b"hello world"));
+    }
+
+    #[test]
+    fn renaming_consumes_and_commit_reclaims() {
+        let (crc, mut file) = setup(20);
+        let (lut, tid) = name();
+        let before = file.free_regs();
+        file.accumulate(&crc, lut, tid, b"a").unwrap();
+        file.accumulate(&crc, lut, tid, b"b").unwrap();
+        assert_eq!(file.free_regs(), before - 2);
+        file.commit();
+        // Only the 16 live architectural mappings remain allocated.
+        assert_eq!(file.free_regs(), 20 - 16);
+    }
+
+    #[test]
+    fn exhaustion_is_reported_not_corrupting() {
+        let (crc, mut file) = setup(17); // one spare register
+        let (lut, tid) = name();
+        file.accumulate(&crc, lut, tid, b"x").unwrap();
+        let err = file.accumulate(&crc, lut, tid, b"y");
+        assert_eq!(err, Err(OutOfPhysRegs));
+        // The mapping still reflects the successful beat.
+        let v = file.take(&crc, lut, tid);
+        // take also needs a free register; after the failed accumulate
+        // there are none, so it reports exhaustion too.
+        assert_eq!(v, Err(OutOfPhysRegs));
+        file.commit();
+        assert_eq!(file.take(&crc, lut, tid).unwrap(), crc.checksum(b"x"));
+    }
+
+    #[test]
+    fn squash_discards_speculative_beats() {
+        let (crc, mut file) = setup(32);
+        let (lut, tid) = name();
+        file.accumulate(&crc, lut, tid, b"committed").unwrap();
+        let cp = file.checkpoint();
+        file.accumulate(&crc, lut, tid, b" speculative").unwrap();
+        file.restore(&cp);
+        let v = file.take(&crc, lut, tid).unwrap();
+        assert_eq!(v, crc.checksum(b"committed"));
+    }
+
+    #[test]
+    fn squash_returns_registers_to_free_list() {
+        let (crc, mut file) = setup(20);
+        let (lut, tid) = name();
+        let cp = file.checkpoint();
+        let before = file.free_regs();
+        for _ in 0..3 {
+            file.accumulate(&crc, lut, tid, b"z").unwrap();
+        }
+        assert_eq!(file.free_regs(), before - 3);
+        file.restore(&cp);
+        assert_eq!(file.free_regs(), before);
+    }
+
+    #[test]
+    fn independent_names_rename_independently() {
+        let (crc, mut file) = setup(32);
+        let a = (LutId::new(1).unwrap(), ThreadId(0));
+        let b = (LutId::new(1).unwrap(), ThreadId(1));
+        file.accumulate(&crc, a.0, a.1, b"AAA").unwrap();
+        file.accumulate(&crc, b.0, b.1, b"BBB").unwrap();
+        assert_ne!(file.current(a.0, a.1), file.current(b.0, b.1));
+        assert_eq!(file.take(&crc, a.0, a.1).unwrap(), crc.checksum(b"AAA"));
+        assert_eq!(file.take(&crc, b.0, b.1).unwrap(), crc.checksum(b"BBB"));
+    }
+
+    #[test]
+    #[should_panic(expected = "need >=")]
+    fn rejects_undersized_file() {
+        let crc = TableCrc::new(CrcWidth::W32);
+        RenamedHvrFile::new(&crc, 8, 2); // needs 16
+    }
+}

@@ -1,0 +1,101 @@
+//! Identifier newtypes shared across the memoization hardware.
+//!
+//! A memoization unit multiplexes several *logical* lookup tables (one per
+//! memoized code block) and several SMT hardware threads over one physical
+//! structure. Logical LUTs are named by a 3-bit [`LutId`] (stored in the
+//! LUT tag, §3.3) and threads by a [`ThreadId`]; the pair addresses a Hash
+//! Value Register (§3.2).
+
+use core::fmt;
+
+/// Maximum number of logical LUTs per thread (3-bit LUT_ID field, §3.3:
+/// "enough space for 1-bit valid bit and 3-bit LUT_ID").
+pub const MAX_LUTS: usize = 8;
+
+/// Identifier of a logical lookup table (0..8).
+///
+/// # Examples
+///
+/// ```
+/// use axmemo_core::ids::LutId;
+/// let id = LutId::new(3).unwrap();
+/// assert_eq!(id.index(), 3);
+/// assert!(LutId::new(8).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LutId(u8);
+
+impl LutId {
+    /// Construct from a raw index; `None` if `id >= 8`.
+    pub fn new(id: u8) -> Option<Self> {
+        (usize::from(id) < MAX_LUTS).then_some(Self(id))
+    }
+
+    /// Raw 3-bit value.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Raw value as stored in the LUT tag.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// All valid LUT ids, in order.
+    pub fn all() -> impl Iterator<Item = LutId> {
+        (0..MAX_LUTS as u8).map(LutId)
+    }
+}
+
+impl fmt::Display for LutId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LUT{}", self.0)
+    }
+}
+
+/// Hardware (SMT) thread identifier.
+///
+/// The evaluated design supports 2 SMT threads (§3.2's sizing example);
+/// the width is configurable via [`crate::config::MemoConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// Index form for addressing register files.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_id_bounds() {
+        assert!(LutId::new(0).is_some());
+        assert!(LutId::new(7).is_some());
+        assert!(LutId::new(8).is_none());
+        assert!(LutId::new(255).is_none());
+    }
+
+    #[test]
+    fn lut_id_all_enumerates_eight() {
+        let all: Vec<_> = LutId::all().collect();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0].index(), 0);
+        assert_eq!(all[7].index(), 7);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LutId::new(5).unwrap().to_string(), "LUT5");
+        assert_eq!(ThreadId(1).to_string(), "T1");
+    }
+}

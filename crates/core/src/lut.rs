@@ -1,0 +1,511 @@
+//! Set-associative lookup table (LUT) — §3.3 / Fig. 4.
+//!
+//! The LUT is organised like a set-associative cache: each set holds
+//! either 8 ways of {4-byte tag, 4-byte data} or 4 ways of {4-byte tag,
+//! 8-byte data} (half the tags unused), so that one set always packs into
+//! a single 64-byte last-level-cache line. Tags combine a valid bit, the
+//! 3-bit LUT_ID, and the upper bits of the CRC value (the low bits having
+//! been consumed by set indexing). Replacement is LRU. Unlike cache data,
+//! LUT entries are never written back to memory: eviction from the last
+//! level simply invalidates.
+
+use crate::ids::LutId;
+
+/// Bytes in one LUT set — exactly one 64-byte LLC line (§3.3: "one set of
+/// the LUT entries ... just fit into a 64-byte last-level cache line").
+pub const LUT_LINE_BYTES: usize = 64;
+
+use crate::config::DataWidth;
+
+/// Geometry of a LUT array: number of sets and ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LutGeometry {
+    /// Number of sets (always a power of two so CRC low bits index it).
+    pub sets: usize,
+    /// Associativity (8 for 4-byte data, 4 for 8-byte data).
+    pub ways: usize,
+    /// Data field width.
+    pub data_width: DataWidth,
+}
+
+impl LutGeometry {
+    /// Derive geometry from a raw capacity in bytes.
+    ///
+    /// Capacity counts tag + data storage, one 64-byte line per set, so
+    /// `sets = capacity / 64` rounded down to a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 64` (validated earlier by
+    /// [`crate::config::MemoConfig::validate`]).
+    pub fn from_capacity(capacity: usize, data_width: DataWidth) -> Self {
+        assert!(capacity >= LUT_LINE_BYTES, "LUT smaller than one set");
+        let sets = (capacity / LUT_LINE_BYTES).next_power_of_two();
+        let sets = if sets * LUT_LINE_BYTES > capacity {
+            sets / 2
+        } else {
+            sets
+        };
+        Self {
+            sets,
+            ways: data_width.ways(),
+            data_width,
+        }
+    }
+
+    /// Total entries (sets × ways).
+    pub fn entries(self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Capacity in bytes (tag + data), one line per set.
+    pub fn capacity_bytes(self) -> usize {
+        self.sets * LUT_LINE_BYTES
+    }
+
+    /// Number of low CRC bits consumed by set indexing.
+    pub fn index_bits(self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+}
+
+/// One LUT entry: tag metadata plus the output data of a memoized block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    valid: bool,
+    lut_id: u8,
+    /// Upper CRC bits (the set-index bits are implied by position).
+    tag: u64,
+    /// Output data (4 or 8 bytes, zero-extended).
+    data: u64,
+    /// LRU timestamp (monotone per-array counter).
+    last_use: u64,
+}
+
+impl Entry {
+    const INVALID: Entry = Entry {
+        valid: false,
+        lut_id: 0,
+        tag: 0,
+        data: 0,
+        last_use: 0,
+    };
+}
+
+/// Result of a lookup in a single LUT array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// Tag matched: output data returned.
+    Hit(u64),
+    /// No matching entry.
+    Miss,
+}
+
+impl LookupOutcome {
+    /// `true` for [`LookupOutcome::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, LookupOutcome::Hit(_))
+    }
+}
+
+/// An entry displaced by an insertion, to be handed to the next LUT level
+/// (or dropped at the last level — LUT entries are never written back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Logical LUT the victim belonged to.
+    pub lut_id: LutId,
+    /// Full CRC value reconstructed from tag + set index.
+    pub crc: u64,
+    /// The victim's output data.
+    pub data: u64,
+}
+
+/// Per-array access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LutStats {
+    /// Lookup requests that hit.
+    pub hits: u64,
+    /// Lookup requests that missed.
+    pub misses: u64,
+    /// Entries inserted (updates).
+    pub inserts: u64,
+    /// Valid entries displaced by LRU replacement.
+    pub evictions: u64,
+    /// Entries cleared by `invalidate` operations.
+    pub invalidations: u64,
+}
+
+impl LutStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]`; 0 when no lookups occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+/// A single-level set-associative LUT array with LRU replacement.
+///
+/// Stores multiple logical LUTs distinguished by the LUT_ID in each tag.
+///
+/// # Examples
+///
+/// ```
+/// use axmemo_core::config::DataWidth;
+/// use axmemo_core::ids::LutId;
+/// use axmemo_core::lut::{LutArray, LutGeometry, LookupOutcome};
+///
+/// let geo = LutGeometry::from_capacity(4096, DataWidth::W4);
+/// let mut lut = LutArray::new(geo);
+/// let id = LutId::new(0).unwrap();
+/// assert_eq!(lut.lookup(id, 0xDEAD_BEEF), LookupOutcome::Miss);
+/// lut.insert(id, 0xDEAD_BEEF, 42);
+/// assert_eq!(lut.lookup(id, 0xDEAD_BEEF), LookupOutcome::Hit(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LutArray {
+    geometry: LutGeometry,
+    sets: Vec<Entry>,
+    clock: u64,
+    stats: LutStats,
+}
+
+impl LutArray {
+    /// Allocate an empty array with the given geometry.
+    pub fn new(geometry: LutGeometry) -> Self {
+        Self {
+            geometry,
+            sets: vec![Entry::INVALID; geometry.entries()],
+            clock: 0,
+            stats: LutStats::default(),
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> LutGeometry {
+        self.geometry
+    }
+
+    /// Access statistics accumulated so far.
+    pub fn stats(&self) -> LutStats {
+        self.stats
+    }
+
+    /// Reset statistics (e.g. between profiling and evaluation phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = LutStats::default();
+    }
+
+    fn set_index(&self, crc: u64) -> usize {
+        (crc as usize) & (self.geometry.sets - 1)
+    }
+
+    fn tag_of(&self, crc: u64) -> u64 {
+        crc >> self.geometry.index_bits()
+    }
+
+    fn crc_of(&self, tag: u64, set: usize) -> u64 {
+        (tag << self.geometry.index_bits()) | set as u64
+    }
+
+    fn ways_of(&mut self, set: usize) -> &mut [Entry] {
+        let w = self.geometry.ways;
+        &mut self.sets[set * w..(set + 1) * w]
+    }
+
+    /// Look up `{lut_id, crc}`; on a hit the entry's LRU stamp is
+    /// refreshed and its data returned.
+    pub fn lookup(&mut self, lut_id: LutId, crc: u64) -> LookupOutcome {
+        let set = self.set_index(crc);
+        let tag = self.tag_of(crc);
+        self.clock += 1;
+        let clock = self.clock;
+        let mut hit = None;
+        for e in self.ways_of(set) {
+            if e.valid && e.lut_id == lut_id.raw() && e.tag == tag {
+                e.last_use = clock;
+                hit = Some(e.data);
+                break;
+            }
+        }
+        match hit {
+            Some(data) => {
+                self.stats.hits += 1;
+                LookupOutcome::Hit(data)
+            }
+            None => {
+                self.stats.misses += 1;
+                LookupOutcome::Miss
+            }
+        }
+    }
+
+    /// Peek without updating LRU or statistics (used by the quality
+    /// monitor's forced-miss sampling and by tests).
+    pub fn peek(&self, lut_id: LutId, crc: u64) -> Option<u64> {
+        let set = self.set_index(crc);
+        let tag = self.tag_of(crc);
+        let w = self.geometry.ways;
+        self.sets[set * w..(set + 1) * w]
+            .iter()
+            .find(|e| e.valid && e.lut_id == lut_id.raw() && e.tag == tag)
+            .map(|e| e.data)
+    }
+
+    /// Insert (or overwrite) the entry for `{lut_id, crc}` with `data`.
+    ///
+    /// Returns the valid victim displaced by LRU replacement, if any —
+    /// the caller forwards it to the next LUT level (inclusive L2) or
+    /// drops it at the last level.
+    pub fn insert(&mut self, lut_id: LutId, crc: u64, data: u64) -> Option<Evicted> {
+        let set = self.set_index(crc);
+        let tag = self.tag_of(crc);
+        self.clock += 1;
+        let clock = self.clock;
+        self.stats.inserts += 1;
+
+        // Overwrite an existing match (same inputs recomputed, e.g. after
+        // a forced quality-monitor miss).
+        for e in self.ways_of(set) {
+            if e.valid && e.lut_id == lut_id.raw() && e.tag == tag {
+                e.data = data;
+                e.last_use = clock;
+                return None;
+            }
+        }
+        // Fill an invalid way if one exists.
+        if let Some(e) = self.ways_of(set).iter_mut().find(|e| !e.valid) {
+            *e = Entry {
+                valid: true,
+                lut_id: lut_id.raw(),
+                tag,
+                data,
+                last_use: clock,
+            };
+            return None;
+        }
+        // LRU-evict.
+        let victim_way = {
+            let ways = self.ways_of(set);
+            let mut best = 0;
+            for (i, e) in ways.iter().enumerate() {
+                if e.last_use < ways[best].last_use {
+                    best = i;
+                }
+            }
+            best
+        };
+        self.stats.evictions += 1;
+        let index_bits = self.geometry.index_bits();
+        let _ = index_bits;
+        let victim = {
+            let ways = self.ways_of(set);
+            ways[victim_way]
+        };
+        let evicted = Evicted {
+            lut_id: LutId::new(victim.lut_id).expect("stored lut_id is valid"),
+            crc: self.crc_of(victim.tag, set),
+            data: victim.data,
+        };
+        let ways = self.ways_of(set);
+        ways[victim_way] = Entry {
+            valid: true,
+            lut_id: lut_id.raw(),
+            tag,
+            data,
+            last_use: clock,
+        };
+        Some(evicted)
+    }
+
+    /// Invalidate every entry belonging to `lut_id` (the `invalidate`
+    /// instruction, §4). Returns the number of entries cleared.
+    pub fn invalidate(&mut self, lut_id: LutId) -> u64 {
+        let mut n = 0;
+        for e in &mut self.sets {
+            if e.valid && e.lut_id == lut_id.raw() {
+                *e = Entry::INVALID;
+                n += 1;
+            }
+        }
+        self.stats.invalidations += n;
+        n
+    }
+
+    /// Invalidate everything (used between benchmark runs).
+    pub fn invalidate_all(&mut self) {
+        for e in &mut self.sets {
+            *e = Entry::INVALID;
+        }
+    }
+
+    /// Remove a specific entry (inclusive-L2 back-invalidation support).
+    pub fn invalidate_entry(&mut self, lut_id: LutId, crc: u64) -> bool {
+        let set = self.set_index(crc);
+        let tag = self.tag_of(crc);
+        for e in self.ways_of(set) {
+            if e.valid && e.lut_id == lut_id.raw() && e.tag == tag {
+                *e = Entry::INVALID;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Count of currently-valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u8) -> LutId {
+        LutId::new(i).unwrap()
+    }
+
+    #[test]
+    fn geometry_packs_one_set_per_line() {
+        // 8 ways × (4B tag + 4B data) = 64 B; 4 ways × (4B tag used +
+        // 4B tag unused + 8B data) = 64 B. Capacity / 64 = sets.
+        let g4 = LutGeometry::from_capacity(4096, DataWidth::W4);
+        assert_eq!(g4.sets, 64);
+        assert_eq!(g4.ways, 8);
+        assert_eq!(g4.capacity_bytes(), 4096);
+        let g8 = LutGeometry::from_capacity(4096, DataWidth::W8);
+        assert_eq!(g8.sets, 64);
+        assert_eq!(g8.ways, 4);
+    }
+
+    #[test]
+    fn geometry_rounds_to_power_of_two_sets() {
+        let g = LutGeometry::from_capacity(3 * 64, DataWidth::W4);
+        assert_eq!(g.sets, 2);
+        let g = LutGeometry::from_capacity(64, DataWidth::W4);
+        assert_eq!(g.sets, 1);
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut lut = LutArray::new(LutGeometry::from_capacity(1024, DataWidth::W4));
+        lut.insert(id(0), 0x1234_5678, 99);
+        assert_eq!(lut.lookup(id(0), 0x1234_5678), LookupOutcome::Hit(99));
+        assert_eq!(lut.lookup(id(0), 0x1234_5679), LookupOutcome::Miss);
+    }
+
+    #[test]
+    fn logical_luts_are_isolated_by_id() {
+        let mut lut = LutArray::new(LutGeometry::from_capacity(1024, DataWidth::W4));
+        lut.insert(id(0), 0xABCD, 1);
+        lut.insert(id(1), 0xABCD, 2);
+        assert_eq!(lut.lookup(id(0), 0xABCD), LookupOutcome::Hit(1));
+        assert_eq!(lut.lookup(id(1), 0xABCD), LookupOutcome::Hit(2));
+        assert_eq!(lut.lookup(id(2), 0xABCD), LookupOutcome::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One set only: capacity 64 B, 8 ways.
+        let mut lut = LutArray::new(LutGeometry::from_capacity(64, DataWidth::W4));
+        // Fill all 8 ways with CRCs mapping to set 0 (any CRC does: 1 set).
+        for i in 0..8u64 {
+            assert!(lut.insert(id(0), i, i * 10).is_none());
+        }
+        // Touch entries 1..8, leaving 0 as LRU.
+        for i in 1..8u64 {
+            assert!(lut.lookup(id(0), i).is_hit());
+        }
+        let evicted = lut.insert(id(0), 100, 1000).expect("must evict");
+        assert_eq!(evicted.crc, 0);
+        assert_eq!(evicted.data, 0);
+        assert_eq!(lut.lookup(id(0), 0), LookupOutcome::Miss);
+        assert_eq!(lut.lookup(id(0), 100), LookupOutcome::Hit(1000));
+    }
+
+    #[test]
+    fn evicted_crc_reconstructs_full_value() {
+        // 2 sets => 1 index bit.
+        let mut lut = LutArray::new(LutGeometry::from_capacity(128, DataWidth::W4));
+        let crc = 0b1010_1011; // odd -> set 1
+        lut.insert(id(3), crc, 7);
+        // Fill the same set to force eviction of `crc`.
+        for i in 0..8u64 {
+            lut.insert(id(0), (i << 1) | 1, i);
+        }
+        // `crc` was LRU; find it among evicted results indirectly:
+        assert_eq!(lut.lookup(id(3), crc), LookupOutcome::Miss);
+    }
+
+    #[test]
+    fn insert_overwrites_existing_entry() {
+        let mut lut = LutArray::new(LutGeometry::from_capacity(1024, DataWidth::W4));
+        lut.insert(id(0), 5, 1);
+        lut.insert(id(0), 5, 2);
+        assert_eq!(lut.lookup(id(0), 5), LookupOutcome::Hit(2));
+        assert_eq!(lut.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_clears_only_one_logical_lut() {
+        let mut lut = LutArray::new(LutGeometry::from_capacity(1024, DataWidth::W4));
+        for i in 0..10u64 {
+            lut.insert(id(0), i, i);
+            lut.insert(id(1), i + 100, i);
+        }
+        assert_eq!(lut.invalidate(id(0)), 10);
+        assert_eq!(lut.lookup(id(0), 3), LookupOutcome::Miss);
+        assert!(lut.lookup(id(1), 103).is_hit());
+    }
+
+    #[test]
+    fn invalidate_entry_targets_single_entry() {
+        let mut lut = LutArray::new(LutGeometry::from_capacity(1024, DataWidth::W4));
+        lut.insert(id(0), 1, 10);
+        lut.insert(id(0), 2, 20);
+        assert!(lut.invalidate_entry(id(0), 1));
+        assert!(!lut.invalidate_entry(id(0), 1));
+        assert_eq!(lut.lookup(id(0), 2), LookupOutcome::Hit(20));
+    }
+
+    #[test]
+    fn stats_track_hits_misses_evictions() {
+        let mut lut = LutArray::new(LutGeometry::from_capacity(64, DataWidth::W4));
+        for i in 0..9u64 {
+            lut.insert(id(0), i, i);
+        }
+        lut.lookup(id(0), 8);
+        lut.lookup(id(0), 0); // evicted
+        let s = lut.stats();
+        assert_eq!(s.inserts, 9);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru_or_stats() {
+        let mut lut = LutArray::new(LutGeometry::from_capacity(64, DataWidth::W4));
+        lut.insert(id(0), 1, 11);
+        let before = lut.stats();
+        assert_eq!(lut.peek(id(0), 1), Some(11));
+        assert_eq!(lut.peek(id(0), 2), None);
+        assert_eq!(lut.stats(), before);
+    }
+
+    #[test]
+    fn hit_rate_zero_when_untouched() {
+        let lut = LutArray::new(LutGeometry::from_capacity(64, DataWidth::W4));
+        assert_eq!(lut.stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Quality monitoring (§6, "Quality metric and monitoring").
+//!
+//! During execution, 1 out of every 100 LUT hits is sampled: the lookup
+//! proceeds normally but the unit reports a *miss* to the processor, so
+//! the original computation runs. The recomputed result is then compared
+//! with the LUT output and a relative error recorded. After every 100
+//! comparisons the window is checked: if more than 10% of the relative
+//! errors exceed 10%, memoization is disabled for the rest of the run.
+
+/// Default sampling period (1 forced miss per `100` hits).
+pub const SAMPLE_PERIOD: u64 = 100;
+/// Comparisons per check window.
+pub const WINDOW: usize = 100;
+/// Relative-error threshold for a "large error" sample.
+pub const ERROR_THRESHOLD: f64 = 0.10;
+/// Fraction of large-error samples in a window that disables memoization.
+pub const DISABLE_FRACTION: f64 = 0.10;
+
+/// Relative error between a memoized output and the recomputed value,
+/// `|approx - exact| / max(|exact|, ε)`.
+pub fn relative_error(exact: f64, approx: f64) -> f64 {
+    let denom = exact.abs().max(f64::MIN_POSITIVE);
+    (approx - exact).abs() / denom
+}
+
+/// The quality-monitoring unit attached to a memoization unit.
+///
+/// # Examples
+///
+/// ```
+/// use axmemo_core::quality::QualityMonitor;
+///
+/// let mut qm = QualityMonitor::new();
+/// // 99 hits pass through; the 100th is sampled (forced miss).
+/// for _ in 0..99 {
+///     assert!(!qm.should_sample_hit());
+/// }
+/// assert!(qm.should_sample_hit());
+/// qm.record_comparison(1.0, 1.0005); // small error
+/// assert!(qm.enabled());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QualityMonitor {
+    hits_seen: u64,
+    window: Vec<f64>,
+    enabled: bool,
+    /// Total comparisons performed (across windows).
+    comparisons: u64,
+    /// Comparisons whose relative error exceeded the threshold.
+    large_errors: u64,
+}
+
+impl QualityMonitor {
+    /// A fresh, enabled monitor.
+    pub fn new() -> Self {
+        Self {
+            hits_seen: 0,
+            window: Vec::with_capacity(WINDOW),
+            enabled: true,
+            comparisons: 0,
+            large_errors: 0,
+        }
+    }
+
+    /// Whether memoization is still enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Total comparisons performed.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Comparisons that exceeded [`ERROR_THRESHOLD`].
+    pub fn large_errors(&self) -> u64 {
+        self.large_errors
+    }
+
+    /// Called on every LUT hit; returns `true` when this hit must be
+    /// converted into a forced miss for sampling (every
+    /// [`SAMPLE_PERIOD`]-th hit).
+    pub fn should_sample_hit(&mut self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.hits_seen += 1;
+        self.hits_seen.is_multiple_of(SAMPLE_PERIOD)
+    }
+
+    /// Record a sampled comparison between the recomputed `exact` value
+    /// and the LUT's `approx` value. May disable memoization.
+    pub fn record_comparison(&mut self, exact: f64, approx: f64) {
+        if !self.enabled {
+            return;
+        }
+        let err = relative_error(exact, approx);
+        self.comparisons += 1;
+        if err > ERROR_THRESHOLD {
+            self.large_errors += 1;
+        }
+        self.window.push(err);
+        if self.window.len() >= WINDOW {
+            let large = self
+                .window
+                .iter()
+                .filter(|&&e| e > ERROR_THRESHOLD)
+                .count();
+            if (large as f64) > DISABLE_FRACTION * self.window.len() as f64 {
+                self.enabled = false;
+            }
+            self.window.clear();
+        }
+    }
+}
+
+impl Default for QualityMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_every_hundredth_hit() {
+        let mut qm = QualityMonitor::new();
+        let mut sampled = 0;
+        for _ in 0..1000 {
+            if qm.should_sample_hit() {
+                sampled += 1;
+            }
+        }
+        assert_eq!(sampled, 10);
+    }
+
+    #[test]
+    fn small_errors_keep_memoization_enabled() {
+        let mut qm = QualityMonitor::new();
+        for _ in 0..500 {
+            qm.record_comparison(100.0, 100.5); // 0.5% error
+        }
+        assert!(qm.enabled());
+        assert_eq!(qm.large_errors(), 0);
+    }
+
+    #[test]
+    fn persistent_large_errors_disable_memoization() {
+        let mut qm = QualityMonitor::new();
+        // 20% of samples have 50% error: exceeds the 10%/10% rule after
+        // one full window.
+        for i in 0..WINDOW {
+            if i % 5 == 0 {
+                qm.record_comparison(1.0, 1.5);
+            } else {
+                qm.record_comparison(1.0, 1.001);
+            }
+        }
+        assert!(!qm.enabled());
+    }
+
+    #[test]
+    fn boundary_exactly_ten_percent_stays_enabled() {
+        let mut qm = QualityMonitor::new();
+        // Exactly 10 large errors in 100: "more than 10%" is required to
+        // disable, so this stays enabled.
+        for i in 0..WINDOW {
+            if i < 10 {
+                qm.record_comparison(1.0, 2.0);
+            } else {
+                qm.record_comparison(1.0, 1.0);
+            }
+        }
+        assert!(qm.enabled());
+    }
+
+    #[test]
+    fn disabled_monitor_stops_sampling_and_recording() {
+        let mut qm = QualityMonitor::new();
+        for _ in 0..WINDOW {
+            qm.record_comparison(1.0, 10.0);
+        }
+        assert!(!qm.enabled());
+        let before = qm.comparisons();
+        qm.record_comparison(1.0, 10.0);
+        assert_eq!(qm.comparisons(), before);
+        assert!(!qm.should_sample_hit());
+    }
+
+    #[test]
+    fn relative_error_handles_zero_exact() {
+        assert!(relative_error(0.0, 0.0).abs() < 1e-12);
+        assert!(relative_error(0.0, 1.0).is_finite());
+        assert!((relative_error(2.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,272 @@
+//! Two-level memoization lookup (§3.3–3.4).
+//!
+//! The L1 LUT is a small dedicated SRAM (≤ 16 KB) private to the core; the
+//! *optional* L2 LUT is inclusive and lives in ways partitioned from the
+//! last-level cache. On an L1 miss the L2 is probed; an L2 hit refills the
+//! L1 (displacing an L1 victim back to L2 — inclusive, so it is already
+//! there unless itself evicted). LUT entries are never written back to
+//! main memory: an entry evicted from L2 is simply invalidated.
+
+use crate::config::MemoConfig;
+use crate::ids::LutId;
+use crate::lut::{LookupOutcome, LutArray, LutStats};
+
+/// Which level served a hit — the levels have different access latencies
+/// (2 cycles for L1, 13 for L2; Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Served from the dedicated L1 LUT SRAM.
+    L1,
+    /// Served from the LLC-partition L2 LUT (and refilled into L1).
+    L2,
+}
+
+/// Result of a two-level lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoLevelOutcome {
+    /// Hit: which level answered and the output data.
+    Hit(HitLevel, u64),
+    /// Missed in every level present.
+    Miss,
+}
+
+impl TwoLevelOutcome {
+    /// `true` for any hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, TwoLevelOutcome::Hit(..))
+    }
+
+    /// The data payload on a hit.
+    pub fn data(self) -> Option<u64> {
+        match self {
+            TwoLevelOutcome::Hit(_, d) => Some(d),
+            TwoLevelOutcome::Miss => None,
+        }
+    }
+}
+
+/// The L1 + optional inclusive L2 LUT hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use axmemo_core::config::MemoConfig;
+/// use axmemo_core::ids::LutId;
+/// use axmemo_core::two_level::{TwoLevelLut, TwoLevelOutcome, HitLevel};
+///
+/// let mut lut = TwoLevelLut::new(&MemoConfig::l1_l2(8 * 1024, 256 * 1024));
+/// let id = LutId::new(0).unwrap();
+/// lut.update(id, 0xFEED, 7);
+/// assert_eq!(lut.lookup(id, 0xFEED), TwoLevelOutcome::Hit(HitLevel::L1, 7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevelLut {
+    l1: LutArray,
+    l2: Option<LutArray>,
+}
+
+impl TwoLevelLut {
+    /// Build the hierarchy described by `config`.
+    pub fn new(config: &MemoConfig) -> Self {
+        Self {
+            l1: LutArray::new(config.l1_geometry()),
+            l2: config.l2_geometry().map(LutArray::new),
+        }
+    }
+
+    /// Whether an L2 LUT is present.
+    pub fn has_l2(&self) -> bool {
+        self.l2.is_some()
+    }
+
+    /// Look up `{lut_id, crc}` across both levels.
+    ///
+    /// An L2 hit refills L1; the L1 victim (if any) is inserted into L2,
+    /// keeping L2 inclusive of L1.
+    pub fn lookup(&mut self, lut_id: LutId, crc: u64) -> TwoLevelOutcome {
+        if let LookupOutcome::Hit(d) = self.l1.lookup(lut_id, crc) {
+            return TwoLevelOutcome::Hit(HitLevel::L1, d);
+        }
+        let Some(l2) = self.l2.as_mut() else {
+            return TwoLevelOutcome::Miss;
+        };
+        match l2.lookup(lut_id, crc) {
+            LookupOutcome::Hit(d) => {
+                // Refill L1; victim goes (back) to L2 to preserve
+                // inclusion. (It is usually already present.)
+                if let Some(victim) = self.l1.insert(lut_id, crc, d) {
+                    // Last-level eviction from L2 is a plain invalidation;
+                    // nothing propagates to memory.
+                    let _ = l2.insert(victim.lut_id, victim.crc, victim.data);
+                }
+                TwoLevelOutcome::Hit(HitLevel::L2, d)
+            }
+            LookupOutcome::Miss => TwoLevelOutcome::Miss,
+        }
+    }
+
+    /// Update after a miss (the `update` instruction): write the entry
+    /// into L1 and, when present, into the inclusive L2.
+    pub fn update(&mut self, lut_id: LutId, crc: u64, data: u64) {
+        let victim = self.l1.insert(lut_id, crc, data);
+        if let Some(l2) = self.l2.as_mut() {
+            // Inclusive L2 also receives the new entry.
+            let _ = l2.insert(lut_id, crc, data);
+            // L1 victims spill to L2 ("evicted to L2 LUT ... using the
+            // least recently used policy").
+            if let Some(v) = victim {
+                let _ = l2.insert(v.lut_id, v.crc, v.data);
+            }
+        }
+    }
+
+    /// Invalidate a whole logical LUT at every level.
+    pub fn invalidate(&mut self, lut_id: LutId) -> u64 {
+        let mut n = self.l1.invalidate(lut_id);
+        if let Some(l2) = self.l2.as_mut() {
+            n += l2.invalidate(lut_id);
+        }
+        n
+    }
+
+    /// Clear everything (between runs).
+    pub fn invalidate_all(&mut self) {
+        self.l1.invalidate_all();
+        if let Some(l2) = self.l2.as_mut() {
+            l2.invalidate_all();
+        }
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> LutStats {
+        self.l1.stats()
+    }
+
+    /// L2 statistics (zero when absent).
+    pub fn l2_stats(&self) -> LutStats {
+        self.l2.as_ref().map(|l| l.stats()).unwrap_or_default()
+    }
+
+    /// Total hit rate across both levels, as plotted in Fig. 9
+    /// ("we calculate the total lookup hit rate across both levels").
+    pub fn total_hit_rate(&self) -> f64 {
+        let l1 = self.l1.stats();
+        let l2 = self.l2_stats();
+        let lookups = l1.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        (l1.hits + l2.hits) as f64 / lookups as f64
+    }
+
+    /// Reset statistics at both levels.
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        if let Some(l2) = self.l2.as_mut() {
+            l2.reset_stats();
+        }
+    }
+
+    /// Direct read access to the L1 array (ablation experiments).
+    pub fn l1(&self) -> &LutArray {
+        &self.l1
+    }
+
+    /// Direct read access to the L2 array, if present.
+    pub fn l2(&self) -> Option<&LutArray> {
+        self.l2.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u8) -> LutId {
+        LutId::new(i).unwrap()
+    }
+
+    fn tiny_two_level() -> TwoLevelLut {
+        // L1 of one set (8 entries), L2 of 16 sets.
+        let cfg = MemoConfig {
+            l1_bytes: 64,
+            l2_bytes: Some(1024),
+            ..MemoConfig::default()
+        };
+        TwoLevelLut::new(&cfg)
+    }
+
+    #[test]
+    fn l1_hit_path() {
+        let mut lut = tiny_two_level();
+        lut.update(id(0), 42, 7);
+        assert_eq!(lut.lookup(id(0), 42), TwoLevelOutcome::Hit(HitLevel::L1, 7));
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let mut lut = tiny_two_level();
+        // Overflow the 8-entry L1.
+        for i in 0..16u64 {
+            lut.update(id(0), i, i * 2);
+        }
+        // Entry 0 left L1 but must still hit in the inclusive L2.
+        let out = lut.lookup(id(0), 0);
+        assert_eq!(out, TwoLevelOutcome::Hit(HitLevel::L2, 0));
+        // And the refill makes the *next* access an L1 hit.
+        assert_eq!(lut.lookup(id(0), 0), TwoLevelOutcome::Hit(HitLevel::L1, 0));
+    }
+
+    #[test]
+    fn miss_without_l2() {
+        let mut lut = TwoLevelLut::new(&MemoConfig::l1_only(64));
+        for i in 0..16u64 {
+            lut.update(id(0), i, i);
+        }
+        // Without L2, evicted entries are gone.
+        assert_eq!(lut.lookup(id(0), 0), TwoLevelOutcome::Miss);
+        assert!(!lut.has_l2());
+    }
+
+    #[test]
+    fn inclusive_update_populates_both_levels() {
+        let mut lut = tiny_two_level();
+        lut.update(id(1), 99, 5);
+        assert!(lut.l1().peek(id(1), 99).is_some());
+        assert!(lut.l2().unwrap().peek(id(1), 99).is_some());
+    }
+
+    #[test]
+    fn total_hit_rate_combines_levels() {
+        let mut lut = tiny_two_level();
+        for i in 0..16u64 {
+            lut.update(id(0), i, i);
+        }
+        // 8 L1 hits + up to 8 L2 hits out of 16 lookups.
+        for i in 0..16u64 {
+            assert!(lut.lookup(id(0), i).is_hit(), "i={i}");
+        }
+        assert!((lut.total_hit_rate() - 1.0).abs() < 1e-12);
+        // Denominator is L1 lookups: 16.
+        assert_eq!(lut.l1_stats().lookups(), 16);
+    }
+
+    #[test]
+    fn invalidate_spans_levels() {
+        let mut lut = tiny_two_level();
+        for i in 0..16u64 {
+            lut.update(id(0), i, i);
+        }
+        let n = lut.invalidate(id(0));
+        assert!(n >= 16, "cleared {n}");
+        assert_eq!(lut.lookup(id(0), 3), TwoLevelOutcome::Miss);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(TwoLevelOutcome::Hit(HitLevel::L1, 1).is_hit());
+        assert!(!TwoLevelOutcome::Miss.is_hit());
+        assert_eq!(TwoLevelOutcome::Hit(HitLevel::L2, 9).data(), Some(9));
+        assert_eq!(TwoLevelOutcome::Miss.data(), None);
+    }
+}

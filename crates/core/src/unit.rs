@@ -1,0 +1,683 @@
+//! The per-core memoization unit (§3, Fig. 2).
+//!
+//! This is the façade the processor talks to. It owns the CRC hashing
+//! unit, the Hash Value Registers, the (two-level) LUT, an input queue,
+//! and the quality monitor. The interface mirrors the five ISA
+//! extensions:
+//!
+//! | ISA instruction | Unit operation |
+//! |---|---|
+//! | `ld_crc` / `reg_crc` | [`MemoizationUnit::feed`] (after truncation) |
+//! | `lookup` | [`MemoizationUnit::lookup`] |
+//! | `update` | [`MemoizationUnit::update`] |
+//! | `invalidate` | [`MemoizationUnit::invalidate`] |
+//!
+//! Each operation also returns its hardware cost in cycles so a timing
+//! simulator can charge it; the functional behaviour is independent of
+//! timing.
+
+use crate::config::MemoConfig;
+use crate::crc::PipelinedCrc;
+use crate::hvr::HashValueRegisters;
+use crate::ids::{LutId, ThreadId};
+use crate::quality::QualityMonitor;
+use crate::truncate::{InputValue, TruncatedBytes};
+use crate::two_level::{HitLevel, TwoLevelLut, TwoLevelOutcome};
+
+/// What `lookup` reports back to the CPU (sets the condition code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Hit: data is written to the destination register; the block is
+    /// skipped. Records which level answered for timing.
+    Hit {
+        /// Output data for the destination register.
+        data: u64,
+        /// Level that served the hit (L1: 2 cycles; L2: 13 cycles).
+        level: HitLevel,
+    },
+    /// Miss: the CPU executes the original block and will send `update`.
+    Miss,
+    /// A real hit converted to a miss by the quality monitor's sampling;
+    /// the CPU recomputes, and the unit compares on `update`.
+    SampledMiss {
+        /// The data the LUT would have returned (kept for comparison).
+        data: u64,
+    },
+    /// Memoization has been disabled by the quality monitor; behaves as
+    /// a miss and no further updates are stored.
+    Disabled,
+}
+
+impl LookupResult {
+    /// Whether the CPU may skip the computation.
+    pub fn skips_computation(&self) -> bool {
+        matches!(self, LookupResult::Hit { .. })
+    }
+}
+
+/// Aggregate statistics for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UnitStats {
+    /// `lookup` requests received.
+    pub lookups: u64,
+    /// Hits reported to the CPU (excludes sampled misses).
+    pub reported_hits: u64,
+    /// Hits served by L1.
+    pub l1_hits: u64,
+    /// Hits served by L2.
+    pub l2_hits: u64,
+    /// Quality-monitor forced misses.
+    pub sampled_misses: u64,
+    /// `update` requests that wrote an entry.
+    pub updates: u64,
+    /// Input bytes streamed through the CRC unit.
+    pub input_bytes: u64,
+    /// `invalidate` operations.
+    pub invalidates: u64,
+}
+
+impl UnitStats {
+    /// Effective hit rate observed by the program (reported hits over
+    /// lookups).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.reported_hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Cycle costs of unit operations (Table 4 defaults; the ISA crate
+/// re-exports richer timing including the dummy-register overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitTiming {
+    /// Cycles per byte absorbed by `ld_crc`/`reg_crc`.
+    pub cycles_per_input_byte: u64,
+    /// `lookup` latency when L1 answers.
+    pub lookup_l1: u64,
+    /// `lookup` latency when L2 answers.
+    pub lookup_l2: u64,
+    /// `update` latency.
+    pub update: u64,
+    /// `invalidate` latency per way in a set.
+    pub invalidate_per_way: u64,
+}
+
+impl Default for UnitTiming {
+    fn default() -> Self {
+        Self {
+            cycles_per_input_byte: 1,
+            lookup_l1: 2,
+            lookup_l2: 13,
+            update: 2,
+            invalidate_per_way: 1,
+        }
+    }
+}
+
+/// Pending state between a missed `lookup` and its `update`.
+#[derive(Debug, Clone, Copy)]
+struct PendingUpdate {
+    crc: u64,
+    /// Data the LUT would have returned (sampled miss only).
+    sampled_data: Option<u64>,
+    /// Index into the event log awaiting `computed_data` (when logging).
+    event: Option<usize>,
+}
+
+/// One recorded lookup, for offline replay by alternative memoization
+/// schemes (the software-LUT and ATM baselines of §6.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupEvent {
+    /// Logical LUT addressed.
+    pub lut: LutId,
+    /// The CRC value used as the tag.
+    pub crc: u64,
+    /// The (truncated) input bytes that were hashed, in feed order.
+    pub input_bytes: Vec<u8>,
+    /// Whether the hardware LUT hit.
+    pub hit: bool,
+    /// Output data: the LUT's on a hit, the recomputed value written by
+    /// `update` on a miss (None if the program never updated).
+    pub data: Option<u64>,
+}
+
+/// The memoization unit attached to one core.
+///
+/// # Examples
+///
+/// ```
+/// use axmemo_core::config::MemoConfig;
+/// use axmemo_core::ids::{LutId, ThreadId};
+/// use axmemo_core::truncate::InputValue;
+/// use axmemo_core::unit::{LookupResult, MemoizationUnit};
+///
+/// let mut unit = MemoizationUnit::new(MemoConfig::l1_only(4096)).unwrap();
+/// let (lut, tid) = (LutId::new(0).unwrap(), ThreadId(0));
+///
+/// // First invocation: miss, compute, update.
+/// unit.feed(lut, tid, InputValue::F32(1.5), 8);
+/// assert_eq!(unit.lookup(lut, tid), LookupResult::Miss);
+/// unit.update(lut, tid, 1234);
+///
+/// // Same (truncated) inputs: hit, computation skipped.
+/// unit.feed(lut, tid, InputValue::F32(1.5), 8);
+/// assert!(unit.lookup(lut, tid).skips_computation());
+/// ```
+#[derive(Debug)]
+pub struct MemoizationUnit {
+    config: MemoConfig,
+    crc: PipelinedCrc,
+    hvr: HashValueRegisters,
+    lut: TwoLevelLut,
+    quality: QualityMonitor,
+    pending: Vec<Option<PendingUpdate>>,
+    stats: UnitStats,
+    timing: UnitTiming,
+    /// Optional lookup-event log (see [`LookupEvent`]).
+    event_log: Option<Vec<LookupEvent>>,
+    /// Staged input bytes per `{lut, tid}` slot while logging.
+    staged_bytes: Vec<Vec<u8>>,
+    /// Per-logical-LUT (lookups, reported hits) counters — multi-block
+    /// benchmarks such as jpeg expose two logical LUTs whose hit rates
+    /// differ.
+    per_lut: [(u64, u64); crate::ids::MAX_LUTS],
+}
+
+impl MemoizationUnit {
+    /// Build a unit for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`crate::config::ConfigError`] from
+    /// [`MemoConfig::validate`] if the configuration is structurally
+    /// invalid.
+    pub fn new(config: MemoConfig) -> Result<Self, crate::config::ConfigError> {
+        config.validate()?;
+        let crc = PipelinedCrc::new(config.crc_width);
+        let hvr = HashValueRegisters::new(&crc, config.smt_threads);
+        let lut = TwoLevelLut::new(&config);
+        let config_threads = config.smt_threads;
+        let pending = vec![None; crate::ids::MAX_LUTS * config.smt_threads];
+        Ok(Self {
+            config,
+            crc,
+            hvr,
+            lut,
+            quality: QualityMonitor::new(),
+            pending,
+            stats: UnitStats::default(),
+            timing: UnitTiming::default(),
+            event_log: None,
+            staged_bytes: vec![Vec::new(); crate::ids::MAX_LUTS * config_threads],
+            per_lut: [(0, 0); crate::ids::MAX_LUTS],
+        })
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &MemoConfig {
+        &self.config
+    }
+
+    /// Hardware timing parameters in use.
+    pub fn timing(&self) -> UnitTiming {
+        self.timing
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> UnitStats {
+        self.stats
+    }
+
+    /// The LUT hierarchy (for hit-rate reporting, Fig. 9).
+    pub fn lut(&self) -> &TwoLevelLut {
+        &self.lut
+    }
+
+    /// Whether the quality monitor has disabled memoization.
+    pub fn memoization_disabled(&self) -> bool {
+        !self.quality.enabled()
+    }
+
+    fn pending_slot(&self, lut: LutId, tid: ThreadId) -> usize {
+        tid.index() * crate::ids::MAX_LUTS + lut.index()
+    }
+
+    /// Stream one memoization input into the hash for `{lut, tid}`,
+    /// truncating `trunc_bits` LSBs first (`ld_crc` / `reg_crc`).
+    ///
+    /// Returns the cycles the memoization unit spends absorbing the
+    /// bytes (the CPU does not stall unless the input queue is full; the
+    /// timing simulator models the queue).
+    pub fn feed(&mut self, lut: LutId, tid: ThreadId, value: InputValue, trunc_bits: u32) -> u64 {
+        let (bytes, len) = value.truncated_bytes(trunc_bits);
+        self.hvr.accumulate(&self.crc, lut, tid, &bytes[..len]);
+        if self.event_log.is_some() {
+            let slot = self.pending_slot(lut, tid);
+            self.staged_bytes[slot].extend_from_slice(&bytes[..len]);
+        }
+        self.stats.input_bytes += len as u64;
+        self.timing.cycles_per_input_byte * len as u64
+    }
+
+    /// Raw-byte variant of [`Self::feed`] for callers that already hold a
+    /// byte stream (e.g. the software-LUT baseline's trace replay).
+    pub fn feed_bytes(&mut self, lut: LutId, tid: ThreadId, bytes: &[u8]) -> u64 {
+        self.hvr.accumulate(&self.crc, lut, tid, bytes);
+        if self.event_log.is_some() {
+            let slot = self.pending_slot(lut, tid);
+            self.staged_bytes[slot].extend_from_slice(bytes);
+        }
+        self.stats.input_bytes += bytes.len() as u64;
+        self.timing.cycles_per_input_byte * bytes.len() as u64
+    }
+
+    /// Perform the LUT lookup for `{lut, tid}` (the `lookup`
+    /// instruction). Consumes the accumulated hash.
+    pub fn lookup(&mut self, lut: LutId, tid: ThreadId) -> LookupResult {
+        let crc = self.hvr.take(&self.crc, lut, tid);
+        self.stats.lookups += 1;
+        self.per_lut[lut.index()].0 += 1;
+        let slot = self.pending_slot(lut, tid);
+
+        if self.config.quality_monitoring && !self.quality.enabled() {
+            // Memoization disabled: always recompute; no updates stored.
+            self.pending[slot] = None;
+            self.staged_bytes[slot].clear();
+            return LookupResult::Disabled;
+        }
+
+        match self.lut.lookup(lut, crc) {
+            TwoLevelOutcome::Hit(level, data) => {
+                if self.config.quality_monitoring && self.quality.should_sample_hit() {
+                    self.stats.sampled_misses += 1;
+                    let event = self.log_event(slot, lut, crc, false);
+                    self.pending[slot] = Some(PendingUpdate {
+                        crc,
+                        sampled_data: Some(data),
+                        event,
+                    });
+                    LookupResult::SampledMiss { data }
+                } else {
+                    self.stats.reported_hits += 1;
+                    self.per_lut[lut.index()].1 += 1;
+                    match level {
+                        HitLevel::L1 => self.stats.l1_hits += 1,
+                        HitLevel::L2 => self.stats.l2_hits += 1,
+                    }
+                    if let Some(ev) = self.log_event(slot, lut, crc, true) {
+                        if let Some(log) = self.event_log.as_mut() {
+                            log[ev].data = Some(data);
+                        }
+                    }
+                    self.pending[slot] = None;
+                    LookupResult::Hit { data, level }
+                }
+            }
+            TwoLevelOutcome::Miss => {
+                // Entry allocation begins in parallel with the original
+                // computation (§3.4); we record the CRC for the update.
+                let event = self.log_event(slot, lut, crc, false);
+                self.pending[slot] = Some(PendingUpdate {
+                    crc,
+                    sampled_data: None,
+                    event,
+                });
+                LookupResult::Miss
+            }
+        }
+    }
+
+    /// Cycle cost of the most recent lookup outcome.
+    pub fn lookup_cycles(&self, result: &LookupResult) -> u64 {
+        match result {
+            LookupResult::Hit {
+                level: HitLevel::L1,
+                ..
+            } => self.timing.lookup_l1,
+            LookupResult::Hit {
+                level: HitLevel::L2,
+                ..
+            } => self.timing.lookup_l2,
+            // A miss still probes both levels; the L2 probe dominates.
+            LookupResult::Miss | LookupResult::SampledMiss { .. } => {
+                if self.lut.has_l2() {
+                    self.timing.lookup_l2
+                } else {
+                    self.timing.lookup_l1
+                }
+            }
+            LookupResult::Disabled => self.timing.lookup_l1,
+        }
+    }
+
+    /// Store the recomputed output for the preceding missed lookup (the
+    /// `update` instruction). For sampled misses this also performs the
+    /// quality comparison instead of a (redundant) write.
+    ///
+    /// Values compared by the quality monitor are interpreted through
+    /// `as_quality_value` when provided; by default the raw bits of the
+    /// low 32 bits are compared as `f32`s when finite, else as integers.
+    pub fn update(&mut self, lut: LutId, tid: ThreadId, data: u64) -> u64 {
+        let slot = self.pending_slot(lut, tid);
+        let Some(p) = self.pending[slot].take() else {
+            // update without a preceding missed lookup: ignore (program
+            // bug or disabled memoization); costs the same.
+            return self.timing.update;
+        };
+        if let Some(lut_data) = p.sampled_data {
+            // Quality comparison path: compare recomputed vs LUT output.
+            let exact = value_for_quality(data);
+            let approx = value_for_quality(lut_data);
+            self.quality.record_comparison(exact, approx);
+            // The entry already exists (it hit); refresh its data with
+            // the exact recomputation.
+            self.lut.update(lut, p.crc, data);
+        } else {
+            self.lut.update(lut, p.crc, data);
+        }
+        if let (Some(ev), Some(log)) = (p.event, self.event_log.as_mut()) {
+            log[ev].data = Some(data);
+        }
+        self.stats.updates += 1;
+        self.timing.update
+    }
+
+    /// Invalidate all entries of logical LUT `lut` (the `invalidate`
+    /// instruction). Returns the cycle cost (1 cycle per way per §4's
+    /// dedicated-hardware claim — "one cycle for each way in a set").
+    pub fn invalidate(&mut self, lut: LutId) -> u64 {
+        self.lut.invalidate(lut);
+        self.stats.invalidates += 1;
+        self.timing.invalidate_per_way * self.config.data_width.ways() as u64
+    }
+
+    /// Clear all state between runs (LUT contents, HVRs, pending slots,
+    /// statistics, quality monitor).
+    pub fn reset(&mut self) {
+        self.lut.invalidate_all();
+        self.lut.reset_stats();
+        self.hvr = HashValueRegisters::new(&self.crc, self.config.smt_threads);
+        self.quality = QualityMonitor::new();
+        for p in &mut self.pending {
+            *p = None;
+        }
+        for sbuf in &mut self.staged_bytes {
+            sbuf.clear();
+        }
+        if let Some(log) = self.event_log.as_mut() {
+            log.clear();
+        }
+        self.per_lut = [(0, 0); crate::ids::MAX_LUTS];
+        self.stats = UnitStats::default();
+    }
+
+    /// Per-logical-LUT statistics: `(lookups, reported hits)` for each
+    /// of the eight LUT ids. Untouched LUTs report `(0, 0)`.
+    pub fn per_lut_stats(&self) -> [(u64, u64); crate::ids::MAX_LUTS] {
+        self.per_lut
+    }
+
+    /// Start recording a [`LookupEvent`] per lookup (for the §6.2
+    /// software-LUT and ATM replays). Costs memory proportional to the
+    /// number of lookups; disabled by default.
+    pub fn enable_event_log(&mut self) {
+        self.event_log = Some(Vec::new());
+    }
+
+    /// Take the recorded events, leaving logging enabled with an empty
+    /// log. Returns an empty vector if logging was never enabled.
+    pub fn take_event_log(&mut self) -> Vec<LookupEvent> {
+        match self.event_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Append an event if logging; consumes the staged bytes.
+    fn log_event(&mut self, slot: usize, lut: LutId, crc: u64, hit: bool) -> Option<usize> {
+        let log = self.event_log.as_mut()?;
+        let input_bytes = std::mem::take(&mut self.staged_bytes[slot]);
+        log.push(LookupEvent {
+            lut,
+            crc,
+            input_bytes,
+            hit,
+            data: None,
+        });
+        Some(log.len() - 1)
+    }
+}
+
+/// Interpret LUT data for quality comparison: finite `f32` in the low 32
+/// bits when plausible, otherwise the integer value.
+fn value_for_quality(data: u64) -> f64 {
+    let f = f32::from_bits(data as u32);
+    if f.is_finite() && f.abs() > 1e-30 {
+        f64::from(f)
+    } else {
+        data as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> MemoizationUnit {
+        MemoizationUnit::new(MemoConfig::l1_only(4096)).unwrap()
+    }
+
+    fn ids() -> (LutId, ThreadId) {
+        (LutId::new(0).unwrap(), ThreadId(0))
+    }
+
+    #[test]
+    fn miss_then_update_then_hit() {
+        let mut u = unit();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::F32(2.0), 0);
+        u.feed(lut, tid, InputValue::F32(3.0), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, 6);
+        u.feed(lut, tid, InputValue::F32(2.0), 0);
+        u.feed(lut, tid, InputValue::F32(3.0), 0);
+        match u.lookup(lut, tid) {
+            LookupResult::Hit { data, level } => {
+                assert_eq!(data, 6);
+                assert_eq!(level, HitLevel::L1);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(u.stats().reported_hits, 1);
+        assert_eq!(u.stats().updates, 1);
+    }
+
+    #[test]
+    fn truncation_merges_similar_inputs() {
+        let mut u = unit();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::F32(1.000_001), 12);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, 10);
+        u.feed(lut, tid, InputValue::F32(1.000_002), 12);
+        assert!(u.lookup(lut, tid).skips_computation());
+    }
+
+    #[test]
+    fn different_inputs_miss() {
+        let mut u = unit();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::I32(1), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, 1);
+        u.feed(lut, tid, InputValue::I32(2), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+    }
+
+    #[test]
+    fn input_order_matters() {
+        // CRC is order-sensitive: (a, b) != (b, a).
+        let mut u = unit();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::I32(1), 0);
+        u.feed(lut, tid, InputValue::I32(2), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, 12);
+        u.feed(lut, tid, InputValue::I32(2), 0);
+        u.feed(lut, tid, InputValue::I32(1), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+    }
+
+    #[test]
+    fn quality_sampling_every_hundredth_hit() {
+        let mut u = unit();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::I32(7), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, 7);
+        let mut sampled = 0;
+        for _ in 0..200 {
+            u.feed(lut, tid, InputValue::I32(7), 0);
+            match u.lookup(lut, tid) {
+                LookupResult::SampledMiss { data } => {
+                    sampled += 1;
+                    assert_eq!(data, 7);
+                    u.update(lut, tid, 7);
+                }
+                LookupResult::Hit { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(sampled, 2);
+        assert_eq!(u.stats().sampled_misses, 2);
+    }
+
+    #[test]
+    fn quality_monitoring_can_be_disabled_in_config() {
+        let cfg = MemoConfig {
+            quality_monitoring: false,
+            ..MemoConfig::l1_only(4096)
+        };
+        let mut u = MemoizationUnit::new(cfg).unwrap();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::I32(7), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, 7);
+        for _ in 0..500 {
+            u.feed(lut, tid, InputValue::I32(7), 0);
+            assert!(u.lookup(lut, tid).skips_computation());
+        }
+        assert_eq!(u.stats().sampled_misses, 0);
+    }
+
+    #[test]
+    fn bad_memoization_gets_disabled() {
+        // Model a workload whose "recomputed" value drifts between
+        // invocations (alternating 1.0 / 100.0): every sampled comparison
+        // sees a huge relative error, so after one full window (100
+        // comparisons = 10,000 hits) the unit must disable itself.
+        let mut u = unit();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::I32(1), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, u64::from(f32::to_bits(100.0)));
+        let mut flip = false;
+        let mut disabled = false;
+        for _ in 0..30_000u64 {
+            u.feed(lut, tid, InputValue::I32(1), 0);
+            match u.lookup(lut, tid) {
+                LookupResult::SampledMiss { .. } => {
+                    // "Recompute" a value far from whatever is stored.
+                    let v = if flip { 100.0f32 } else { 1.0f32 };
+                    flip = !flip;
+                    u.update(lut, tid, u64::from(v.to_bits()));
+                }
+                LookupResult::Disabled => {
+                    disabled = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(disabled, "quality monitor never tripped");
+        assert!(u.memoization_disabled());
+    }
+
+    #[test]
+    fn invalidate_clears_logical_lut() {
+        let mut u = unit();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::I32(5), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, 5);
+        let cycles = u.invalidate(lut);
+        assert_eq!(cycles, 8); // 8 ways × 1 cycle
+        u.feed(lut, tid, InputValue::I32(5), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+    }
+
+    #[test]
+    fn lookup_cycle_costs_follow_table4() {
+        let mut u = MemoizationUnit::new(MemoConfig::l1_l2(8 * 1024, 256 * 1024)).unwrap();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::I32(5), 0);
+        let miss = u.lookup(lut, tid);
+        assert_eq!(u.lookup_cycles(&miss), 13); // probes L2
+        u.update(lut, tid, 5);
+        u.feed(lut, tid, InputValue::I32(5), 0);
+        let hit = u.lookup(lut, tid);
+        assert_eq!(u.lookup_cycles(&hit), 2); // L1 hit
+    }
+
+    #[test]
+    fn feed_cost_is_one_cycle_per_byte() {
+        let mut u = unit();
+        let (lut, tid) = ids();
+        assert_eq!(u.feed(lut, tid, InputValue::F64(1.0), 0), 8);
+        assert_eq!(u.feed(lut, tid, InputValue::F32(1.0), 0), 4);
+        assert_eq!(u.feed(lut, tid, InputValue::U8(1), 0), 1);
+        assert_eq!(u.stats().input_bytes, 13);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut u = unit();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::I32(1), 0);
+        u.lookup(lut, tid);
+        u.update(lut, tid, 1);
+        u.reset();
+        assert_eq!(u.stats(), UnitStats::default());
+        u.feed(lut, tid, InputValue::I32(1), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+    }
+
+    #[test]
+    fn per_lut_stats_separate_logical_luts() {
+        let mut u = unit();
+        let tid = ThreadId(0);
+        let (a, b) = (LutId::new(0).unwrap(), LutId::new(1).unwrap());
+        // LUT0: one miss + one hit. LUT1: one miss only.
+        u.feed(a, tid, InputValue::I32(1), 0);
+        u.lookup(a, tid);
+        u.update(a, tid, 1);
+        u.feed(a, tid, InputValue::I32(1), 0);
+        assert!(u.lookup(a, tid).skips_computation());
+        u.feed(b, tid, InputValue::I32(9), 0);
+        u.lookup(b, tid);
+        let per = u.per_lut_stats();
+        assert_eq!(per[0], (2, 1));
+        assert_eq!(per[1], (1, 0));
+        assert_eq!(per[2], (0, 0));
+    }
+
+    #[test]
+    fn update_without_pending_is_harmless() {
+        let mut u = unit();
+        let (lut, tid) = ids();
+        assert_eq!(u.update(lut, tid, 1), 2);
+        assert_eq!(u.stats().updates, 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Textual assembly for the AxMemo instructions.
+//!
+//! The canonical syntax matches §4 of the paper:
+//!
+//! ```text
+//! ld_crc x1, [x2], LUT3, 8
+//! reg_crc x30, LUT7, 63
+//! lookup x0, LUT0
+//! update x31, LUT3
+//! invalidate LUT6
+//! ```
+//!
+//! [`parse`] accepts this syntax case-insensitively with flexible
+//! whitespace; [`MemoInst`]'s `Display` impl prints it. Round-tripping
+//! is property-tested in the workspace test suite.
+
+use crate::{MemoInst, Reg, MAX_TRUNC_BITS, NUM_REGS};
+use axmemo_core::ids::LutId;
+use core::fmt;
+
+/// Failure to parse an assembly line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line is empty or a comment.
+    Empty,
+    /// Unknown mnemonic.
+    UnknownMnemonic(String),
+    /// Wrong number of operands for the mnemonic.
+    OperandCount {
+        /// The mnemonic being parsed.
+        mnemonic: &'static str,
+        /// Operands expected.
+        expected: usize,
+        /// Operands found.
+        found: usize,
+    },
+    /// A register operand was malformed or out of range.
+    BadRegister(String),
+    /// A `[xN]` address operand was malformed.
+    BadAddress(String),
+    /// A `LUTn` operand was malformed or out of range.
+    BadLut(String),
+    /// A truncation count was malformed or above [`MAX_TRUNC_BITS`].
+    BadTrunc(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty line"),
+            ParseError::UnknownMnemonic(m) => write!(f, "unknown mnemonic '{m}'"),
+            ParseError::OperandCount {
+                mnemonic,
+                expected,
+                found,
+            } => write!(f, "{mnemonic}: expected {expected} operands, found {found}"),
+            ParseError::BadRegister(s) => write!(f, "bad register '{s}'"),
+            ParseError::BadAddress(s) => write!(f, "bad address operand '{s}'"),
+            ParseError::BadLut(s) => write!(f, "bad LUT operand '{s}'"),
+            ParseError::BadTrunc(s) => write!(f, "bad truncation count '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_reg(tok: &str) -> Result<Reg, ParseError> {
+    let t = tok.trim();
+    let rest = t
+        .strip_prefix('x')
+        .or_else(|| t.strip_prefix('X'))
+        .ok_or_else(|| ParseError::BadRegister(t.into()))?;
+    let n: usize = rest
+        .parse()
+        .map_err(|_| ParseError::BadRegister(t.into()))?;
+    if n >= NUM_REGS {
+        return Err(ParseError::BadRegister(t.into()));
+    }
+    Ok(n as Reg)
+}
+
+fn parse_addr(tok: &str) -> Result<Reg, ParseError> {
+    let t = tok.trim();
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| ParseError::BadAddress(t.into()))?;
+    parse_reg(inner).map_err(|_| ParseError::BadAddress(t.into()))
+}
+
+fn parse_lut(tok: &str) -> Result<LutId, ParseError> {
+    let t = tok.trim();
+    let lower = t.to_ascii_lowercase();
+    let rest = lower
+        .strip_prefix("lut")
+        .ok_or_else(|| ParseError::BadLut(t.into()))?;
+    let n: u8 = rest.parse().map_err(|_| ParseError::BadLut(t.into()))?;
+    LutId::new(n).ok_or_else(|| ParseError::BadLut(t.into()))
+}
+
+fn parse_trunc(tok: &str) -> Result<u8, ParseError> {
+    let t = tok.trim();
+    let n: u8 = t.parse().map_err(|_| ParseError::BadTrunc(t.into()))?;
+    if n > MAX_TRUNC_BITS {
+        return Err(ParseError::BadTrunc(t.into()));
+    }
+    Ok(n)
+}
+
+/// Parse one assembly line into a [`MemoInst`].
+///
+/// Lines may carry `;` or `//` comments. Case-insensitive mnemonics.
+///
+/// # Errors
+///
+/// Returns [`ParseError`]; blank/comment-only lines yield
+/// [`ParseError::Empty`] so callers can skip them.
+pub fn parse(line: &str) -> Result<MemoInst, ParseError> {
+    let code = line
+        .split(';')
+        .next()
+        .unwrap_or("")
+        .split("//")
+        .next()
+        .unwrap_or("")
+        .trim();
+    if code.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let (mnemonic, rest) = code.split_once(char::is_whitespace).unwrap_or((code, ""));
+    let ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let count = |mnemonic: &'static str, expected: usize| {
+        if ops.len() == expected {
+            Ok(())
+        } else {
+            Err(ParseError::OperandCount {
+                mnemonic,
+                expected,
+                found: ops.len(),
+            })
+        }
+    };
+    match mnemonic.to_ascii_lowercase().as_str() {
+        "ld_crc" => {
+            count("ld_crc", 4)?;
+            Ok(MemoInst::LdCrc {
+                dst: parse_reg(ops[0])?,
+                addr: parse_addr(ops[1])?,
+                lut: parse_lut(ops[2])?,
+                trunc: parse_trunc(ops[3])?,
+            })
+        }
+        "reg_crc" => {
+            count("reg_crc", 3)?;
+            Ok(MemoInst::RegCrc {
+                src: parse_reg(ops[0])?,
+                lut: parse_lut(ops[1])?,
+                trunc: parse_trunc(ops[2])?,
+            })
+        }
+        "lookup" => {
+            count("lookup", 2)?;
+            Ok(MemoInst::Lookup {
+                dst: parse_reg(ops[0])?,
+                lut: parse_lut(ops[1])?,
+            })
+        }
+        "update" => {
+            count("update", 2)?;
+            Ok(MemoInst::Update {
+                src: parse_reg(ops[0])?,
+                lut: parse_lut(ops[1])?,
+            })
+        }
+        "invalidate" => {
+            count("invalidate", 1)?;
+            Ok(MemoInst::Invalidate {
+                lut: parse_lut(ops[0])?,
+            })
+        }
+        other => Err(ParseError::UnknownMnemonic(other.into())),
+    }
+}
+
+/// Parse a multi-line listing, skipping blanks and comments.
+///
+/// # Errors
+///
+/// Returns the first real parse error together with its 1-based line
+/// number.
+pub fn parse_listing(src: &str) -> Result<Vec<MemoInst>, (usize, ParseError)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        match parse(line) {
+            Ok(inst) => out.push(inst),
+            Err(ParseError::Empty) => {}
+            Err(e) => return Err((i + 1, e)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lut(i: u8) -> LutId {
+        LutId::new(i).unwrap()
+    }
+
+    #[test]
+    fn parses_paper_syntax() {
+        assert_eq!(
+            parse("ld_crc x1, [x2], LUT3, 8"),
+            Ok(MemoInst::LdCrc {
+                dst: 1,
+                addr: 2,
+                lut: lut(3),
+                trunc: 8
+            })
+        );
+        assert_eq!(
+            parse("reg_crc x30, LUT7, 63"),
+            Ok(MemoInst::RegCrc {
+                src: 30,
+                lut: lut(7),
+                trunc: 63
+            })
+        );
+        assert_eq!(
+            parse("lookup x0, LUT0"),
+            Ok(MemoInst::Lookup { dst: 0, lut: lut(0) })
+        );
+        assert_eq!(
+            parse("update x31, LUT3"),
+            Ok(MemoInst::Update {
+                src: 31,
+                lut: lut(3)
+            })
+        );
+        assert_eq!(
+            parse("invalidate LUT6"),
+            Ok(MemoInst::Invalidate { lut: lut(6) })
+        );
+    }
+
+    #[test]
+    fn case_and_whitespace_insensitive() {
+        assert_eq!(
+            parse("  LOOKUP   X5 ,  lut2  "),
+            Ok(MemoInst::Lookup { dst: 5, lut: lut(2) })
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert_eq!(
+            parse("invalidate LUT1 ; end of frame"),
+            Ok(MemoInst::Invalidate { lut: lut(1) })
+        );
+        assert_eq!(
+            parse("invalidate LUT1 // end of frame"),
+            Ok(MemoInst::Invalidate { lut: lut(1) })
+        );
+        assert_eq!(parse("; just a comment"), Err(ParseError::Empty));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let insts = [
+            MemoInst::LdCrc {
+                dst: 7,
+                addr: 13,
+                lut: lut(5),
+                trunc: 18,
+            },
+            MemoInst::RegCrc {
+                src: 0,
+                lut: lut(0),
+                trunc: 0,
+            },
+            MemoInst::Lookup {
+                dst: 31,
+                lut: lut(7),
+            },
+            MemoInst::Update { src: 1, lut: lut(1) },
+            MemoInst::Invalidate { lut: lut(2) },
+        ];
+        for inst in insts {
+            assert_eq!(parse(&inst.to_string()), Ok(inst), "{inst}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_operands() {
+        assert!(matches!(
+            parse("lookup x32, LUT0"),
+            Err(ParseError::BadRegister(_))
+        ));
+        assert!(matches!(
+            parse("lookup x1, LUT8"),
+            Err(ParseError::BadLut(_))
+        ));
+        assert!(matches!(
+            parse("reg_crc x1, LUT0, 64"),
+            Err(ParseError::BadTrunc(_))
+        ));
+        assert!(matches!(
+            parse("ld_crc x1, x2, LUT0, 0"),
+            Err(ParseError::BadAddress(_))
+        ));
+        assert!(matches!(
+            parse("frobnicate x1"),
+            Err(ParseError::UnknownMnemonic(_))
+        ));
+        assert!(matches!(
+            parse("lookup x1"),
+            Err(ParseError::OperandCount { .. })
+        ));
+    }
+
+    #[test]
+    fn listing_reports_line_numbers() {
+        let src = "lookup x1, LUT0\n; comment\nupdate x1, LUT0\nbogus x1\n";
+        let err = parse_listing(src).unwrap_err();
+        assert_eq!(err.0, 4);
+        let ok = parse_listing("lookup x1, LUT0\n\nupdate x1, LUT0\n").unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+}

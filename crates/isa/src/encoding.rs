@@ -1,0 +1,208 @@
+//! 32-bit binary encoding of the AxMemo instructions.
+//!
+//! §4: "All of them can be encoded into 32-bit instructions." We pick a
+//! concrete layout in an unused opcode space:
+//!
+//! ```text
+//!  31       24 23    19 18    14 13  11 10   5 4      0
+//! +-----------+--------+--------+------+------+--------+
+//! |  0xAC     | funct  |  rA    | LUT  |  n   |  rB    |
+//! +-----------+--------+--------+------+------+--------+
+//! ```
+//!
+//! * `funct` (5 bits): 0 = `ld_crc`, 1 = `reg_crc`, 2 = `lookup`,
+//!   3 = `update`, 4 = `invalidate`.
+//! * `rA` / `rB` (5 bits each): register operands (dst/src and addr).
+//! * `LUT` (3 bits): the logical LUT id.
+//! * `n` (6 bits): truncation amount for `ld_crc`/`reg_crc`.
+
+use crate::{MemoInst, MAX_TRUNC_BITS};
+use axmemo_core::ids::LutId;
+use core::fmt;
+
+/// Fixed major opcode of all AxMemo instructions.
+pub const MAJOR_OPCODE: u32 = 0xAC;
+
+const FUNCT_LD_CRC: u32 = 0;
+const FUNCT_REG_CRC: u32 = 1;
+const FUNCT_LOOKUP: u32 = 2;
+const FUNCT_UPDATE: u32 = 3;
+const FUNCT_INVALIDATE: u32 = 4;
+
+/// Failure to decode a 32-bit word as an AxMemo instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode (bits 31..24) is not [`MAJOR_OPCODE`].
+    WrongMajorOpcode(u32),
+    /// Unknown `funct` field.
+    UnknownFunct(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::WrongMajorOpcode(op) => {
+                write!(f, "major opcode {op:#x} is not an AxMemo instruction")
+            }
+            DecodeError::UnknownFunct(fu) => write!(f, "unknown AxMemo funct {fu}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn pack(funct: u32, ra: u32, lut: u32, n: u32, rb: u32) -> u32 {
+    debug_assert!(funct < 32 && ra < 32 && lut < 8 && n < 64 && rb < 32);
+    (MAJOR_OPCODE << 24) | (funct << 19) | (ra << 14) | (lut << 11) | (n << 5) | rb
+}
+
+/// Encode an instruction into its 32-bit word.
+///
+/// # Panics
+///
+/// Panics (debug) if a register exceeds 31 or truncation exceeds
+/// [`MAX_TRUNC_BITS`]; release builds mask the fields.
+pub fn encode(inst: MemoInst) -> u32 {
+    match inst {
+        MemoInst::LdCrc {
+            dst,
+            addr,
+            lut,
+            trunc,
+        } => {
+            debug_assert!(trunc <= MAX_TRUNC_BITS);
+            pack(
+                FUNCT_LD_CRC,
+                u32::from(dst) & 31,
+                lut.raw().into(),
+                u32::from(trunc) & 63,
+                u32::from(addr) & 31,
+            )
+        }
+        MemoInst::RegCrc { src, lut, trunc } => pack(
+            FUNCT_REG_CRC,
+            u32::from(src) & 31,
+            lut.raw().into(),
+            u32::from(trunc) & 63,
+            0,
+        ),
+        MemoInst::Lookup { dst, lut } => {
+            pack(FUNCT_LOOKUP, u32::from(dst) & 31, lut.raw().into(), 0, 0)
+        }
+        MemoInst::Update { src, lut } => {
+            pack(FUNCT_UPDATE, u32::from(src) & 31, lut.raw().into(), 0, 0)
+        }
+        MemoInst::Invalidate { lut } => pack(FUNCT_INVALIDATE, 0, lut.raw().into(), 0, 0),
+    }
+}
+
+/// Decode a 32-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the word is not a well-formed AxMemo
+/// instruction.
+pub fn decode(word: u32) -> Result<MemoInst, DecodeError> {
+    let major = word >> 24;
+    if major != MAJOR_OPCODE {
+        return Err(DecodeError::WrongMajorOpcode(major));
+    }
+    let funct = (word >> 19) & 31;
+    let ra = ((word >> 14) & 31) as u8;
+    let lut = LutId::new(((word >> 11) & 7) as u8).expect("3-bit field is always valid");
+    let n = ((word >> 5) & 63) as u8;
+    let rb = (word & 31) as u8;
+    match funct {
+        FUNCT_LD_CRC => Ok(MemoInst::LdCrc {
+            dst: ra,
+            addr: rb,
+            lut,
+            trunc: n,
+        }),
+        FUNCT_REG_CRC => Ok(MemoInst::RegCrc {
+            src: ra,
+            lut,
+            trunc: n,
+        }),
+        FUNCT_LOOKUP => Ok(MemoInst::Lookup { dst: ra, lut }),
+        FUNCT_UPDATE => Ok(MemoInst::Update { src: ra, lut }),
+        FUNCT_INVALIDATE => Ok(MemoInst::Invalidate { lut }),
+        other => Err(DecodeError::UnknownFunct(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lut(i: u8) -> LutId {
+        LutId::new(i).unwrap()
+    }
+
+    fn all_variants() -> Vec<MemoInst> {
+        vec![
+            MemoInst::LdCrc {
+                dst: 7,
+                addr: 13,
+                lut: lut(5),
+                trunc: 18,
+            },
+            MemoInst::RegCrc {
+                src: 30,
+                lut: lut(7),
+                trunc: 63,
+            },
+            MemoInst::Lookup { dst: 0, lut: lut(0) },
+            MemoInst::Update {
+                src: 31,
+                lut: lut(3),
+            },
+            MemoInst::Invalidate { lut: lut(6) },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for inst in all_variants() {
+            let word = encode(inst);
+            assert_eq!(decode(word), Ok(inst), "{inst}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let words: Vec<u32> = all_variants().into_iter().map(encode).collect();
+        for (i, a) in words.iter().enumerate() {
+            for b in &words[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_opcode() {
+        assert_eq!(
+            decode(0x1234_5678),
+            Err(DecodeError::WrongMajorOpcode(0x12))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_funct() {
+        let bad = (MAJOR_OPCODE << 24) | (9 << 19);
+        assert_eq!(decode(bad), Err(DecodeError::UnknownFunct(9)));
+    }
+
+    #[test]
+    fn major_opcode_occupies_top_byte() {
+        for inst in all_variants() {
+            assert_eq!(encode(inst) >> 24, MAJOR_OPCODE);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::WrongMajorOpcode(1).to_string().contains("0x1"));
+        assert!(DecodeError::UnknownFunct(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,309 @@
+//! A small assembler-style builder for [`Program`]s.
+//!
+//! Workload kernels construct their IR through this builder: symbolic
+//! labels are resolved to absolute instruction indices at [`build`]
+//! time, and forward references are allowed.
+//!
+//! ```
+//! use axmemo_sim::builder::ProgramBuilder;
+//! use axmemo_sim::ir::{Cond, IAluOp, Operand};
+//!
+//! // for (i = 0; i < 10; i++) {}
+//! let mut b = ProgramBuilder::new();
+//! let (i, n) = (0, 1);
+//! b.movi(i, 0).movi(n, 10);
+//! let top = b.label("loop");
+//! b.bind(top);
+//! b.alu(IAluOp::Add, i, i, Operand::Imm(1));
+//! b.branch(Cond::LtS, i, Operand::Reg(n), top);
+//! b.halt();
+//! let prog = b.build().unwrap();
+//! assert!(prog.validate().is_ok());
+//! ```
+//!
+//! [`build`]: ProgramBuilder::build
+
+use crate::ir::{Cond, FBinOp, FUnOp, IAluOp, Inst, MemWidth, Operand, Program, Reg};
+use axmemo_core::ids::LutId;
+use std::collections::HashMap;
+
+/// Opaque label handle returned by [`ProgramBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental program builder with labels.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<PendingInst>,
+    /// label -> bound instruction index
+    bound: HashMap<usize, usize>,
+    next_label: usize,
+}
+
+/// Instruction with possibly-unresolved targets.
+#[derive(Debug, Clone, Copy)]
+enum PendingInst {
+    Ready(Inst),
+    Branch {
+        cond: Cond,
+        ra: Reg,
+        rb: Operand,
+        label: Label,
+    },
+    Jump {
+        label: Label,
+    },
+    BranchMemoHit {
+        label: Label,
+    },
+}
+
+impl ProgramBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a new label. `name` is for documentation only.
+    pub fn label(&mut self, _name: &str) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Bind `label` to the *next* emitted instruction.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let prev = self.bound.insert(label.0, self.insts.len());
+        assert!(prev.is_none(), "label bound twice");
+        self
+    }
+
+    /// Current instruction index (for size accounting in tests).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Emit a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(PendingInst::Ready(inst));
+        self
+    }
+
+    /// Integer ALU op.
+    pub fn alu(&mut self, op: IAluOp, rd: Reg, ra: Reg, rb: Operand) -> &mut Self {
+        self.push(Inst::IAlu { op, rd, ra, rb })
+    }
+
+    /// f32 binary op.
+    pub fn fbin(&mut self, op: FBinOp, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Inst::FBin { op, rd, ra, rb })
+    }
+
+    /// f32 unary op.
+    pub fn fun(&mut self, op: FUnOp, rd: Reg, ra: Reg) -> &mut Self {
+        self.push(Inst::FUn { op, rd, ra })
+    }
+
+    /// Load.
+    pub fn ld(&mut self, width: MemWidth, rd: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.push(Inst::Ld {
+            width,
+            rd,
+            base,
+            offset,
+        })
+    }
+
+    /// Store.
+    pub fn st(&mut self, width: MemWidth, rs: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.push(Inst::St {
+            width,
+            rs,
+            base,
+            offset,
+        })
+    }
+
+    /// Load 64-bit immediate.
+    pub fn movi(&mut self, rd: Reg, imm: u64) -> &mut Self {
+        self.push(Inst::MovImm { rd, imm })
+    }
+
+    /// Load an f32 immediate (bits into the low word).
+    pub fn movf(&mut self, rd: Reg, v: f32) -> &mut Self {
+        self.push(Inst::MovImm {
+            rd,
+            imm: u64::from(v.to_bits()),
+        })
+    }
+
+    /// Register move.
+    pub fn mov(&mut self, rd: Reg, ra: Reg) -> &mut Self {
+        self.push(Inst::Mov { rd, ra })
+    }
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, ra: Reg, rb: Operand, label: Label) -> &mut Self {
+        self.insts.push(PendingInst::Branch { cond, ra, rb, label });
+        self
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.insts.push(PendingInst::Jump { label });
+        self
+    }
+
+    /// Branch taken when the preceding `lookup` hit.
+    pub fn branch_memo_hit(&mut self, label: Label) -> &mut Self {
+        self.insts.push(PendingInst::BranchMemoHit { label });
+        self
+    }
+
+    /// `ld_crc` (load + CRC beat).
+    pub fn memo_ld_crc(
+        &mut self,
+        width: MemWidth,
+        rd: Reg,
+        base: Reg,
+        offset: i32,
+        lut: LutId,
+        trunc: u8,
+    ) -> &mut Self {
+        self.push(Inst::MemoLdCrc {
+            width,
+            rd,
+            base,
+            offset,
+            lut,
+            trunc,
+        })
+    }
+
+    /// `reg_crc` (register CRC beat).
+    pub fn memo_reg_crc(&mut self, width: MemWidth, src: Reg, lut: LutId, trunc: u8) -> &mut Self {
+        self.push(Inst::MemoRegCrc {
+            width,
+            src,
+            lut,
+            trunc,
+        })
+    }
+
+    /// `lookup`.
+    pub fn memo_lookup(&mut self, rd: Reg, lut: LutId) -> &mut Self {
+        self.push(Inst::MemoLookup { rd, lut })
+    }
+
+    /// `update`.
+    pub fn memo_update(&mut self, src: Reg, lut: LutId) -> &mut Self {
+        self.push(Inst::MemoUpdate { src, lut })
+    }
+
+    /// `invalidate`.
+    pub fn memo_invalidate(&mut self, lut: LutId) -> &mut Self {
+        self.push(Inst::MemoInvalidate { lut })
+    }
+
+    /// Region markers for the compiler.
+    pub fn region_begin(&mut self, id: u32) -> &mut Self {
+        self.push(Inst::RegionBegin { id })
+    }
+
+    /// Close region `id`.
+    pub fn region_end(&mut self, id: u32) -> &mut Self {
+        self.push(Inst::RegionEnd { id })
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first unbound label, or propagating
+    /// [`Program::validate`] failures.
+    pub fn build(&self) -> Result<Program, String> {
+        let resolve = |l: Label| -> Result<usize, String> {
+            self.bound
+                .get(&l.0)
+                .copied()
+                .ok_or_else(|| format!("label {} never bound", l.0))
+        };
+        let mut insts = Vec::with_capacity(self.insts.len());
+        for p in &self.insts {
+            insts.push(match *p {
+                PendingInst::Ready(i) => i,
+                PendingInst::Branch { cond, ra, rb, label } => Inst::Branch {
+                    cond,
+                    ra,
+                    rb,
+                    target: resolve(label)?,
+                },
+                PendingInst::Jump { label } => Inst::Jump {
+                    target: resolve(label)?,
+                },
+                PendingInst::BranchMemoHit { label } => Inst::BranchMemoHit {
+                    target: resolve(label)?,
+                },
+            });
+        }
+        let prog = Program { insts };
+        prog.validate()?;
+        Ok(prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label("end");
+        b.jump(end);
+        b.movi(0, 1); // skipped
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.insts[0], Inst::Jump { target: 2 });
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("nowhere");
+        b.jump(l);
+        b.halt();
+        assert!(b.build().unwrap_err().contains("never bound"));
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("x");
+        b.bind(l);
+        b.halt();
+        b.bind(l);
+    }
+
+    #[test]
+    fn movf_encodes_f32_bits() {
+        let mut b = ProgramBuilder::new();
+        b.movf(1, 1.5);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.insts[0],
+            Inst::MovImm {
+                rd: 1,
+                imm: u64::from(1.5f32.to_bits())
+            }
+        );
+    }
+}

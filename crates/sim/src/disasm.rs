@@ -1,0 +1,238 @@
+//! Disassembly / pretty-printing of IR programs.
+//!
+//! Renders [`Inst`] in an assembly-like syntax (AxMemo instructions use
+//! the paper's §4 syntax via [`axmemo_isa`]'s `Display`), and whole
+//! [`Program`]s as numbered listings with branch targets resolved to
+//! `@index` references — the debugging view used when inspecting
+//! compiler output.
+
+use crate::ir::{Cond, FBinOp, FUnOp, IAluOp, Inst, MemWidth, Program};
+#[cfg(test)]
+use crate::ir::Operand;
+use core::fmt;
+
+fn ialu_mnemonic(op: IAluOp) -> &'static str {
+    match op {
+        IAluOp::Add => "add",
+        IAluOp::Sub => "sub",
+        IAluOp::Mul => "mul",
+        IAluOp::Div => "sdiv",
+        IAluOp::Rem => "srem",
+        IAluOp::And => "and",
+        IAluOp::Or => "orr",
+        IAluOp::Xor => "eor",
+        IAluOp::Shl => "lsl",
+        IAluOp::Shr => "lsr",
+        IAluOp::Sar => "asr",
+        IAluOp::SltS => "slts",
+        IAluOp::SltU => "sltu",
+        IAluOp::PackLo32 => "pack32",
+    }
+}
+
+fn fbin_mnemonic(op: FBinOp) -> &'static str {
+    match op {
+        FBinOp::Add => "fadd",
+        FBinOp::Sub => "fsub",
+        FBinOp::Mul => "fmul",
+        FBinOp::Div => "fdiv",
+        FBinOp::Min => "fmin",
+        FBinOp::Max => "fmax",
+        FBinOp::CmpLt => "fcmplt",
+    }
+}
+
+fn fun_mnemonic(op: FUnOp) -> &'static str {
+    match op {
+        FUnOp::Sqrt => "fsqrt",
+        FUnOp::Exp => "fexp",
+        FUnOp::Log => "flog",
+        FUnOp::Sin => "fsin",
+        FUnOp::Cos => "fcos",
+        FUnOp::Atan => "fatan",
+        FUnOp::Neg => "fneg",
+        FUnOp::Abs => "fabs",
+        FUnOp::Floor => "ffloor",
+        FUnOp::ToInt => "fcvtzs",
+        FUnOp::FromInt => "scvtf",
+    }
+}
+
+fn width_suffix(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::B1 => "b",
+        MemWidth::B4 => "w",
+        MemWidth::B8 => "d",
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::IAlu { op, rd, ra, rb } => {
+                write!(f, "{} x{rd}, x{ra}, {rb}", ialu_mnemonic(op))
+            }
+            Inst::FBin { op, rd, ra, rb } => {
+                write!(f, "{} x{rd}, x{ra}, x{rb}", fbin_mnemonic(op))
+            }
+            Inst::FUn { op, rd, ra } => write!(f, "{} x{rd}, x{ra}", fun_mnemonic(op)),
+            Inst::Ld {
+                width,
+                rd,
+                base,
+                offset,
+            } => write!(f, "ldr{} x{rd}, [x{base}, #{offset}]", width_suffix(width)),
+            Inst::St {
+                width,
+                rs,
+                base,
+                offset,
+            } => write!(f, "str{} x{rs}, [x{base}, #{offset}]", width_suffix(width)),
+            Inst::MovImm { rd, imm } => write!(f, "mov x{rd}, #{imm:#x}"),
+            Inst::Mov { rd, ra } => write!(f, "mov x{rd}, x{ra}"),
+            Inst::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
+                let c = match cond {
+                    Cond::Eq => "b.eq",
+                    Cond::Ne => "b.ne",
+                    Cond::LtS => "b.lt",
+                    Cond::GeS => "b.ge",
+                    Cond::LtU => "b.lo",
+                    Cond::GeU => "b.hs",
+                    Cond::FLt => "b.flt",
+                    Cond::FGe => "b.fge",
+                };
+                write!(f, "{c} x{ra}, {rb}, @{target}")
+            }
+            Inst::Jump { target } => write!(f, "b @{target}"),
+            Inst::BranchMemoHit { target } => write!(f, "b.memohit @{target}"),
+            Inst::MemoLdCrc {
+                width,
+                rd,
+                base,
+                offset,
+                lut,
+                trunc,
+            } => write!(
+                f,
+                "ld_crc{} x{rd}, [x{base}, #{offset}], {lut}, {trunc}",
+                width_suffix(width)
+            ),
+            Inst::MemoRegCrc {
+                width,
+                src,
+                lut,
+                trunc,
+            } => write!(f, "reg_crc{} x{src}, {lut}, {trunc}", width_suffix(width)),
+            Inst::MemoLookup { rd, lut } => write!(f, "lookup x{rd}, {lut}"),
+            Inst::MemoUpdate { src, lut } => write!(f, "update x{src}, {lut}"),
+            Inst::MemoInvalidate { lut } => write!(f, "invalidate {lut}"),
+            Inst::RegionBegin { id } => write!(f, ".region_begin {id}"),
+            Inst::RegionEnd { id } => write!(f, ".region_end {id}"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// Render a whole program as a numbered listing.
+pub fn disassemble(program: &Program) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    // Collect branch targets so the listing marks them.
+    let mut is_target = vec![false; program.insts.len()];
+    for inst in &program.insts {
+        match inst {
+            Inst::Branch { target, .. }
+            | Inst::Jump { target }
+            | Inst::BranchMemoHit { target } => {
+                if let Some(t) = is_target.get_mut(*target) {
+                    *t = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    for (i, inst) in program.insts.iter().enumerate() {
+        let mark = if is_target[i] { ">" } else { " " };
+        let _ = writeln!(out, "{mark}{i:5}: {inst}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use axmemo_core::ids::LutId;
+
+    #[test]
+    fn instruction_rendering() {
+        let lut = LutId::new(3).unwrap();
+        let cases = [
+            (
+                Inst::IAlu {
+                    op: IAluOp::Add,
+                    rd: 1,
+                    ra: 2,
+                    rb: Operand::Imm(8),
+                },
+                "add x1, x2, #8",
+            ),
+            (
+                Inst::FBin {
+                    op: FBinOp::Mul,
+                    rd: 3,
+                    ra: 4,
+                    rb: 5,
+                },
+                "fmul x3, x4, x5",
+            ),
+            (
+                Inst::Ld {
+                    width: MemWidth::B4,
+                    rd: 1,
+                    base: 2,
+                    offset: -4,
+                },
+                "ldrw x1, [x2, #-4]",
+            ),
+            (
+                Inst::MemoLdCrc {
+                    width: MemWidth::B4,
+                    rd: 1,
+                    base: 2,
+                    offset: 0,
+                    lut,
+                    trunc: 8,
+                },
+                "ld_crcw x1, [x2, #0], LUT3, 8",
+            ),
+            (Inst::MemoLookup { rd: 9, lut }, "lookup x9, LUT3"),
+            (Inst::RegionBegin { id: 7 }, ".region_begin 7"),
+            (Inst::Halt, "halt"),
+        ];
+        for (inst, expect) in cases {
+            assert_eq!(inst.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn listing_marks_branch_targets() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.movi(1, 0);
+        b.bind(top);
+        b.alu(IAluOp::Add, 1, 1, Operand::Imm(1));
+        b.branch(Cond::LtS, 1, Operand::Imm(10), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains(">    1: add x1, x1, #1"), "{text}");
+        assert!(text.contains("b.lt x1, #10, @1"));
+        assert!(text.lines().count() == 4);
+    }
+}

@@ -1,0 +1,58 @@
+//! # axmemo-sim
+//!
+//! Cycle-approximate processor simulator for the AxMemo reproduction.
+//!
+//! The paper evaluates AxMemo in gem5's ARM "high-performance in-order"
+//! (HPI) model. This crate substitutes a trace-driven, 2-issue in-order
+//! scoreboard model with the Table 3 functional-unit mix, an L1D/L2/DRAM
+//! cache hierarchy (with L2 way-partitioning for the L2 LUT), and an
+//! energy model seeded from the paper's Table 5 plus McPAT-class core
+//! constants. Programs are written in a compact RISC-style IR ([`ir`])
+//! via an assembler-like builder ([`builder`]); the five AxMemo ISA
+//! extensions are first-class IR instructions wired to a per-core
+//! [`axmemo_core::MemoizationUnit`].
+//!
+//! The reproduction targets *ratios* (speedup, energy reduction,
+//! dynamic-instruction reduction) between runs of the same model, not
+//! absolute gem5 cycle counts.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use axmemo_core::MemoConfig;
+//! use axmemo_sim::builder::ProgramBuilder;
+//! use axmemo_sim::cpu::{Machine, SimConfig, Simulator};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.movi(1, 2).movi(2, 3);
+//! b.alu(axmemo_sim::ir::IAluOp::Add, 3, 1, axmemo_sim::ir::Operand::Reg(2));
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let mut sim = Simulator::new(SimConfig::with_memo(MemoConfig::l1_only(8192)))?;
+//! let mut machine = Machine::new(4096);
+//! let stats = sim.run(&program, &mut machine)?;
+//! assert_eq!(machine.regs[3], 5);
+//! assert!(stats.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod cache;
+pub mod cpu;
+pub mod disasm;
+pub mod energy;
+pub mod ir;
+pub mod multicore;
+pub mod pipeline;
+pub mod predictor;
+pub mod stats;
+
+pub use builder::ProgramBuilder;
+pub use cpu::{Machine, SimConfig, SimError, Simulator, TraceSink};
+pub use energy::EnergyModel;
+pub use ir::{Inst, Program};
+pub use stats::RunStats;

@@ -1,0 +1,325 @@
+//! In-order pipeline timing model.
+//!
+//! Approximates the ARM "high-performance in-order" (HPI) configuration
+//! of Table 3: two-wide in-order issue; per core two integer ALUs, one
+//! multiplier, one divider, one FP unit, and one load/store unit. The
+//! model is a scoreboard: each dynamic instruction issues at the
+//! earliest cycle where (a) an issue slot is free, (b) its source
+//! registers are ready, and (c) its functional unit is available.
+//! Divides and FP divides/sqrts occupy their unit for the full latency
+//! (unpipelined); everything else is fully pipelined. Taken branches
+//! insert a fixed front-end bubble.
+
+use crate::ir::{FBinOp, FUnOp, IAluOp, NUM_REGS};
+
+/// Functional-unit classes (Table 3 mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuClass {
+    /// Two simple integer ALUs.
+    IntAlu,
+    /// One integer multiplier (pipelined).
+    IntMul,
+    /// One integer divider (unpipelined).
+    IntDiv,
+    /// One FP unit (pipelined for add/mul; div/sqrt/libm unpipelined).
+    Fp,
+    /// Unpipelined use of the FP unit.
+    FpLong,
+    /// One load/store unit.
+    LdSt,
+    /// Branch resolves in the ALU.
+    Branch,
+    /// Memoization unit port.
+    Memo,
+}
+
+/// Latency classes for the core's instructions (cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Simple ALU ops.
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide.
+    pub int_div: u64,
+    /// FP add/sub/mul/min/max.
+    pub fp_op: u64,
+    /// FP divide / sqrt.
+    pub fp_div: u64,
+    /// Fused libm pseudo-ops (exp/log/sin/cos/atan): cost of the
+    /// library-call sequence they stand for on an in-order core.
+    pub fp_libm: u64,
+    /// Store (fire-and-forget into the write buffer).
+    pub store: u64,
+    /// Taken-branch front-end bubble.
+    pub taken_branch_bubble: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 12,
+            fp_op: 4,
+            fp_div: 15,
+            fp_libm: 45,
+            store: 1,
+            taken_branch_bubble: 2,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Latency + FU class of an integer ALU op.
+    pub fn ialu(&self, op: IAluOp) -> (u64, FuClass) {
+        match op {
+            IAluOp::Mul => (self.int_mul, FuClass::IntMul),
+            IAluOp::Div | IAluOp::Rem => (self.int_div, FuClass::IntDiv),
+            _ => (self.int_alu, FuClass::IntAlu),
+        }
+    }
+
+    /// Latency + FU class of an FP binary op.
+    pub fn fbin(&self, op: FBinOp) -> (u64, FuClass) {
+        match op {
+            FBinOp::Div => (self.fp_div, FuClass::FpLong),
+            _ => (self.fp_op, FuClass::Fp),
+        }
+    }
+
+    /// Latency + FU class of an FP unary op.
+    pub fn fun(&self, op: FUnOp) -> (u64, FuClass) {
+        match op {
+            FUnOp::Sqrt => (self.fp_div, FuClass::FpLong),
+            FUnOp::Exp | FUnOp::Log | FUnOp::Sin | FUnOp::Cos | FUnOp::Atan => {
+                (self.fp_libm, FuClass::FpLong)
+            }
+            FUnOp::Neg | FUnOp::Abs => (1, FuClass::Fp),
+            FUnOp::Floor | FUnOp::ToInt | FUnOp::FromInt => (self.fp_op, FuClass::Fp),
+        }
+    }
+}
+
+/// The issue scoreboard.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Cycle currently being filled with issue slots.
+    cycle: u64,
+    /// Instructions issued in `cycle` so far (width 2).
+    issued_this_cycle: u32,
+    /// Per-FU issue counts this cycle (structural limits).
+    alu_this_cycle: u32,
+    mul_this_cycle: u32,
+    fp_this_cycle: u32,
+    ldst_this_cycle: u32,
+    memo_this_cycle: u32,
+    /// Cycle each architectural register's value becomes available.
+    reg_ready: [u64; NUM_REGS],
+    /// Unpipelined units: next cycle they are free.
+    div_free: u64,
+    fp_long_free: u64,
+    /// Issue width.
+    width: u32,
+}
+
+impl Pipeline {
+    /// Fresh two-wide pipeline at cycle 0.
+    pub fn new() -> Self {
+        Self {
+            cycle: 0,
+            issued_this_cycle: 0,
+            alu_this_cycle: 0,
+            mul_this_cycle: 0,
+            fp_this_cycle: 0,
+            ldst_this_cycle: 0,
+            memo_this_cycle: 0,
+            reg_ready: [0; NUM_REGS],
+            div_free: 0,
+            fp_long_free: 0,
+            width: 2,
+        }
+    }
+
+    /// The cycle the pipeline has reached.
+    pub fn now(&self) -> u64 {
+        self.cycle
+    }
+
+    fn advance_to(&mut self, cycle: u64) {
+        if cycle > self.cycle {
+            self.cycle = cycle;
+            self.issued_this_cycle = 0;
+            self.alu_this_cycle = 0;
+            self.mul_this_cycle = 0;
+            self.fp_this_cycle = 0;
+            self.ldst_this_cycle = 0;
+            self.memo_this_cycle = 0;
+        }
+    }
+
+    fn fu_slot_full(&self, fu: FuClass) -> bool {
+        match fu {
+            FuClass::IntAlu | FuClass::Branch => self.alu_this_cycle >= 2,
+            FuClass::IntMul => self.mul_this_cycle >= 1,
+            FuClass::IntDiv => false, // availability handled via div_free
+            FuClass::Fp | FuClass::FpLong => self.fp_this_cycle >= 1,
+            FuClass::LdSt => self.ldst_this_cycle >= 1,
+            FuClass::Memo => self.memo_this_cycle >= 1,
+        }
+    }
+
+    fn count_fu(&mut self, fu: FuClass) {
+        match fu {
+            FuClass::IntAlu | FuClass::Branch => self.alu_this_cycle += 1,
+            FuClass::IntMul => self.mul_this_cycle += 1,
+            FuClass::IntDiv => {}
+            FuClass::Fp | FuClass::FpLong => self.fp_this_cycle += 1,
+            FuClass::LdSt => self.ldst_this_cycle += 1,
+            FuClass::Memo => self.memo_this_cycle += 1,
+        }
+    }
+
+    /// Issue one instruction.
+    ///
+    /// * `srcs` — source registers that must be ready.
+    /// * `dst` — destination register written `latency` cycles later.
+    /// * `fu` — functional unit consumed.
+    /// * `not_before` — external earliest-issue constraint (memoization
+    ///   ordering, queue backpressure).
+    ///
+    /// Returns the cycle the instruction issued at.
+    pub fn issue(
+        &mut self,
+        srcs: &[u8],
+        dst: Option<u8>,
+        fu: FuClass,
+        latency: u64,
+        not_before: u64,
+    ) -> u64 {
+        // Earliest cycle sources are ready.
+        let mut earliest = not_before.max(self.cycle);
+        for &s in srcs {
+            earliest = earliest.max(self.reg_ready[s as usize]);
+        }
+        match fu {
+            FuClass::IntDiv => earliest = earliest.max(self.div_free),
+            FuClass::FpLong => earliest = earliest.max(self.fp_long_free),
+            _ => {}
+        }
+        self.advance_to(earliest);
+        // Find a cycle with a free issue slot and FU port.
+        while self.issued_this_cycle >= self.width || self.fu_slot_full(fu) {
+            let next = self.cycle + 1;
+            self.advance_to(next);
+        }
+        let at = self.cycle;
+        self.issued_this_cycle += 1;
+        self.count_fu(fu);
+        if let Some(d) = dst {
+            self.reg_ready[d as usize] = at + latency;
+        }
+        match fu {
+            FuClass::IntDiv => self.div_free = at + latency,
+            FuClass::FpLong => self.fp_long_free = at + latency,
+            _ => {}
+        }
+        at
+    }
+
+    /// Charge a taken-branch bubble: the front end refills.
+    pub fn branch_bubble(&mut self, bubble: u64) {
+        let next = self.cycle + 1 + bubble;
+        self.advance_to(next);
+    }
+
+    /// Final cycle count: when every written register is ready.
+    pub fn drain(&self) -> u64 {
+        let mut end = self.cycle + 1;
+        for &r in &self.reg_ready {
+            end = end.max(r);
+        }
+        end
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_issue_packs_two_per_cycle() {
+        let mut p = Pipeline::new();
+        let c0 = p.issue(&[], Some(1), FuClass::IntAlu, 1, 0);
+        let c1 = p.issue(&[], Some(2), FuClass::IntAlu, 1, 0);
+        let c2 = p.issue(&[], Some(3), FuClass::IntAlu, 1, 0);
+        assert_eq!(c0, 0);
+        assert_eq!(c1, 0);
+        assert_eq!(c2, 1); // third op spills to the next cycle
+    }
+
+    #[test]
+    fn raw_dependency_stalls() {
+        let mut p = Pipeline::new();
+        p.issue(&[], Some(1), FuClass::Fp, 4, 0); // r1 ready at 4
+        let c = p.issue(&[1], Some(2), FuClass::IntAlu, 1, 0);
+        assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn single_fp_port_serialises_fp_ops() {
+        let mut p = Pipeline::new();
+        let a = p.issue(&[], Some(1), FuClass::Fp, 4, 0);
+        let b = p.issue(&[], Some(2), FuClass::Fp, 4, 0);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1); // pipelined but one port
+    }
+
+    #[test]
+    fn unpipelined_divider_blocks() {
+        let mut p = Pipeline::new();
+        let a = p.issue(&[], Some(1), FuClass::IntDiv, 12, 0);
+        let b = p.issue(&[], Some(2), FuClass::IntDiv, 12, 0);
+        assert_eq!(a, 0);
+        assert_eq!(b, 12);
+    }
+
+    #[test]
+    fn not_before_constraint_respected() {
+        let mut p = Pipeline::new();
+        let c = p.issue(&[], None, FuClass::Memo, 2, 50);
+        assert_eq!(c, 50);
+    }
+
+    #[test]
+    fn taken_branch_inserts_bubble() {
+        let mut p = Pipeline::new();
+        p.issue(&[], None, FuClass::Branch, 1, 0);
+        p.branch_bubble(2);
+        let c = p.issue(&[], Some(1), FuClass::IntAlu, 1, 0);
+        assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn drain_covers_inflight_latency() {
+        let mut p = Pipeline::new();
+        p.issue(&[], Some(1), FuClass::FpLong, 45, 0);
+        assert!(p.drain() >= 45);
+    }
+
+    #[test]
+    fn latency_model_dispatch() {
+        let m = LatencyModel::default();
+        assert_eq!(m.ialu(IAluOp::Add), (1, FuClass::IntAlu));
+        assert_eq!(m.ialu(IAluOp::Div), (12, FuClass::IntDiv));
+        assert_eq!(m.fbin(FBinOp::Div), (15, FuClass::FpLong));
+        assert_eq!(m.fun(FUnOp::Exp), (45, FuClass::FpLong));
+        assert_eq!(m.fun(FUnOp::Neg), (1, FuClass::Fp));
+    }
+}

@@ -1,0 +1,84 @@
+//! Run statistics: dynamic instruction counts, cycles, and the energy
+//! event breakdown consumed by [`crate::energy::EnergyModel`].
+
+/// Counts of energy-bearing events during one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyBreakdown {
+    /// All committed dynamic instructions (per-instruction overhead).
+    pub instructions: u64,
+    /// Integer ALU executes.
+    pub int_alu_ops: u64,
+    /// Integer multiplies.
+    pub int_mul_ops: u64,
+    /// Integer divides/remainders.
+    pub int_div_ops: u64,
+    /// FP add/sub/mul/min/max executes.
+    pub fp_ops: u64,
+    /// FP divide/sqrt executes.
+    pub fp_div_ops: u64,
+    /// Fused libm pseudo-op executes.
+    pub fp_libm_ops: u64,
+    /// L1D accesses (loads + stores).
+    pub l1d_accesses: u64,
+    /// L2 accesses (L1D misses).
+    pub l2_accesses: u64,
+    /// DRAM accesses (L2 misses).
+    pub dram_accesses: u64,
+    /// CRC unit 4-byte beats.
+    pub crc_beats: u64,
+    /// Hash Value Register accesses.
+    pub hvr_accesses: u64,
+    /// L1 LUT probes/updates.
+    pub l1_lut_accesses: u64,
+    /// L2 LUT probes/updates.
+    pub l2_lut_accesses: u64,
+    /// Quality-monitor comparisons.
+    pub quality_compares: u64,
+}
+
+/// Complete statistics for one simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed dynamic instructions (markers excluded).
+    pub dynamic_insts: u64,
+    /// Of which: AxMemo extension instructions plus the memo-hit branch
+    /// (the black bars of Fig. 8). `ld_crc` counts as a *normal*
+    /// instruction per the paper ("we consider ldr_crc ... as a normal
+    /// instruction because they simply substitute the original load").
+    pub memo_insts: u64,
+    /// Energy event counters.
+    pub energy: EnergyBreakdown,
+    /// Cycles lost to memoization-unit ordering/queue stalls.
+    pub memo_stall_cycles: u64,
+    /// Taken-branch bubbles.
+    pub branch_bubbles: u64,
+}
+
+impl RunStats {
+    /// Fraction of dynamic instructions that are memoization overhead.
+    pub fn memo_fraction(&self) -> f64 {
+        if self.dynamic_insts == 0 {
+            0.0
+        } else {
+            self.memo_insts as f64 / self.dynamic_insts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_fraction_handles_zero() {
+        assert_eq!(RunStats::default().memo_fraction(), 0.0);
+        let s = RunStats {
+            dynamic_insts: 10,
+            memo_insts: 2,
+            ..RunStats::default()
+        };
+        assert!((s.memo_fraction() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! One-stop harness: run a benchmark baseline and memoized under a
+//! given LUT configuration and report the paper's metrics (speedup,
+//! energy reduction, dynamic-instruction ratio, hit rate, output error).
+
+use crate::meta::Metric;
+use crate::{Benchmark, Dataset, Scale};
+use axmemo_compiler::codegen::memoize;
+use axmemo_core::config::MemoConfig;
+use axmemo_sim::cpu::{Machine, SimConfig, SimError, Simulator};
+use axmemo_sim::energy::EnergyModel;
+use axmemo_sim::stats::RunStats;
+
+/// Per-element relative errors (for the Fig. 10b CDF) plus aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorReport {
+    /// Equation 2 whole-output error (or misclassification rate).
+    pub output_error: f64,
+    /// Element-wise relative errors, for CDF plotting.
+    pub elementwise: Vec<f64>,
+}
+
+/// Everything the figures need for one (benchmark, config) cell.
+#[derive(Debug, Clone)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub name: String,
+    /// LUT configuration label.
+    pub config: String,
+    /// Baseline cycles / memoized cycles (Fig. 7a).
+    pub speedup: f64,
+    /// Baseline energy / memoized energy (Fig. 7b).
+    pub energy_reduction: f64,
+    /// Memoized dynamic instructions / baseline (Fig. 8, total bar).
+    pub dyn_inst_ratio: f64,
+    /// Fraction of the memoized run's instructions that are memoization
+    /// overhead (Fig. 8, black segment).
+    pub memo_inst_fraction: f64,
+    /// Total LUT hit rate across levels (Fig. 9).
+    pub hit_rate: f64,
+    /// Output quality loss (Fig. 10a).
+    pub error: ErrorReport,
+    /// Raw stats for deeper analysis.
+    pub baseline_stats: RunStats,
+    /// Raw stats of the memoized run.
+    pub memo_stats: RunStats,
+}
+
+/// Run `bench` on `scale`/`dataset`, baseline vs. memoized with `memo`
+/// LUT configuration (data width is overridden by the benchmark's
+/// requirement).
+///
+/// # Errors
+///
+/// Propagates simulator faults and codegen failures as a boxed error.
+pub fn run_benchmark(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    memo: &MemoConfig,
+) -> Result<BenchmarkResult, Box<dyn std::error::Error>> {
+    run_benchmark_opts(bench, scale, dataset, memo, false)
+}
+
+/// Like [`run_benchmark`], with `zero_trunc` disabling input truncation
+/// (exact memoization) for the Fig. 11 approximation-effectiveness
+/// comparison.
+///
+/// # Errors
+///
+/// Propagates simulator faults and codegen failures as a boxed error.
+pub fn run_benchmark_opts(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    memo: &MemoConfig,
+    zero_trunc: bool,
+) -> Result<BenchmarkResult, Box<dyn std::error::Error>> {
+    let (program, mut specs) = bench.program(scale);
+    if zero_trunc {
+        for spec in &mut specs {
+            for il in &mut spec.input_loads {
+                il.trunc = 0;
+            }
+            for ri in &mut spec.reg_inputs {
+                ri.trunc = 0;
+            }
+        }
+    }
+    let memo_cfg = MemoConfig {
+        data_width: bench.data_width(),
+        ..memo.clone()
+    };
+    let memo_program = memoize(&program, &specs)?;
+
+    // Baseline run.
+    let mut base_sim = Simulator::new(SimConfig::baseline())?;
+    let mut base_machine = bench.setup(scale, dataset);
+    let base_stats = run(&mut base_sim, &program, &mut base_machine)?;
+    let exact = bench.outputs(&base_machine, scale);
+
+    // Memoized run.
+    let mut memo_sim = Simulator::new(SimConfig::with_memo(memo_cfg.clone()))?;
+    let mut memo_machine = bench.setup(scale, dataset);
+    let memo_stats = run(&mut memo_sim, &memo_program, &mut memo_machine)?;
+    let approx = bench.outputs(&memo_machine, scale);
+
+    // Metrics.
+    let energy_model = EnergyModel::for_l1_lut(memo_cfg.l1_bytes);
+    let base_energy = energy_model.total_pj(&base_stats.energy);
+    let memo_energy = energy_model.total_pj(&memo_stats.energy);
+    let hit_rate = memo_sim
+        .memo_unit()
+        .map(|u| u.lut().total_hit_rate())
+        .unwrap_or(0.0);
+    let error = compute_error(bench.meta().metric, &exact, &approx);
+
+    Ok(BenchmarkResult {
+        name: bench.meta().name.to_string(),
+        config: format!("{memo:?}"),
+        speedup: base_stats.cycles as f64 / memo_stats.cycles.max(1) as f64,
+        energy_reduction: base_energy / memo_energy.max(f64::MIN_POSITIVE),
+        dyn_inst_ratio: memo_stats.dynamic_insts as f64 / base_stats.dynamic_insts.max(1) as f64,
+        memo_inst_fraction: memo_stats.memo_fraction(),
+        hit_rate,
+        error,
+        baseline_stats: base_stats,
+        memo_stats,
+    })
+}
+
+fn run(
+    sim: &mut Simulator,
+    program: &axmemo_sim::Program,
+    machine: &mut Machine,
+) -> Result<RunStats, SimError> {
+    sim.reset();
+    sim.run(program, machine)
+}
+
+/// Compute the quality metric between exact and approximate outputs.
+pub fn compute_error(metric: Metric, exact: &[f64], approx: &[f64]) -> ErrorReport {
+    match metric {
+        Metric::Numeric | Metric::Image => {
+            let output_error = axmemo_compiler::output_error(exact, approx);
+            let elementwise = exact
+                .iter()
+                .zip(approx)
+                .map(|(x, xh)| {
+                    let d = x.abs().max(1e-9);
+                    (xh - x).abs() / d
+                })
+                .collect();
+            ErrorReport {
+                output_error,
+                elementwise,
+            }
+        }
+        Metric::Misclassification => {
+            let wrong: Vec<f64> = exact
+                .iter()
+                .zip(approx)
+                .map(|(x, xh)| if (x - xh).abs() > 0.5 { 1.0 } else { 0.0 })
+                .collect();
+            let rate = wrong.iter().sum::<f64>() / wrong.len().max(1) as f64;
+            ErrorReport {
+                output_error: rate,
+                elementwise: wrong,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misclassification_error_path() {
+        let e = compute_error(Metric::Misclassification, &[1.0, 0.0, 1.0], &[1.0, 1.0, 1.0]);
+        assert!((e.output_error - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_error_path() {
+        let e = compute_error(Metric::Numeric, &[3.0, 4.0], &[3.0, 5.0]);
+        assert!((e.output_error - 0.04).abs() < 1e-12);
+        assert_eq!(e.elementwise.len(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Demonstrates the runtime truncation controller (§3.1's dynamic
+//! profiling alternative): the controller starts conservative, ramps
+//! truncation while the sampled error stays below the bound, and backs
+//! off when the workload's error sensitivity changes.
+//!
+//! Run with: `cargo run --release --example adaptive_truncation`
+
+use axmemo_core::adaptive::{AdaptiveConfig, AdaptiveTruncation, Phase};
+use axmemo_core::config::MemoConfig;
+use axmemo_core::ids::{LutId, ThreadId};
+use axmemo_core::truncate::InputValue;
+use axmemo_core::unit::{LookupResult, MemoizationUnit};
+
+/// Phase 1 kernel: gentle (output ~ input, tolerant of truncation).
+fn gentle(x: f32) -> f32 {
+    x * 0.5 + 1.0
+}
+
+/// Phase 2 kernel: sensitive (amplifies low-order input bits).
+fn sensitive(x: f32) -> f32 {
+    (x * 4000.0).sin()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut unit = MemoizationUnit::new(MemoConfig {
+        quality_monitoring: false, // the adaptive controller replaces it here
+        ..MemoConfig::l1_l2(8 * 1024, 256 * 1024)
+    })?;
+    let (lut, tid) = (LutId::new(0).unwrap(), ThreadId(0));
+    let mut ctl = AdaptiveTruncation::new(AdaptiveConfig::default(), 4);
+
+    let run_phase = |unit: &mut MemoizationUnit,
+                         ctl: &mut AdaptiveTruncation,
+                         kernel: fn(f32) -> f32,
+                         label: &str,
+                         iters: u64| {
+        for i in 0..iters {
+            let x = 1.0 + (i % 64) as f32 * 1e-4;
+            let bits = ctl.current_bits();
+            let phase = ctl.begin_invocation();
+            unit.feed(lut, tid, InputValue::F32(x), bits);
+            match unit.lookup(lut, tid) {
+                LookupResult::Hit { data, .. } if phase == Phase::Normal => {
+                    let _ = data;
+                }
+                LookupResult::Hit { data, .. } => {
+                    // Profiling: recompute and compare with the LUT.
+                    let exact = kernel(x);
+                    ctl.record_comparison(f64::from(exact), f64::from(f32::from_bits(data as u32)));
+                    unit.update(lut, tid, u64::from(exact.to_bits()));
+                }
+                _ => {
+                    let v = kernel(x);
+                    unit.update(lut, tid, u64::from(v.to_bits()));
+                }
+            }
+        }
+        println!(
+            "{label}: settled at {} truncated bits ({} profiling windows so far)",
+            ctl.current_bits(),
+            ctl.history().len()
+        );
+    };
+
+    println!("phase 1: error-tolerant kernel — controller should ramp up");
+    run_phase(&mut unit, &mut ctl, gentle, "gentle", 60_000);
+    let after_gentle = ctl.current_bits();
+
+    println!("phase 2: error-sensitive kernel — controller should back off");
+    unit.invalidate(lut); // the kernel changed: stale entries are wrong
+    run_phase(&mut unit, &mut ctl, sensitive, "sensitive", 60_000);
+    let after_sensitive = ctl.current_bits();
+
+    println!();
+    println!("trajectory: 4 -> {after_gentle} -> {after_sensitive}");
+    assert!(after_gentle > 4, "should have ramped up");
+    assert!(
+        after_sensitive < after_gentle,
+        "should have backed off on the sensitive kernel"
+    );
+    Ok(())
+}

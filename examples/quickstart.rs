@@ -1,0 +1,65 @@
+//! Quickstart: memoize an expensive function with the AxMemo hardware
+//! model directly (no simulator) — the library-level view of Fig. 1's
+//! control-flow transformation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use axmemo_core::config::MemoConfig;
+use axmemo_core::ids::{LutId, ThreadId};
+use axmemo_core::truncate::InputValue;
+use axmemo_core::unit::{LookupResult, MemoizationUnit};
+
+/// An "expensive" kernel: a few transcendental operations, the kind of
+/// block AxMemo's compiler would select (high compute-to-input ratio).
+fn expensive(x: f32, y: f32) -> f32 {
+    (x.exp().ln_1p() * y.sqrt()).sin() + x * y
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's largest configuration: 8 KB dedicated L1 LUT plus a
+    // 512 KB slice of the last-level cache as the inclusive L2 LUT.
+    let mut unit = MemoizationUnit::new(MemoConfig::l1_l2(8 * 1024, 512 * 1024))?;
+    let lut = LutId::new(0).expect("LUT 0 exists");
+    let tid = ThreadId(0);
+    // 8 low mantissa bits truncated: inputs within ~2^-15 relative
+    // distance share a LUT entry.
+    const TRUNC: u32 = 8;
+
+    // A redundant input stream: a small grid revisited many times with
+    // jitter below the truncation step.
+    let mut computed = 0u64;
+    let mut total = 0u64;
+    let mut acc = 0.0f32;
+    for i in 0..100_000 {
+        let x = 1.0 + (i % 25) as f32 * 0.1 + 1e-6 * ((i * 7) % 10) as f32;
+        let y = 2.0 + (i % 16) as f32 * 0.25;
+        total += 1;
+
+        // Fig. 1: hash the inputs, look up, skip on hit, update on miss.
+        unit.feed(lut, tid, InputValue::F32(x), TRUNC);
+        unit.feed(lut, tid, InputValue::F32(y), TRUNC);
+        let value = match unit.lookup(lut, tid) {
+            LookupResult::Hit { data, .. } => f32::from_bits(data as u32),
+            _ => {
+                let v = expensive(x, y);
+                computed += 1;
+                unit.update(lut, tid, u64::from(v.to_bits()));
+                v
+            }
+        };
+        acc += value;
+    }
+    unit.invalidate(lut);
+
+    let stats = unit.stats();
+    println!("invocations:        {total}");
+    println!("actually computed:  {computed}");
+    println!(
+        "LUT hit rate:       {:.1}%",
+        100.0 * unit.lut().total_hit_rate()
+    );
+    println!("lookups/hits:       {}/{}", stats.lookups, stats.reported_hits);
+    println!("checksum:           {acc:.3}");
+    assert!(computed < total / 10, "expected >90% of calls memoized");
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! Failure-injection tests: drive the quality monitor and the
+//! invalidation machinery through adversarial scenarios.
+
+use axmemo_core::config::MemoConfig;
+use axmemo_core::ids::{LutId, ThreadId};
+use axmemo_core::truncate::InputValue;
+use axmemo_core::unit::{LookupResult, MemoizationUnit};
+
+fn ids() -> (LutId, ThreadId) {
+    (LutId::new(0).unwrap(), ThreadId(0))
+}
+
+/// A kernel whose outputs drift over time (e.g. stateful computation
+/// misclassified as memoizable): the quality monitor must catch the
+/// persistent mismatch and disable memoization.
+#[test]
+fn drifting_kernel_trips_the_quality_monitor() {
+    let mut unit = MemoizationUnit::new(MemoConfig::l1_only(4096)).unwrap();
+    let (lut, tid) = ids();
+    let mut disabled = false;
+    for i in 0..2_000_000u64 {
+        let drift = (i as f32 / 50.0).sin() * 10.0 + 20.0; // wandering output
+        unit.feed(lut, tid, InputValue::I32((i % 4) as i32), 0);
+        match unit.lookup(lut, tid) {
+            LookupResult::Miss | LookupResult::SampledMiss { .. } => {
+                unit.update(lut, tid, u64::from(drift.to_bits()));
+            }
+            LookupResult::Hit { .. } => {}
+            LookupResult::Disabled => {
+                disabled = true;
+                break;
+            }
+        }
+    }
+    assert!(disabled, "quality monitor never disabled memoization");
+}
+
+/// A stable kernel must never be disabled, even over long runs.
+#[test]
+fn stable_kernel_is_never_disabled() {
+    let mut unit = MemoizationUnit::new(MemoConfig::l1_only(4096)).unwrap();
+    let (lut, tid) = ids();
+    for i in 0..300_000u64 {
+        let x = (i % 16) as i32;
+        unit.feed(lut, tid, InputValue::I32(x), 0);
+        match unit.lookup(lut, tid) {
+            LookupResult::Miss | LookupResult::SampledMiss { .. } => {
+                unit.update(lut, tid, u64::from(((x * x) as f32).to_bits()));
+            }
+            LookupResult::Hit { data, .. } => {
+                assert_eq!(f32::from_bits(data as u32), (x * x) as f32);
+            }
+            LookupResult::Disabled => panic!("stable kernel disabled at {i}"),
+        }
+    }
+    assert!(!unit.memoization_disabled());
+}
+
+/// K-means-style phase change: after "centroids move", stale entries
+/// must be unreachable once `invalidate` runs.
+#[test]
+fn invalidate_between_iterations_prevents_stale_reuse() {
+    let mut unit = MemoizationUnit::new(MemoConfig::l1_l2(4096, 64 * 1024)).unwrap();
+    let (lut, tid) = ids();
+    // Iteration 1: pixel -> cluster 1.
+    unit.feed(lut, tid, InputValue::F32(0.5), 16);
+    assert!(matches!(unit.lookup(lut, tid), LookupResult::Miss));
+    unit.update(lut, tid, 1);
+    // Without invalidation the stale assignment would hit:
+    unit.feed(lut, tid, InputValue::F32(0.5), 16);
+    assert!(unit.lookup(lut, tid).skips_computation());
+    // Centroids move: invalidate, then the same pixel must miss.
+    unit.invalidate(lut);
+    unit.feed(lut, tid, InputValue::F32(0.5), 16);
+    assert!(matches!(unit.lookup(lut, tid), LookupResult::Miss));
+    unit.update(lut, tid, 2);
+    unit.feed(lut, tid, InputValue::F32(0.5), 16);
+    match unit.lookup(lut, tid) {
+        LookupResult::Hit { data, .. } => assert_eq!(data, 2),
+        other => panic!("expected fresh hit, got {other:?}"),
+    }
+}
+
+/// Interleaved use of several logical LUTs from the same thread (the
+/// HVR's whole reason to exist) keeps streams separate under pressure.
+#[test]
+fn interleaved_logical_luts_do_not_cross_talk() {
+    let mut unit = MemoizationUnit::new(MemoConfig::l1_only(8 * 1024)).unwrap();
+    let tid = ThreadId(0);
+    let luts: Vec<LutId> = (0..8).map(|i| LutId::new(i).unwrap()).collect();
+    // Fill each logical LUT with lut-specific entries, feeding the
+    // inputs interleaved across LUTs.
+    for x in 0..32i32 {
+        for &lut in &luts {
+            unit.feed(lut, tid, InputValue::I32(x), 0);
+        }
+        for (k, &lut) in luts.iter().enumerate() {
+            assert!(matches!(unit.lookup(lut, tid), LookupResult::Miss));
+            unit.update(lut, tid, (x as u64) * 10 + k as u64);
+        }
+    }
+    // Every LUT returns its own data.
+    for x in 0..32i32 {
+        for (k, &lut) in luts.iter().enumerate() {
+            unit.feed(lut, tid, InputValue::I32(x), 0);
+            match unit.lookup(lut, tid) {
+                LookupResult::Hit { data, .. } => {
+                    assert_eq!(data, (x as u64) * 10 + k as u64, "lut {k} x {x}")
+                }
+                LookupResult::SampledMiss { data } => {
+                    assert_eq!(data, (x as u64) * 10 + k as u64);
+                    unit.update(lut, tid, data);
+                }
+                other => panic!("lut {k} x {x}: {other:?}"),
+            }
+        }
+    }
+}
+
+/// SMT thread isolation: two hardware threads hash concurrently into
+/// the same logical LUT id without corrupting each other's streams.
+#[test]
+fn smt_threads_hash_independently() {
+    let mut unit = MemoizationUnit::new(MemoConfig::l1_only(4096)).unwrap();
+    let lut = LutId::new(0).unwrap();
+    let (t0, t1) = (ThreadId(0), ThreadId(1));
+    // Interleave beats: t0 hashes (1,2), t1 hashes (3,4).
+    unit.feed(lut, t0, InputValue::I32(1), 0);
+    unit.feed(lut, t1, InputValue::I32(3), 0);
+    unit.feed(lut, t0, InputValue::I32(2), 0);
+    unit.feed(lut, t1, InputValue::I32(4), 0);
+    assert!(matches!(unit.lookup(lut, t0), LookupResult::Miss));
+    unit.update(lut, t0, 12);
+    assert!(matches!(unit.lookup(lut, t1), LookupResult::Miss));
+    unit.update(lut, t1, 34);
+    // Each tuple now hits with its own data — from either thread, since
+    // the LUT itself is shared (coherence-free by design, §3.4).
+    unit.feed(lut, t1, InputValue::I32(1), 0);
+    unit.feed(lut, t1, InputValue::I32(2), 0);
+    match unit.lookup(lut, t1) {
+        LookupResult::Hit { data, .. } => assert_eq!(data, 12),
+        other => panic!("cross-thread reuse failed: {other:?}"),
+    }
+}
