@@ -96,14 +96,7 @@ impl AtmModel {
         events: &[LookupEvent],
     ) -> ContenderOutcome {
         let (lookups, hits, wrong) = self.replay(events);
-        cost::estimate(
-            baseline,
-            profile,
-            &self.overhead(),
-            lookups,
-            hits,
-            wrong,
-        )
+        cost::estimate(baseline, profile, &self.overhead(), lookups, hits, wrong)
     }
 
     /// ATM's software price: per-byte gathering through the shuffled

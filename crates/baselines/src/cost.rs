@@ -142,16 +142,15 @@ pub fn estimate(
         + overhead.lookup_insts
         + overhead.task_insts;
     let misses = lookups - hits;
-    let added_insts =
-        lookups * per_invocation_overhead + misses * overhead.update_insts;
+    let added_insts = lookups * per_invocation_overhead + misses * overhead.update_insts;
     let saved_insts = hits * profile.insts;
     let saved_cycles = hits * profile.cycles;
     let insts = baseline.dynamic_insts as f64 + added_insts as f64 - saved_insts as f64;
     // Overhead code is serial integer work (~1 cycle per instruction)
     // plus the non-instruction stalls of probing the software table.
     let stall_cycles = lookups * overhead.extra_cycles_per_lookup;
-    let cycles = baseline.cycles as f64 + added_insts as f64 + stall_cycles as f64
-        - saved_cycles as f64;
+    let cycles =
+        baseline.cycles as f64 + added_insts as f64 + stall_cycles as f64 - saved_cycles as f64;
     // Energy: ~60 pJ of pipeline overhead per instruction and ~2 nJ per
     // DRAM access (the constants of axmemo_sim::energy). The kernel
     // instructions saved on hits give back their pipeline overhead.

@@ -75,14 +75,7 @@ impl SoftwareLut {
         events: &[LookupEvent],
     ) -> ContenderOutcome {
         let (lookups, hits, wrong) = self.replay(events);
-        cost::estimate(
-            baseline,
-            profile,
-            &Self::overhead(),
-            lookups,
-            hits,
-            wrong,
-        )
+        cost::estimate(baseline, profile, &Self::overhead(), lookups, hits, wrong)
     }
 
     /// §6.1's software cost: 12 instructions per 4-byte input (3 per

@@ -1,32 +1,30 @@
-//! Criterion micro-benchmark: CRC hashing throughput for the three
+//! Micro-benchmark: CRC hashing throughput for the three
 //! implementations (serial bit-wise specification, byte-parallel table,
 //! unrolled/pipelined) over the paper's memoization-input sizes
 //! (4 bytes for fft up to 36 bytes for sobel/jmeint).
+//!
+//! Runs under `cargo bench` with the in-tree harness
+//! (`axmemo_bench::timing`); no external benchmarking crates.
 
+use axmemo_bench::timing::report;
 use axmemo_core::crc::{CrcAlgorithm, CrcWidth, PipelinedCrc, SerialCrc, TableCrc};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_crc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crc_throughput");
+fn main() {
+    println!("crc_throughput (ns/iter, lower is better)");
     for size in [4usize, 8, 12, 16, 24, 36] {
         let data: Vec<u8> = (0..size).map(|i| (i * 37) as u8).collect();
-        group.throughput(Throughput::Bytes(size as u64));
         let serial = SerialCrc::new(CrcWidth::W32);
-        group.bench_with_input(BenchmarkId::new("serial", size), &data, |b, d| {
-            b.iter(|| serial.checksum(black_box(d)))
+        report(&format!("crc/serial/{size}B"), || {
+            black_box(serial.checksum(black_box(&data)));
         });
         let table = TableCrc::new(CrcWidth::W32);
-        group.bench_with_input(BenchmarkId::new("table", size), &data, |b, d| {
-            b.iter(|| table.checksum(black_box(d)))
+        report(&format!("crc/table/{size}B"), || {
+            black_box(table.checksum(black_box(&data)));
         });
         let pipe = PipelinedCrc::new(CrcWidth::W32);
-        group.bench_with_input(BenchmarkId::new("pipelined", size), &data, |b, d| {
-            b.iter(|| pipe.checksum(black_box(d)))
+        report(&format!("crc/pipelined/{size}B"), || {
+            black_box(pipe.checksum(black_box(&data)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_crc);
-criterion_main!(benches);

@@ -1,15 +1,16 @@
-//! Criterion end-to-end bench: simulate one full benchmark (baseline
-//! and memoized) at tiny scale — measures the simulator's own
-//! throughput and keeps the whole stack exercised under `cargo bench`.
+//! End-to-end bench: simulate one full benchmark (baseline and
+//! memoized) at tiny scale — measures the simulator's own throughput
+//! and keeps the whole stack exercised under `cargo bench`. Uses the
+//! in-tree harness (`axmemo_bench::timing`).
 
+use axmemo_bench::timing::report;
 use axmemo_compiler::codegen::memoize;
 use axmemo_core::config::MemoConfig;
 use axmemo_sim::cpu::{SimConfig, Simulator};
 use axmemo_workloads::{benchmark_by_name, Dataset, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     let bench = benchmark_by_name("kmeans").expect("kmeans registered");
     let (program, specs) = bench.program(Scale::Tiny);
     let memoized = memoize(&program, &specs).expect("codegen");
@@ -18,24 +19,15 @@ fn bench_end_to_end(c: &mut Criterion) {
         ..MemoConfig::l1_l2(8 * 1024, 256 * 1024)
     };
 
-    let mut group = c.benchmark_group("end_to_end_kmeans_tiny");
-    group.sample_size(10);
-    group.bench_function("baseline_sim", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(SimConfig::baseline()).unwrap();
-            let mut machine = bench.setup(Scale::Tiny, Dataset::Eval);
-            black_box(sim.run(&program, &mut machine).unwrap())
-        })
+    println!("end_to_end_kmeans_tiny");
+    report("e2e/baseline_sim", || {
+        let mut sim = Simulator::new(SimConfig::baseline()).unwrap();
+        let mut machine = bench.setup(Scale::Tiny, Dataset::Eval);
+        black_box(sim.run(&program, &mut machine).unwrap());
     });
-    group.bench_function("memoized_sim", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(SimConfig::with_memo(cfg.clone())).unwrap();
-            let mut machine = bench.setup(Scale::Tiny, Dataset::Eval);
-            black_box(sim.run(&memoized, &mut machine).unwrap())
-        })
+    report("e2e/memoized_sim", || {
+        let mut sim = Simulator::new(SimConfig::with_memo(cfg.clone())).unwrap();
+        let mut machine = bench.setup(Scale::Tiny, Dataset::Eval);
+        black_box(sim.run(&memoized, &mut machine).unwrap());
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

@@ -2,11 +2,11 @@
 //! against — ATM-style byte sampling and a simple xor-fold. Measures
 //! (a) throughput and (b) collision quality on a redundant-but-distinct
 //! input population (quantised tuples with jitter), printing collision
-//! counts as part of the benchmark setup so the quality story is
-//! visible alongside the speed story.
+//! counts first so the quality story is visible alongside the speed
+//! story. Uses the in-tree harness (`axmemo_bench::timing`).
 
+use axmemo_bench::timing::report;
 use axmemo_core::crc::{CrcAlgorithm, CrcWidth, TableCrc};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
 use std::hint::black_box;
 
@@ -62,7 +62,7 @@ fn collisions<H: Fn(&[u8]) -> u64>(pop: &[Vec<u8>], h: H) -> usize {
     collisions
 }
 
-fn bench_hash_ablation(c: &mut Criterion) {
+fn main() {
     let pop = population();
     let crc = TableCrc::new(CrcWidth::W32);
 
@@ -76,12 +76,13 @@ fn bench_hash_ablation(c: &mut Criterion) {
     );
 
     let data = &pop[42];
-    let mut group = c.benchmark_group("hash_ablation");
-    group.bench_function("crc32_36B", |b| b.iter(|| crc.checksum(black_box(data))));
-    group.bench_function("xor_fold_36B", |b| b.iter(|| xor_fold(black_box(data))));
-    group.bench_function("sample8_36B", |b| b.iter(|| sample8(black_box(data))));
-    group.finish();
+    report("hash/crc32_36B", || {
+        black_box(crc.checksum(black_box(data)));
+    });
+    report("hash/xor_fold_36B", || {
+        black_box(xor_fold(black_box(data)));
+    });
+    report("hash/sample8_36B", || {
+        black_box(sample8(black_box(data)));
+    });
 }
-
-criterion_group!(benches, bench_hash_ablation);
-criterion_main!(benches);

@@ -1,70 +1,52 @@
-//! Criterion micro-benchmark: LUT lookup/update/invalidate throughput
-//! for the single-level and two-level organisations across the paper's
-//! capacities.
+//! Micro-benchmark: LUT lookup/update/invalidate throughput for the
+//! single-level and two-level organisations across the paper's
+//! capacities. Uses the in-tree harness (`axmemo_bench::timing`).
 
-use axmemo_core::config::MemoConfig;
+use axmemo_bench::timing::report;
+use axmemo_core::config::{DataWidth, MemoConfig};
 use axmemo_core::ids::LutId;
 use axmemo_core::lut::{LutArray, LutGeometry};
 use axmemo_core::two_level::TwoLevelLut;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_lut(c: &mut Criterion) {
+fn main() {
     let id = LutId::new(0).unwrap();
-    let mut group = c.benchmark_group("lut_ops");
+    println!("lut_ops (ns/iter, lower is better)");
 
     for kb in [4usize, 8, 16] {
-        let geo = LutGeometry::from_capacity(
-            kb * 1024,
-            axmemo_core::config::DataWidth::W4,
-        );
-        group.bench_with_input(BenchmarkId::new("l1_lookup_hit", kb), &geo, |b, &geo| {
-            let mut lut = LutArray::new(geo);
-            for i in 0..256u64 {
-                lut.insert(id, i, i);
-            }
-            let mut k = 0u64;
-            b.iter(|| {
-                k = (k + 1) % 256;
-                black_box(lut.lookup(id, k))
-            })
+        let geo = LutGeometry::from_capacity(kb * 1024, DataWidth::W4);
+        let mut lut = LutArray::new(geo);
+        for i in 0..256u64 {
+            lut.insert(id, i, i);
+        }
+        let mut k = 0u64;
+        report(&format!("lut/l1_lookup_hit/{kb}KB"), || {
+            k = (k + 1) % 256;
+            black_box(lut.lookup(id, k));
         });
-        group.bench_with_input(BenchmarkId::new("l1_insert", kb), &geo, |b, &geo| {
-            let mut lut = LutArray::new(geo);
-            let mut k = 0u64;
-            b.iter(|| {
-                k = k.wrapping_add(0x9E37_79B9);
-                black_box(lut.insert(id, k, k))
-            })
+        let mut lut = LutArray::new(geo);
+        let mut k = 0u64;
+        report(&format!("lut/l1_insert/{kb}KB"), || {
+            k = k.wrapping_add(0x9E37_79B9);
+            black_box(lut.insert(id, k, k));
         });
     }
 
-    group.bench_function("two_level_lookup_mixed", |b| {
-        let mut lut = TwoLevelLut::new(&MemoConfig::l1_l2(8 * 1024, 256 * 1024));
-        for i in 0..8192u64 {
-            lut.update(id, i, i);
+    let mut lut = TwoLevelLut::new(&MemoConfig::l1_l2(8 * 1024, 256 * 1024));
+    for i in 0..8192u64 {
+        lut.update(id, i, i);
+    }
+    let mut k = 0u64;
+    report("lut/two_level_lookup_mixed", || {
+        k = (k + 97) % 8192;
+        black_box(lut.lookup(id, k));
+    });
+
+    let mut lut = LutArray::new(LutGeometry::from_capacity(8 * 1024, DataWidth::W4));
+    report("lut/invalidate_full_lut", || {
+        for i in 0..512u64 {
+            lut.insert(id, i, i);
         }
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 97) % 8192;
-            black_box(lut.lookup(id, k))
-        })
+        black_box(lut.invalidate(id));
     });
-
-    group.bench_function("invalidate_full_lut", |b| {
-        let mut lut = LutArray::new(LutGeometry::from_capacity(
-            8 * 1024,
-            axmemo_core::config::DataWidth::W4,
-        ));
-        b.iter(|| {
-            for i in 0..512u64 {
-                lut.insert(id, i, i);
-            }
-            black_box(lut.invalidate(id))
-        })
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_lut);
-criterion_main!(benches);

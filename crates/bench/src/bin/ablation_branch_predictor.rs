@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..MemoConfig::l1_l2(8 * 1024, 512 * 1024)
         };
         let mut speedups = [0.0f64; 2];
-        for (i, predictor) in [None, Some(PredictorConfig::default())].into_iter().enumerate() {
+        for (i, predictor) in [None, Some(PredictorConfig::default())]
+            .into_iter()
+            .enumerate()
+        {
             let base_cfg = SimConfig {
                 predictor,
                 ..SimConfig::baseline()

@@ -59,6 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!("Expectation (§6): CRC32 and CRC64 collision-free on these streams;");
-    println!("CRC16's 65536-value space collides once distinct tuples approach ~300 (birthday bound).");
+    println!(
+        "CRC16's 65536-value space collides once distinct tuples approach ~300 (birthday bound)."
+    );
     Ok(())
 }

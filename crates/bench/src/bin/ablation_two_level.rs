@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let configs: Vec<(&str, MemoConfig)> = vec![
         ("L1 4KB (flat)", MemoConfig::l1_only(4 * 1024)),
         ("L1 8KB (flat)", MemoConfig::l1_only(8 * 1024)),
-        ("L1 16KB (flat, SRAM ceiling)", MemoConfig::l1_only(16 * 1024)),
+        (
+            "L1 16KB (flat, SRAM ceiling)",
+            MemoConfig::l1_only(16 * 1024),
+        ),
         ("L1 8KB + L2 64KB", MemoConfig::l1_l2(8 * 1024, 64 * 1024)),
         ("L1 8KB + L2 256KB", MemoConfig::l1_l2(8 * 1024, 256 * 1024)),
         ("L1 8KB + L2 512KB", MemoConfig::l1_l2(8 * 1024, 512 * 1024)),

@@ -3,46 +3,53 @@
 //! L1(8KB)+L2(512KB) configuration; plus the software-LUT contender's
 //! higher-collision error.
 
-use axmemo_bench::{collect_events, paper_configs, run_cell, scale_from_env, software_lut_outcome};
+use axmemo_bench::{
+    collect_events, paper_configs, run_cell_report, scale_from_env, software_lut_outcome,
+    BenchArgs, ReportMode, Table,
+};
 use axmemo_core::config::MemoConfig;
 use axmemo_workloads::all_benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse();
+    let mut tel = args.telemetry()?;
     let scale = scale_from_env();
     let configs = paper_configs();
-    println!("Figure 10a: whole-application quality loss (Eq. 2; misclassification for jmeint), scale {scale:?}");
-    println!(
-        "{:<14} | {} | {:>18}",
-        "Benchmark",
-        configs
-            .iter()
-            .map(|(n, _)| format!("{n:>22}"))
-            .collect::<Vec<_>>()
-            .join(" | "),
-        "SW LUT collisions"
+
+    let mut columns = vec!["Benchmark"];
+    let config_names: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
+    columns.extend(config_names.iter().copied());
+    columns.push("SW LUT collisions");
+    let mut table = Table::new(
+        format!(
+            "Figure 10a: whole-application quality loss (Eq. 2; misclassification for jmeint), scale {scale:?}"
+        ),
+        &columns,
     );
+
     let big = MemoConfig::l1_l2(8 * 1024, 512 * 1024);
     let mut cdf_sources = Vec::new();
     for bench in all_benchmarks() {
-        let mut cells = vec![format!("{:<14}", bench.meta().name)];
+        let mut cells = vec![bench.meta().name.to_string()];
         for (_, cfg) in &configs {
-            let r = run_cell(bench.as_ref(), scale, cfg)?;
-            cells.push(format!("{:>21.4}%", 100.0 * r.error.output_error));
+            let report = run_cell_report(bench.as_ref(), scale, cfg, tel)?;
+            tel = report.telemetry;
+            let r = &report.result;
+            cells.push(format!("{:.4}%", 100.0 * r.error.output_error));
             if *cfg == big {
                 cdf_sources.push((bench.meta().name, r.error.elementwise.clone()));
             }
         }
         let inputs = collect_events(bench.as_ref(), scale)?;
         let sw = software_lut_outcome(&inputs);
-        cells.push(format!("{:>17.2}%", 100.0 * sw.collision_rate()));
-        println!("{}", cells.join(" | "));
+        cells.push(format!("{:.2}%", 100.0 * sw.collision_rate()));
+        table.row(cells);
     }
+    println!("{}", table.render(args.report));
 
-    println!();
-    println!("Figure 10b: CDF of element-wise relative error, L1(8KB)+L2(512KB)");
-    println!(
-        "{:<14} | {:>8} | {:>8} | {:>8} | {:>8} | {:>10}",
-        "Benchmark", "p50", "p90", "p99", "p99.9", "max"
+    let mut cdf = Table::new(
+        "Figure 10b: CDF of element-wise relative error, L1(8KB)+L2(512KB)",
+        &["Benchmark", "p50", "p90", "p99", "p99.9", "max"],
     );
     for (name, mut errs) in cdf_sources {
         errs.sort_by(f64::total_cmp);
@@ -53,15 +60,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let i = ((errs.len() - 1) as f64 * p) as usize;
             errs[i]
         };
-        println!(
-            "{:<14} | {:>8.2e} | {:>8.2e} | {:>8.2e} | {:>8.2e} | {:>10.2e}",
-            name,
-            q(0.5),
-            q(0.9),
-            q(0.99),
-            q(0.999),
-            errs.last().copied().unwrap_or(0.0)
-        );
+        cdf.row(vec![
+            name.to_string(),
+            format!("{:.2e}", q(0.5)),
+            format!("{:.2e}", q(0.9)),
+            format!("{:.2e}", q(0.99)),
+            format!("{:.2e}", q(0.999)),
+            format!("{:.2e}", errs.last().copied().unwrap_or(0.0)),
+        ]);
+    }
+    println!("{}", cdf.render(args.report));
+    tel.flush();
+    if tel.is_enabled() && args.report == ReportMode::Text {
+        println!("{}", tel.text_report());
     }
     Ok(())
 }

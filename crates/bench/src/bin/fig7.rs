@@ -3,55 +3,72 @@
 //! contender, all normalised to the non-memoized baseline.
 
 use axmemo_bench::{
-    collect_events, geomean, paper_configs, run_cell, scale_from_env, software_lut_outcome,
+    collect_events, geomean, paper_configs, run_cell_report, scale_from_env, software_lut_outcome,
+    BenchArgs, ReportMode, Table,
 };
 use axmemo_workloads::all_benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse();
+    let mut tel = args.telemetry()?;
     let scale = scale_from_env();
     let configs = paper_configs();
-    println!("Figure 7a (speedup) / 7b (energy saving), scale {scale:?}");
-    let mut header = vec![format!("{:<14}", "Benchmark")];
-    for (name, _) in &configs {
-        header.push(format!("{name:>22}"));
-    }
-    header.push(format!("{:>14}", "Software LUT"));
-    println!("{}", header.join(" | "));
+
+    let mut columns = vec!["Benchmark", "Metric"];
+    let config_names: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
+    columns.extend(config_names.iter().copied());
+    columns.push("Software LUT");
+    let mut table = Table::new(
+        format!("Figure 7a (speedup) / 7b (energy saving), scale {scale:?}"),
+        &columns,
+    );
 
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     let mut energies: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     let mut sw_speedups = Vec::new();
 
     for bench in all_benchmarks() {
-        let mut speed_cells = vec![format!("{:<14}", bench.meta().name)];
-        let mut energy_cells = vec![format!("{:<14}", bench.meta().name)];
+        let name = bench.meta().name.to_string();
+        let mut speed_cells = vec![name.clone(), "speedup".to_string()];
+        let mut energy_cells = vec![name, "energy".to_string()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let r = run_cell(bench.as_ref(), scale, cfg)?;
-            speed_cells.push(format!("{:>21.2}x", r.speedup));
-            energy_cells.push(format!("{:>21.2}x", r.energy_reduction));
+            let report = run_cell_report(bench.as_ref(), scale, cfg, tel)?;
+            tel = report.telemetry;
+            let r = &report.result;
+            speed_cells.push(format!("{:.2}x", r.speedup));
+            energy_cells.push(format!("{:.2}x", r.energy_reduction));
             speedups[i].push(r.speedup);
             energies[i].push(r.energy_reduction);
         }
         let inputs = collect_events(bench.as_ref(), scale)?;
         let sw = software_lut_outcome(&inputs);
-        speed_cells.push(format!("{:>13.2}x", sw.speedup));
-        energy_cells.push(format!("{:>13.2}x", sw.energy_ratio));
+        speed_cells.push(format!("{:.2}x", sw.speedup));
+        energy_cells.push(format!("{:.2}x", sw.energy_ratio));
         sw_speedups.push(sw.speedup);
-        println!("speedup {}", speed_cells.join(" | "));
-        println!("energy  {}", energy_cells.join(" | "));
+        table.row(speed_cells).row(energy_cells);
     }
 
-    println!();
     for (i, (name, _)) in configs.iter().enumerate() {
-        println!(
-            "{name}: geomean speedup {:.2}x, geomean energy reduction {:.2}x",
-            geomean(&speedups[i]),
-            geomean(&energies[i])
+        table.summary(
+            name.clone(),
+            format!(
+                "geomean speedup {:.2}x, geomean energy reduction {:.2}x",
+                geomean(&speedups[i]),
+                geomean(&energies[i])
+            ),
         );
     }
-    println!(
-        "Software LUT: geomean speedup {:.2}x (paper: 0.94x slowdown)",
-        geomean(&sw_speedups)
+    table.summary(
+        "Software LUT",
+        format!(
+            "geomean speedup {:.2}x (paper: 0.94x slowdown)",
+            geomean(&sw_speedups)
+        ),
     );
+    println!("{}", table.render(args.report));
+    tel.flush();
+    if tel.is_enabled() && args.report == ReportMode::Text {
+        println!("{}", tel.text_report());
+    }
     Ok(())
 }

@@ -4,34 +4,36 @@
 //! software-LUT contender's instruction ratio (~2x in the paper).
 
 use axmemo_bench::{
-    collect_events, mean, paper_configs, run_cell, scale_from_env, software_lut_outcome,
+    collect_events, mean, paper_configs, run_cell_report, scale_from_env, software_lut_outcome,
+    BenchArgs, ReportMode, Table,
 };
 use axmemo_workloads::all_benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse();
+    let mut tel = args.telemetry()?;
     let scale = scale_from_env();
     let configs = paper_configs();
-    println!("Figure 8: normalised dynamic instruction count, scale {scale:?}");
-    println!(
-        "{:<14} | {}",
-        "Benchmark",
-        configs
-            .iter()
-            .map(|(n, _)| format!("{n:>22}"))
-            .collect::<Vec<_>>()
-            .join(" | ")
-            + &format!(" | {:>14}", "Software LUT")
+
+    let mut columns = vec!["Benchmark"];
+    let config_names: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
+    columns.extend(config_names.iter().copied());
+    columns.push("Software LUT");
+    let mut table = Table::new(
+        format!("Figure 8: normalised dynamic instruction count (memo share in parens), scale {scale:?}"),
+        &columns,
     );
 
     let mut totals: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     let mut sw_ratios = Vec::new();
     for bench in all_benchmarks() {
-        let mut cells = vec![format!("{:<14}", bench.meta().name)];
+        let mut cells = vec![bench.meta().name.to_string()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let r = run_cell(bench.as_ref(), scale, cfg)?;
-            // total ratio (memo share of the *memoized* run in parens)
+            let report = run_cell_report(bench.as_ref(), scale, cfg, tel)?;
+            tel = report.telemetry;
+            let r = &report.result;
             cells.push(format!(
-                "{:>13.3} ({:>4.1}%)",
+                "{:.3} ({:.1}%)",
                 r.dyn_inst_ratio,
                 100.0 * r.memo_inst_fraction
             ));
@@ -39,20 +41,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let inputs = collect_events(bench.as_ref(), scale)?;
         let sw = software_lut_outcome(&inputs);
-        cells.push(format!("{:>14.3}", sw.inst_ratio));
+        cells.push(format!("{:.3}", sw.inst_ratio));
         sw_ratios.push(sw.inst_ratio);
-        println!("{}", cells.join(" | "));
+        table.row(cells);
     }
-    println!();
+
     for (i, (name, _)) in configs.iter().enumerate() {
-        println!(
-            "{name}: mean dynamic-instruction reduction {:.1}%",
-            100.0 * (1.0 - mean(&totals[i]))
+        table.summary(
+            name.clone(),
+            format!(
+                "mean dynamic-instruction reduction {:.1}%",
+                100.0 * (1.0 - mean(&totals[i]))
+            ),
         );
     }
-    println!(
-        "Software LUT: mean instruction ratio {:.2}x (paper: ~2.0x)",
-        mean(&sw_ratios)
+    table.summary(
+        "Software LUT",
+        format!(
+            "mean instruction ratio {:.2}x (paper: ~2.0x)",
+            mean(&sw_ratios)
+        ),
     );
+    println!("{}", table.render(args.report));
+    tel.flush();
+    if tel.is_enabled() && args.report == ReportMode::Text {
+        println!("{}", tel.text_report());
+    }
     Ok(())
 }

@@ -2,47 +2,58 @@
 //! configurations plus the software-LUT contender.
 
 use axmemo_bench::{
-    collect_events, mean, paper_configs, run_cell, scale_from_env, software_lut_outcome,
+    collect_events, mean, paper_configs, run_cell_report, scale_from_env, software_lut_outcome,
+    BenchArgs, ReportMode, Table,
 };
 use axmemo_workloads::all_benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse();
+    let mut tel = args.telemetry()?;
     let scale = scale_from_env();
     let configs = paper_configs();
-    println!("Figure 9: LUT hit rate, scale {scale:?}");
-    println!(
-        "{:<14} | {} | {:>12}",
-        "Benchmark",
-        configs
-            .iter()
-            .map(|(n, _)| format!("{n:>22}"))
-            .collect::<Vec<_>>()
-            .join(" | "),
-        "Software LUT"
-    );
+
+    let mut columns = vec!["Benchmark"];
+    let config_names: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
+    columns.extend(config_names.iter().copied());
+    columns.push("Software LUT");
+    let mut table = Table::new(format!("Figure 9: LUT hit rate, scale {scale:?}"), &columns);
 
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     let mut sw_rates = Vec::new();
     for bench in all_benchmarks() {
-        let mut cells = vec![format!("{:<14}", bench.meta().name)];
+        let mut cells = vec![bench.meta().name.to_string()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let r = run_cell(bench.as_ref(), scale, cfg)?;
-            cells.push(format!("{:>21.1}%", 100.0 * r.hit_rate));
+            let report = run_cell_report(bench.as_ref(), scale, cfg, tel)?;
+            tel = report.telemetry;
+            let r = &report.result;
+            cells.push(format!("{:.1}%", 100.0 * r.hit_rate));
             per_config[i].push(r.hit_rate);
         }
         let inputs = collect_events(bench.as_ref(), scale)?;
         let sw = software_lut_outcome(&inputs);
-        cells.push(format!("{:>11.1}%", 100.0 * sw.hit_rate()));
+        cells.push(format!("{:.1}%", 100.0 * sw.hit_rate()));
         sw_rates.push(sw.hit_rate());
-        println!("{}", cells.join(" | "));
+        table.row(cells);
     }
-    println!();
+
     for (i, (name, _)) in configs.iter().enumerate() {
-        println!("{name}: mean hit rate {:.1}%", 100.0 * mean(&per_config[i]));
+        table.summary(
+            name.clone(),
+            format!("mean hit rate {:.1}%", 100.0 * mean(&per_config[i])),
+        );
     }
-    println!(
-        "Software LUT: mean hit rate {:.1}% (paper: 81.1%)",
-        100.0 * mean(&sw_rates)
+    table.summary(
+        "Software LUT",
+        format!(
+            "mean hit rate {:.1}% (paper: 81.1%)",
+            100.0 * mean(&sw_rates)
+        ),
     );
+    println!("{}", table.render(args.report));
+    tel.flush();
+    if tel.is_enabled() && args.report == ReportMode::Text {
+        println!("{}", tel.text_report());
+    }
     Ok(())
 }

@@ -5,6 +5,7 @@
 //! Per §5 the analysis runs on the *sample* input set (disjoint from
 //! evaluation) and a bounded trace window.
 
+use axmemo_bench::{BenchArgs, Table};
 use axmemo_compiler::dddg::Dddg;
 use axmemo_compiler::trace::TraceCapture;
 use axmemo_compiler::{analyze, SearchConfig};
@@ -13,10 +14,10 @@ use axmemo_sim::pipeline::LatencyModel;
 use axmemo_workloads::{all_benchmarks, Dataset, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("Table 1: dynamic data dependence graph (DDDG) analysis");
-    println!(
-        "| {:<14} | {:>10} | {:>8} | {:>9} | {:>9} |",
-        "Benchmark", "# dynamic", "# unique", "CI_Ratio", "Coverage"
+    let args = BenchArgs::parse();
+    let mut table = Table::new(
+        "Table 1: dynamic data dependence graph (DDDG) analysis",
+        &["Benchmark", "# dynamic", "# unique", "CI_Ratio", "Coverage"],
     );
     // Trace window: enough dynamic instructions to cover many kernel
     // invocations without ballooning graph construction.
@@ -29,14 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.run_traced(&program, &mut machine, Some(&mut cap))?;
         let graph = Dddg::from_trace(cap.events(), &LatencyModel::default());
         let summary = analyze(&graph, &SearchConfig::default());
-        println!(
-            "| {:<14} | {:>10} | {:>8} | {:>9.2} | {:>8.2}% |",
-            bench.meta().name,
-            summary.total_dynamic_subgraphs,
-            summary.unique_subgraphs,
-            summary.mean_ci_ratio,
-            100.0 * summary.coverage,
-        );
+        table.row(vec![
+            bench.meta().name.to_string(),
+            summary.total_dynamic_subgraphs.to_string(),
+            summary.unique_subgraphs.to_string(),
+            format!("{:.2}", summary.mean_ci_ratio),
+            format!("{:.2}%", 100.0 * summary.coverage),
+        ]);
     }
+    println!("{}", table.render(args.report));
     Ok(())
 }

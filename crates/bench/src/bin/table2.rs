@@ -1,13 +1,20 @@
 //! Table 2: benchmark inventory — domain, description, dataset,
 //! memoization input sizes, and truncated bits per memoized block.
 
+use axmemo_bench::{BenchArgs, Table};
 use axmemo_workloads::all_benchmarks;
 
 fn main() {
-    println!("Table 2: evaluated benchmarks");
-    println!(
-        "| {:<14} | {:<20} | {:<48} | {:>12} | {:>10} |",
-        "Benchmark", "Domain", "Dataset (synthetic stand-in)", "Input bytes", "Trunc bits"
+    let args = BenchArgs::parse();
+    let mut table = Table::new(
+        "Table 2: evaluated benchmarks",
+        &[
+            "Benchmark",
+            "Domain",
+            "Dataset (synthetic stand-in)",
+            "Input bytes",
+            "Trunc bits",
+        ],
     );
     for bench in all_benchmarks() {
         let m = bench.meta();
@@ -23,9 +30,13 @@ fn main() {
             .map(|b| b.to_string())
             .collect::<Vec<_>>()
             .join(", ");
-        println!(
-            "| {:<14} | {:<20} | {:<48} | {:>12} | {:>10} |",
-            m.name, m.domain, m.dataset, bytes, trunc
-        );
+        table.row(vec![
+            m.name.to_string(),
+            m.domain.to_string(),
+            m.dataset.to_string(),
+            bytes,
+            trunc,
+        ]);
     }
+    println!("{}", table.render(args.report));
 }

@@ -19,7 +19,222 @@ use axmemo_core::config::MemoConfig;
 use axmemo_core::unit::LookupEvent;
 use axmemo_sim::cpu::{SimConfig, Simulator};
 use axmemo_sim::stats::RunStats;
+use axmemo_telemetry::{escape_json, JsonlSink, Telemetry};
+use axmemo_workloads::runner::{run_benchmark_report, RunReport};
 use axmemo_workloads::{run_benchmark, Benchmark, BenchmarkResult, Dataset, Scale};
+
+/// Output format selected with `--report`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportMode {
+    /// Human-readable aligned columns (the default).
+    #[default]
+    Text,
+    /// One JSON object on stdout.
+    Json,
+}
+
+/// Command-line options shared by every figure/table binary.
+///
+/// * `--trace-out <path>` — write the telemetry event stream (LUT
+///   probes, quality decisions, spans, …) to `path` as JSON Lines.
+/// * `--report text|json` — output format (default `text`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// JSONL event-trace destination, when requested.
+    pub trace_out: Option<String>,
+    /// Output format.
+    pub report: ReportMode,
+}
+
+impl BenchArgs {
+    /// Parse the process arguments; prints usage and exits on error.
+    pub fn parse() -> Self {
+        match Self::try_from_iter(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: <bin> [--trace-out <path>] [--report text|json]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argument list (testable form of
+    /// [`Self::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for unknown flags or missing values.
+    pub fn try_from_iter<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trace-out" => {
+                    out.trace_out = Some(it.next().ok_or("--trace-out requires a path argument")?);
+                }
+                "--report" => match it.next().as_deref() {
+                    Some("text") => out.report = ReportMode::Text,
+                    Some("json") => out.report = ReportMode::Json,
+                    Some(other) => return Err(format!("--report must be text|json, got {other}")),
+                    None => return Err("--report requires text|json".to_string()),
+                },
+                other => return Err(format!("unknown argument {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Build the telemetry handle the flags ask for: enabled with a
+    /// JSONL sink when `--trace-out` was given, otherwise disabled
+    /// (zero hot-path cost).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-file creation failure.
+    pub fn telemetry(&self) -> std::io::Result<Telemetry> {
+        match &self.trace_out {
+            Some(path) => {
+                let mut tel = Telemetry::enabled();
+                let sink = JsonlSink::create(path).map_err(|e| {
+                    std::io::Error::new(e.kind(), format!("--trace-out {path}: {e}"))
+                })?;
+                tel.add_sink(Box::new(sink));
+                Ok(tel)
+            }
+            None => Ok(Telemetry::off()),
+        }
+    }
+}
+
+/// The shared report formatter: a titled table plus free-form summary
+/// lines, renderable as aligned text or as one JSON object. Every
+/// figure binary routes its output through this (`--report`).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    summary: Vec<(String, String)>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            rows: Vec::new(),
+            summary: Vec::new(),
+        }
+    }
+
+    /// Append a data row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a summary line rendered after the table body.
+    pub fn summary(&mut self, label: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.summary.push((label.into(), value.into()));
+        self
+    }
+
+    /// Render in the requested format.
+    pub fn render(&self, mode: ReportMode) -> String {
+        match mode {
+            ReportMode::Text => self.render_text(),
+            ReportMode::Json => self.render_json(),
+        }
+    }
+
+    fn render_text(&self) -> String {
+        let cols = self.columns.len().max(1);
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        widths.resize(cols, 0);
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut parts = Vec::with_capacity(cols);
+            for (i, &width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                // First column is the row label: left-aligned; the
+                // rest are values: right-aligned.
+                if i == 0 {
+                    parts.push(format!("{cell:<width$}"));
+                } else {
+                    parts.push(format!("{cell:>width$}"));
+                }
+            }
+            parts.join("  ").trim_end().to_string()
+        };
+        if !self.columns.is_empty() {
+            out.push_str(&fmt_row(&self.columns));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        if !self.summary.is_empty() {
+            out.push('\n');
+            for (label, value) in &self.summary {
+                out.push_str(&format!("{label}: {value}\n"));
+            }
+        }
+        out
+    }
+
+    fn render_json(&self) -> String {
+        let push_str_list = |out: &mut String, items: &[String]| {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json(item, out);
+                out.push('"');
+            }
+            out.push(']');
+        };
+        let mut out = String::from("{\"title\":\"");
+        escape_json(&self.title, &mut out);
+        out.push_str("\",\"columns\":");
+        push_str_list(&mut out, &self.columns);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_list(&mut out, row);
+        }
+        out.push_str("],\"summary\":{");
+        for (i, (label, value)) in self.summary.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(label, &mut out);
+            out.push_str("\":\"");
+            escape_json(value, &mut out);
+            out.push('"');
+        }
+        out.push_str("}}");
+        out
+    }
+}
 
 /// Read the scale from `AXMEMO_SCALE` (default `small`).
 pub fn scale_from_env() -> Scale {
@@ -47,6 +262,23 @@ pub fn run_cell(
     memo: &MemoConfig,
 ) -> Result<BenchmarkResult, Box<dyn std::error::Error>> {
     run_benchmark(bench, scale, Dataset::Eval, memo)
+}
+
+/// [`run_cell`] with telemetry: the memoized run executes under a
+/// `run:<name>` span with `tel` threaded through the simulator; the
+/// handle comes back inside the [`RunReport`] so the caller can pass
+/// it to the next cell.
+///
+/// # Errors
+///
+/// Propagates simulator/codegen failures.
+pub fn run_cell_report(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    memo: &MemoConfig,
+    tel: Telemetry,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    run_benchmark_report(bench, scale, Dataset::Eval, memo, false, tel)
 }
 
 /// Everything the software contenders need: the recorded lookup-event
@@ -143,6 +375,82 @@ pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
 }
 
+/// A tiny wall-clock micro-benchmark harness for the `benches/`
+/// binaries (`cargo bench` with `harness = false`): calibrated
+/// batching against `std::time::Instant`, no external crates.
+pub mod timing {
+    use std::time::Instant;
+
+    /// One completed measurement.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        /// Benchmark label.
+        pub name: String,
+        /// Iterations in the timed batch.
+        pub iters: u64,
+        /// Mean wall-clock nanoseconds per iteration.
+        pub ns_per_iter: f64,
+    }
+
+    impl std::fmt::Display for Measurement {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            if self.ns_per_iter >= 1_000_000.0 {
+                write!(
+                    f,
+                    "{:<40} {:>12.3} ms/iter ({} iters)",
+                    self.name,
+                    self.ns_per_iter / 1e6,
+                    self.iters
+                )
+            } else if self.ns_per_iter >= 1_000.0 {
+                write!(
+                    f,
+                    "{:<40} {:>12.3} us/iter ({} iters)",
+                    self.name,
+                    self.ns_per_iter / 1e3,
+                    self.iters
+                )
+            } else {
+                write!(
+                    f,
+                    "{:<40} {:>12.1} ns/iter ({} iters)",
+                    self.name, self.ns_per_iter, self.iters
+                )
+            }
+        }
+    }
+
+    /// Time `f`, growing the batch size until the timed batch runs at
+    /// least ~50 ms (or a batch cap is hit), and return the mean cost
+    /// per iteration. One warm-up call precedes timing.
+    pub fn bench<F: FnMut()>(name: &str, mut f: F) -> Measurement {
+        f(); // warm-up
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_millis() >= 50 || iters >= 1 << 22 {
+                return Measurement {
+                    name: name.to_string(),
+                    iters,
+                    ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+                };
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    /// Run and print a measurement (the common bench-main idiom).
+    pub fn report<F: FnMut()>(name: &str, f: F) -> Measurement {
+        let m = bench(name, f);
+        println!("{m}");
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +465,57 @@ mod tests {
     fn mean_basics() {
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn bench_args_parse_flags() {
+        let args = BenchArgs::try_from_iter(
+            ["--trace-out", "/tmp/t.jsonl", "--report", "json"]
+                .iter()
+                .map(|s| (*s).to_string()),
+        )
+        .unwrap();
+        assert_eq!(args.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(args.report, ReportMode::Json);
+        assert!(BenchArgs::try_from_iter(["--report".to_string()]).is_err());
+        assert!(BenchArgs::try_from_iter(["--bogus".to_string()]).is_err());
+        let default = BenchArgs::try_from_iter(std::iter::empty()).unwrap();
+        assert!(default.trace_out.is_none());
+        assert_eq!(default.report, ReportMode::Text);
+    }
+
+    #[test]
+    fn table_text_alignment_and_summary() {
+        let mut t = Table::new("Demo", &["Benchmark", "Speedup"]);
+        t.row(vec!["fft".to_string(), "1.20x".to_string()]);
+        t.row(vec!["kmeans-long-name".to_string(), "10.00x".to_string()]);
+        t.summary("geomean", "3.46x");
+        let text = t.render(ReportMode::Text);
+        assert!(text.starts_with("Demo\n"));
+        assert!(
+            text.contains("fft               "),
+            "label column padded:\n{text}"
+        );
+        assert!(text.contains("geomean: 3.46x"));
+    }
+
+    #[test]
+    fn table_json_is_escaped_and_structured() {
+        let mut t = Table::new("T \"q\"", &["a"]);
+        t.row(vec!["v\n".to_string()]);
+        t.summary("s", "1");
+        let json = t.render(ReportMode::Json);
+        assert!(json.contains("\"title\":\"T \\\"q\\\"\""));
+        assert!(json.contains("\"rows\":[[\"v\\n\"]]"));
+        assert!(json.contains("\"summary\":{\"s\":\"1\"}"));
+    }
+
+    #[test]
+    fn timing_bench_measures_positive_cost() {
+        let mut x = 0u64;
+        let m = timing::bench("noop", || x = x.wrapping_add(1));
+        assert!(m.ns_per_iter >= 0.0);
+        assert!(m.iters >= 1);
     }
 
     #[test]

@@ -95,8 +95,8 @@ pub fn memoize(program: &Program, specs: &[RegionSpec]) -> Result<Program, Codeg
     // The hit-branch needs a target *after* RegionEnd; record fixups as
     // (position-of-placeholder-in-before[i], i, old_target_index).
     struct BranchFixup {
-        at: usize,       // before-list position index (old inst index)
-        slot: usize,     // index within before[at]
+        at: usize,         // before-list position index (old inst index)
+        slot: usize,       // index within before[at]
         old_target: usize, // old index whose new position is the target
     }
     let mut fixups: Vec<BranchFixup> = Vec::new();
@@ -202,7 +202,9 @@ pub fn memoize(program: &Program, specs: &[RegionSpec]) -> Result<Program, Codeg
         }
         let mut ins = replace[i].unwrap_or(program.insts[i]);
         match &mut ins {
-            Inst::Branch { target, .. } | Inst::Jump { target } | Inst::BranchMemoHit { target } => {
+            Inst::Branch { target, .. }
+            | Inst::Jump { target }
+            | Inst::BranchMemoHit { target } => {
                 *target = retarget(*target);
             }
             _ => {}
@@ -289,8 +291,7 @@ mod tests {
         sim_b.run(&p, &mut mb).unwrap();
 
         // Run memoized (no truncation, exact memoization).
-        let mut sim_m =
-            Simulator::new(SimConfig::with_memo(MemoConfig::l1_only(4096))).unwrap();
+        let mut sim_m = Simulator::new(SimConfig::with_memo(MemoConfig::l1_only(4096))).unwrap();
         let mut mm = Machine::new(64 * 1024);
         for i in 0..64 {
             mm.store_f32(0x1000 + 4 * i, (i % 4 + 1) as f32);
@@ -320,8 +321,7 @@ mod tests {
             mb.store_f32(0x1000 + 4 * i, 2.0);
         }
         let base = sim_b.run(&p, &mut mb).unwrap();
-        let mut sim_m =
-            Simulator::new(SimConfig::with_memo(MemoConfig::l1_only(4096))).unwrap();
+        let mut sim_m = Simulator::new(SimConfig::with_memo(MemoConfig::l1_only(4096))).unwrap();
         let mut mm = Machine::new(64 * 1024);
         for i in 0..64 {
             mm.store_f32(0x1000 + 4 * i, 2.0);
@@ -340,7 +340,10 @@ mod tests {
         let p = baseline();
         let mut s = spec();
         s.region = 9;
-        assert!(matches!(memoize(&p, &[s]), Err(CodegenError::RegionNotFound(9))));
+        assert!(matches!(
+            memoize(&p, &[s]),
+            Err(CodegenError::RegionNotFound(9))
+        ));
     }
 
     #[test]

@@ -52,8 +52,7 @@ impl CompilationReport {
             .enumerate()
             .map(|(i, spec)| {
                 let cand = candidates.get(i);
-                let mut truncation: Vec<u8> =
-                    spec.input_loads.iter().map(|l| l.trunc).collect();
+                let mut truncation: Vec<u8> = spec.input_loads.iter().map(|l| l.trunc).collect();
                 truncation.extend(spec.reg_inputs.iter().map(|r| r.trunc));
                 SelectedRegion {
                     region: spec.region,

@@ -20,6 +20,7 @@
 //! `n` fields.
 
 use crate::quality::relative_error;
+use axmemo_telemetry::{Telemetry, Value};
 
 /// Controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,8 +123,15 @@ impl AdaptiveTruncation {
     /// Call once per kernel invocation *before* the lookup; returns the
     /// phase so the caller knows whether to force a miss.
     pub fn begin_invocation(&mut self) -> Phase {
+        self.begin_invocation_tel(&mut Telemetry::off())
+    }
+
+    /// [`Self::begin_invocation`] with telemetry: each completed
+    /// profiling window emits an `adaptive.decision` event recording the
+    /// window's mean error and the truncation-bits change it caused.
+    pub fn begin_invocation_tel(&mut self, tel: &mut Telemetry) -> Phase {
         if self.remaining == 0 {
-            self.advance_phase();
+            self.advance_phase(tel);
         }
         self.remaining -= 1;
         self.phase
@@ -141,13 +149,14 @@ impl AdaptiveTruncation {
         self.err_count += 1;
     }
 
-    fn advance_phase(&mut self) {
+    fn advance_phase(&mut self, tel: &mut Telemetry) {
         match self.phase {
             Phase::Normal => {
                 self.phase = Phase::Profiling;
                 self.remaining = self.config.profile_window;
                 self.err_sum = 0.0;
                 self.err_count = 0;
+                tel.count("adaptive.profile_windows", 1);
             }
             Phase::Profiling => {
                 let mean = if self.err_count == 0 {
@@ -156,6 +165,7 @@ impl AdaptiveTruncation {
                     self.err_sum / self.err_count as f64
                 };
                 self.history.push((self.bits, mean));
+                let before = self.bits;
                 if mean > self.config.target_error {
                     // Too much error: back off.
                     self.bits = self.bits.saturating_sub(2).max(self.config.min_bits);
@@ -163,6 +173,17 @@ impl AdaptiveTruncation {
                     // Comfortably accurate: be more aggressive.
                     self.bits = (self.bits + 1).min(self.config.max_bits);
                 }
+                tel.count("adaptive.decisions", 1);
+                tel.gauge("adaptive.trunc_bits", f64::from(self.bits));
+                tel.event(
+                    "adaptive.decision",
+                    &[
+                        ("mean_error", Value::F64(mean)),
+                        ("samples", Value::U64(self.err_count)),
+                        ("bits_before", Value::U64(u64::from(before))),
+                        ("bits_after", Value::U64(u64::from(self.bits))),
+                    ],
+                );
                 self.phase = Phase::Normal;
                 self.remaining = self.config.normal_window;
             }

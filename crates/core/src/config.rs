@@ -183,7 +183,10 @@ impl core::fmt::Display for ConfigError {
                 write!(f, "LUT capacity {b} is not a positive multiple of 64 bytes")
             }
             ConfigError::L1TooLarge(b) => {
-                write!(f, "L1 LUT of {b} bytes exceeds the 16 KB dedicated-SRAM limit")
+                write!(
+                    f,
+                    "L1 LUT of {b} bytes exceeds the 16 KB dedicated-SRAM limit"
+                )
             }
             ConfigError::NoThreads => write!(f, "at least one SMT thread is required"),
             ConfigError::EmptyQueue => write!(f, "input queue depth must be nonzero"),

@@ -388,7 +388,10 @@ mod tests {
     fn pipelined_matches_table() {
         let a = PipelinedCrc::new(CrcWidth::W32);
         let b = TableCrc::new(CrcWidth::W32);
-        assert_eq!(a.checksum(b"streaming input"), b.checksum(b"streaming input"));
+        assert_eq!(
+            a.checksum(b"streaming input"),
+            b.checksum(b"streaming input")
+        );
     }
 
     #[test]

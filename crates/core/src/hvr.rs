@@ -74,13 +74,7 @@ impl HashValueRegisters {
     }
 
     /// Stream `data` into the register named `{lut, tid}`.
-    pub fn accumulate(
-        &mut self,
-        crc: &dyn CrcAlgorithm,
-        lut: LutId,
-        tid: ThreadId,
-        data: &[u8],
-    ) {
+    pub fn accumulate(&mut self, crc: &dyn CrcAlgorithm, lut: LutId, tid: ThreadId, data: &[u8]) {
         let i = self.slot(lut, tid);
         crc.feed(&mut self.regs[i], data);
     }

@@ -101,11 +101,7 @@ impl QualityMonitor {
         }
         self.window.push(err);
         if self.window.len() >= WINDOW {
-            let large = self
-                .window
-                .iter()
-                .filter(|&&e| e > ERROR_THRESHOLD)
-                .count();
+            let large = self.window.iter().filter(|&&e| e > ERROR_THRESHOLD).count();
             if (large as f64) > DISABLE_FRACTION * self.window.len() as f64 {
                 self.enabled = false;
             }

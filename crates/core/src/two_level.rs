@@ -10,6 +10,7 @@
 use crate::config::MemoConfig;
 use crate::ids::LutId;
 use crate::lut::{LookupOutcome, LutArray, LutStats};
+use axmemo_telemetry::{Telemetry, Value};
 
 /// Which level served a hit — the levels have different access latencies
 /// (2 cycles for L1, 13 for L2; Table 4).
@@ -84,38 +85,146 @@ impl TwoLevelLut {
     /// An L2 hit refills L1; the L1 victim (if any) is inserted into L2,
     /// keeping L2 inclusive of L1.
     pub fn lookup(&mut self, lut_id: LutId, crc: u64) -> TwoLevelOutcome {
+        self.lookup_tel(lut_id, crc, &mut Telemetry::off())
+    }
+
+    /// [`Self::lookup`] with telemetry: emits exactly one `lut.hit` or
+    /// `lut.miss` event per probe (so event totals reconcile with
+    /// [`Self::total_hit_rate`]), plus `lut.promote`/`lut.evict` events
+    /// for inter-level traffic.
+    pub fn lookup_tel(&mut self, lut_id: LutId, crc: u64, tel: &mut Telemetry) -> TwoLevelOutcome {
+        tel.count("lut.probes", 1);
         if let LookupOutcome::Hit(d) = self.l1.lookup(lut_id, crc) {
+            tel.count("lut.l1.hits", 1);
+            tel.event(
+                "lut.hit",
+                &[
+                    ("level", Value::Str("L1".into())),
+                    ("lut", Value::U64(u64::from(lut_id.raw()))),
+                    ("crc", Value::U64(crc)),
+                ],
+            );
             return TwoLevelOutcome::Hit(HitLevel::L1, d);
         }
         let Some(l2) = self.l2.as_mut() else {
+            tel.count("lut.misses", 1);
+            tel.event(
+                "lut.miss",
+                &[
+                    ("lut", Value::U64(u64::from(lut_id.raw()))),
+                    ("crc", Value::U64(crc)),
+                ],
+            );
             return TwoLevelOutcome::Miss;
         };
         match l2.lookup(lut_id, crc) {
             LookupOutcome::Hit(d) => {
+                tel.count("lut.l2.hits", 1);
+                tel.count("lut.promotions", 1);
+                tel.event(
+                    "lut.hit",
+                    &[
+                        ("level", Value::Str("L2".into())),
+                        ("lut", Value::U64(u64::from(lut_id.raw()))),
+                        ("crc", Value::U64(crc)),
+                    ],
+                );
+                tel.event(
+                    "lut.promote",
+                    &[
+                        ("lut", Value::U64(u64::from(lut_id.raw()))),
+                        ("crc", Value::U64(crc)),
+                    ],
+                );
                 // Refill L1; victim goes (back) to L2 to preserve
                 // inclusion. (It is usually already present.)
                 if let Some(victim) = self.l1.insert(lut_id, crc, d) {
+                    tel.count("lut.l1.evictions", 1);
                     // Last-level eviction from L2 is a plain invalidation;
                     // nothing propagates to memory.
-                    let _ = l2.insert(victim.lut_id, victim.crc, victim.data);
+                    if l2.insert(victim.lut_id, victim.crc, victim.data).is_some() {
+                        tel.count("lut.l2.evictions", 1);
+                        tel.event("lut.evict", &[("level", Value::Str("L2".into()))]);
+                    }
                 }
                 TwoLevelOutcome::Hit(HitLevel::L2, d)
             }
-            LookupOutcome::Miss => TwoLevelOutcome::Miss,
+            LookupOutcome::Miss => {
+                tel.count("lut.misses", 1);
+                tel.event(
+                    "lut.miss",
+                    &[
+                        ("lut", Value::U64(u64::from(lut_id.raw()))),
+                        ("crc", Value::U64(crc)),
+                    ],
+                );
+                TwoLevelOutcome::Miss
+            }
         }
     }
 
     /// Update after a miss (the `update` instruction): write the entry
     /// into L1 and, when present, into the inclusive L2.
     pub fn update(&mut self, lut_id: LutId, crc: u64, data: u64) {
+        self.update_tel(lut_id, crc, data, &mut Telemetry::off());
+    }
+
+    /// [`Self::update`] with telemetry: counts insertions and emits
+    /// `lut.evict` events for entries truly lost at the last level.
+    pub fn update_tel(&mut self, lut_id: LutId, crc: u64, data: u64, tel: &mut Telemetry) {
+        tel.count("lut.updates", 1);
         let victim = self.l1.insert(lut_id, crc, data);
-        if let Some(l2) = self.l2.as_mut() {
-            // Inclusive L2 also receives the new entry.
-            let _ = l2.insert(lut_id, crc, data);
-            // L1 victims spill to L2 ("evicted to L2 LUT ... using the
-            // least recently used policy").
-            if let Some(v) = victim {
-                let _ = l2.insert(v.lut_id, v.crc, v.data);
+        if victim.is_some() {
+            tel.count("lut.l1.evictions", 1);
+        }
+        match self.l2.as_mut() {
+            Some(l2) => {
+                // Inclusive L2 also receives the new entry.
+                if l2.insert(lut_id, crc, data).is_some() {
+                    tel.count("lut.l2.evictions", 1);
+                    tel.event("lut.evict", &[("level", Value::Str("L2".into()))]);
+                }
+                // L1 victims spill to L2 ("evicted to L2 LUT ... using the
+                // least recently used policy").
+                if let Some(v) = victim {
+                    if l2.insert(v.lut_id, v.crc, v.data).is_some() {
+                        tel.count("lut.l2.evictions", 1);
+                        tel.event("lut.evict", &[("level", Value::Str("L2".into()))]);
+                    }
+                }
+            }
+            None => {
+                // Single-level: an L1 victim is gone for good.
+                if victim.is_some() {
+                    tel.event("lut.evict", &[("level", Value::Str("L1".into()))]);
+                }
+            }
+        }
+    }
+
+    /// Snapshot occupancy into telemetry: overall occupancy-fraction
+    /// gauges per level plus a per-set valid-entry histogram. Costs a
+    /// scan of the arrays, so call it at phase boundaries rather than
+    /// per access.
+    pub fn record_occupancy(&self, tel: &mut Telemetry) {
+        // An all-empty snapshot (e.g. right after the region-end
+        // invalidate) would clobber the meaningful gauge values.
+        if self.l1.occupancy() == 0 && self.l2.as_ref().is_none_or(|l2| l2.occupancy() == 0) {
+            return;
+        }
+        let entries = self.l1.geometry().entries().max(1);
+        tel.gauge(
+            "lut.l1.occupancy",
+            self.l1.occupancy() as f64 / entries as f64,
+        );
+        for occ in self.l1.set_occupancies() {
+            tel.observe("lut.l1.set_occupancy", occ as f64);
+        }
+        if let Some(l2) = self.l2.as_ref() {
+            let entries = l2.geometry().entries().max(1);
+            tel.gauge("lut.l2.occupancy", l2.occupancy() as f64 / entries as f64);
+            for occ in l2.set_occupancies() {
+                tel.observe("lut.l2.set_occupancy", occ as f64);
             }
         }
     }

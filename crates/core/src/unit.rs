@@ -20,9 +20,10 @@ use crate::config::MemoConfig;
 use crate::crc::PipelinedCrc;
 use crate::hvr::HashValueRegisters;
 use crate::ids::{LutId, ThreadId};
-use crate::quality::QualityMonitor;
+use crate::quality::{relative_error, QualityMonitor, ERROR_THRESHOLD};
 use crate::truncate::{InputValue, TruncatedBytes};
 use crate::two_level::{HitLevel, TwoLevelLut, TwoLevelOutcome};
+use axmemo_telemetry::{Telemetry, Value};
 
 /// What `lookup` reports back to the CPU (sets the condition code).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -251,6 +252,18 @@ impl MemoizationUnit {
     /// bytes (the CPU does not stall unless the input queue is full; the
     /// timing simulator models the queue).
     pub fn feed(&mut self, lut: LutId, tid: ThreadId, value: InputValue, trunc_bits: u32) -> u64 {
+        self.feed_tel(lut, tid, value, trunc_bits, &mut Telemetry::off())
+    }
+
+    /// [`Self::feed`] with telemetry (counts input bytes streamed).
+    pub fn feed_tel(
+        &mut self,
+        lut: LutId,
+        tid: ThreadId,
+        value: InputValue,
+        trunc_bits: u32,
+        tel: &mut Telemetry,
+    ) -> u64 {
         let (bytes, len) = value.truncated_bytes(trunc_bits);
         self.hvr.accumulate(&self.crc, lut, tid, &bytes[..len]);
         if self.event_log.is_some() {
@@ -258,6 +271,7 @@ impl MemoizationUnit {
             self.staged_bytes[slot].extend_from_slice(&bytes[..len]);
         }
         self.stats.input_bytes += len as u64;
+        tel.count("unit.input_bytes", len as u64);
         self.timing.cycles_per_input_byte * len as u64
     }
 
@@ -276,6 +290,13 @@ impl MemoizationUnit {
     /// Perform the LUT lookup for `{lut, tid}` (the `lookup`
     /// instruction). Consumes the accumulated hash.
     pub fn lookup(&mut self, lut: LutId, tid: ThreadId) -> LookupResult {
+        self.lookup_tel(lut, tid, &mut Telemetry::off())
+    }
+
+    /// [`Self::lookup`] with telemetry: the LUT hierarchy emits one
+    /// `lut.hit`/`lut.miss` event per probe; this layer adds
+    /// quality-monitor sampling/disable events.
+    pub fn lookup_tel(&mut self, lut: LutId, tid: ThreadId, tel: &mut Telemetry) -> LookupResult {
         let crc = self.hvr.take(&self.crc, lut, tid);
         self.stats.lookups += 1;
         self.per_lut[lut.index()].0 += 1;
@@ -285,13 +306,22 @@ impl MemoizationUnit {
             // Memoization disabled: always recompute; no updates stored.
             self.pending[slot] = None;
             self.staged_bytes[slot].clear();
+            tel.count("quality.disabled_lookups", 1);
             return LookupResult::Disabled;
         }
 
-        match self.lut.lookup(lut, crc) {
+        match self.lut.lookup_tel(lut, crc, tel) {
             TwoLevelOutcome::Hit(level, data) => {
                 if self.config.quality_monitoring && self.quality.should_sample_hit() {
                     self.stats.sampled_misses += 1;
+                    tel.count("quality.sampled_misses", 1);
+                    tel.event(
+                        "quality.sample",
+                        &[
+                            ("lut", Value::U64(u64::from(lut.raw()))),
+                            ("crc", Value::U64(crc)),
+                        ],
+                    );
                     let event = self.log_event(slot, lut, crc, false);
                     self.pending[slot] = Some(PendingUpdate {
                         crc,
@@ -360,6 +390,14 @@ impl MemoizationUnit {
     /// `as_quality_value` when provided; by default the raw bits of the
     /// low 32 bits are compared as `f32`s when finite, else as integers.
     pub fn update(&mut self, lut: LutId, tid: ThreadId, data: u64) -> u64 {
+        self.update_tel(lut, tid, data, &mut Telemetry::off())
+    }
+
+    /// [`Self::update`] with telemetry: emits `quality.compare` for
+    /// sampled-miss comparisons, `quality.reject` when the comparison
+    /// exceeds the error threshold, and `quality.tripped` on the
+    /// transition that disables memoization for the rest of the run.
+    pub fn update_tel(&mut self, lut: LutId, tid: ThreadId, data: u64, tel: &mut Telemetry) -> u64 {
         let slot = self.pending_slot(lut, tid);
         let Some(p) = self.pending[slot].take() else {
             // update without a preceding missed lookup: ignore (program
@@ -370,12 +408,41 @@ impl MemoizationUnit {
             // Quality comparison path: compare recomputed vs LUT output.
             let exact = value_for_quality(data);
             let approx = value_for_quality(lut_data);
+            let err = relative_error(exact, approx);
+            tel.count("quality.comparisons", 1);
+            tel.event(
+                "quality.compare",
+                &[
+                    ("lut", Value::U64(u64::from(lut.raw()))),
+                    ("exact", Value::F64(exact)),
+                    ("approx", Value::F64(approx)),
+                    ("error", Value::F64(err)),
+                ],
+            );
+            if err > ERROR_THRESHOLD {
+                tel.count("quality.rejections", 1);
+                tel.event(
+                    "quality.reject",
+                    &[
+                        ("lut", Value::U64(u64::from(lut.raw()))),
+                        ("error", Value::F64(err)),
+                    ],
+                );
+            }
+            let was_enabled = self.quality.enabled();
             self.quality.record_comparison(exact, approx);
+            if was_enabled && !self.quality.enabled() {
+                tel.count("quality.trips", 1);
+                tel.event(
+                    "quality.tripped",
+                    &[("comparisons", Value::U64(self.quality.comparisons()))],
+                );
+            }
             // The entry already exists (it hit); refresh its data with
             // the exact recomputation.
-            self.lut.update(lut, p.crc, data);
+            self.lut.update_tel(lut, p.crc, data, tel);
         } else {
-            self.lut.update(lut, p.crc, data);
+            self.lut.update_tel(lut, p.crc, data, tel);
         }
         if let (Some(ev), Some(log)) = (p.event, self.event_log.as_mut()) {
             log[ev].data = Some(data);
@@ -388,9 +455,29 @@ impl MemoizationUnit {
     /// instruction). Returns the cycle cost (1 cycle per way per §4's
     /// dedicated-hardware claim — "one cycle for each way in a set").
     pub fn invalidate(&mut self, lut: LutId) -> u64 {
+        self.invalidate_tel(lut, &mut Telemetry::off())
+    }
+
+    /// [`Self::invalidate`] with telemetry.
+    pub fn invalidate_tel(&mut self, lut: LutId, tel: &mut Telemetry) -> u64 {
+        // Snapshot occupancy before wiping: workloads invalidate at
+        // region end, so this is the last point the gauges are
+        // meaningful.
+        self.lut.record_occupancy(tel);
         self.lut.invalidate(lut);
         self.stats.invalidates += 1;
+        tel.count("lut.invalidations", 1);
+        tel.event(
+            "lut.invalidate",
+            &[("lut", Value::U64(u64::from(lut.raw())))],
+        );
         self.timing.invalidate_per_way * self.config.data_width.ways() as u64
+    }
+
+    /// Snapshot LUT occupancy gauges/histograms into `tel` (cheap to
+    /// skip when disabled; costs an array scan when enabled).
+    pub fn record_occupancy(&self, tel: &mut Telemetry) {
+        self.lut.record_occupancy(tel);
     }
 
     /// Clear all state between runs (LUT contents, HVRs, pending slots,

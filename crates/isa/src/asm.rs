@@ -233,7 +233,10 @@ mod tests {
         );
         assert_eq!(
             parse("lookup x0, LUT0"),
-            Ok(MemoInst::Lookup { dst: 0, lut: lut(0) })
+            Ok(MemoInst::Lookup {
+                dst: 0,
+                lut: lut(0)
+            })
         );
         assert_eq!(
             parse("update x31, LUT3"),
@@ -252,7 +255,10 @@ mod tests {
     fn case_and_whitespace_insensitive() {
         assert_eq!(
             parse("  LOOKUP   X5 ,  lut2  "),
-            Ok(MemoInst::Lookup { dst: 5, lut: lut(2) })
+            Ok(MemoInst::Lookup {
+                dst: 5,
+                lut: lut(2)
+            })
         );
     }
 
@@ -287,7 +293,10 @@ mod tests {
                 dst: 31,
                 lut: lut(7),
             },
-            MemoInst::Update { src: 1, lut: lut(1) },
+            MemoInst::Update {
+                src: 1,
+                lut: lut(1),
+            },
             MemoInst::Invalidate { lut: lut(2) },
         ];
         for inst in insts {

@@ -152,7 +152,10 @@ mod tests {
                 lut: lut(7),
                 trunc: 63,
             },
-            MemoInst::Lookup { dst: 0, lut: lut(0) },
+            MemoInst::Lookup {
+                dst: 0,
+                lut: lut(0),
+            },
             MemoInst::Update {
                 src: 31,
                 lut: lut(3),

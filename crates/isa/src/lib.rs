@@ -182,14 +182,25 @@ mod tests {
             trunc: 0
         }
         .is_ordered());
-        assert!(MemoInst::Lookup { dst: 0, lut: lut(0) }.is_ordered());
-        assert!(!MemoInst::Update { src: 0, lut: lut(0) }.is_ordered());
+        assert!(MemoInst::Lookup {
+            dst: 0,
+            lut: lut(0)
+        }
+        .is_ordered());
+        assert!(!MemoInst::Update {
+            src: 0,
+            lut: lut(0)
+        }
+        .is_ordered());
         assert!(!MemoInst::Invalidate { lut: lut(0) }.is_ordered());
     }
 
     #[test]
     fn mnemonics() {
-        assert_eq!(MemoInst::Invalidate { lut: lut(7) }.mnemonic(), "invalidate");
+        assert_eq!(
+            MemoInst::Invalidate { lut: lut(7) }.mnemonic(),
+            "invalidate"
+        );
         assert_eq!(
             MemoInst::RegCrc {
                 src: 0,

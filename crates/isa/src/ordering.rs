@@ -12,9 +12,9 @@
 //! (b) compute the serialisation stalls it induces.
 
 use crate::MemoInst;
-use axmemo_core::ids::MAX_LUTS;
 #[cfg(test)]
 use axmemo_core::ids::LutId;
+use axmemo_core::ids::MAX_LUTS;
 
 /// Scoreboard for the per-LUT dummy-register dependency chain.
 ///
@@ -86,7 +86,10 @@ mod tests {
             lut: lut(0),
             trunc: 0,
         };
-        let b = MemoInst::Lookup { dst: 1, lut: lut(0) };
+        let b = MemoInst::Lookup {
+            dst: 1,
+            lut: lut(0),
+        };
         // a issues at 0 with 4-cycle latency; b presented at 1 must wait.
         assert_eq!(m.issue(&a, 0, 4), 0);
         assert_eq!(m.issue(&b, 1, 2), 4);
@@ -142,7 +145,10 @@ mod tests {
             // Each beat takes 4 cycles of CRC time (1/byte).
             cycle = m.issue(&beat, cycle, 4);
         }
-        let look = MemoInst::Lookup { dst: 0, lut: lut(0) };
+        let look = MemoInst::Lookup {
+            dst: 0,
+            lut: lut(0),
+        };
         let at = m.issue(&look, cycle, 2);
         // 9 beats × 4 cycles = issue no earlier than cycle 36... minus the
         // first beat issuing at 0: ready_at = 36.

@@ -88,10 +88,7 @@ mod tests {
     fn cpu_cycles_dispatch() {
         let t = MemoTiming::paper();
         let lut = LutId::new(0).unwrap();
-        assert_eq!(
-            t.cpu_cycles(&MemoInst::Lookup { dst: 0, lut }, false, 8),
-            2
-        );
+        assert_eq!(t.cpu_cycles(&MemoInst::Lookup { dst: 0, lut }, false, 8), 2);
         assert_eq!(t.cpu_cycles(&MemoInst::Lookup { dst: 0, lut }, true, 8), 13);
         assert_eq!(t.cpu_cycles(&MemoInst::Update { src: 0, lut }, false, 8), 2);
         assert_eq!(t.cpu_cycles(&MemoInst::Invalidate { lut }, false, 8), 8);

@@ -144,7 +144,12 @@ impl ProgramBuilder {
 
     /// Conditional branch to `label`.
     pub fn branch(&mut self, cond: Cond, ra: Reg, rb: Operand, label: Label) -> &mut Self {
-        self.insts.push(PendingInst::Branch { cond, ra, rb, label });
+        self.insts.push(PendingInst::Branch {
+            cond,
+            ra,
+            rb,
+            label,
+        });
         self
     }
 
@@ -237,7 +242,12 @@ impl ProgramBuilder {
         for p in &self.insts {
             insts.push(match *p {
                 PendingInst::Ready(i) => i,
-                PendingInst::Branch { cond, ra, rb, label } => Inst::Branch {
+                PendingInst::Branch {
+                    cond,
+                    ra,
+                    rb,
+                    label,
+                } => Inst::Branch {
                     cond,
                     ra,
                     rb,

@@ -8,15 +8,16 @@
 //! out of the L2 cache's ways (shrinking the caching capacity exactly as
 //! §3.3 describes).
 
-use crate::cache::{CacheConfig, CacheHierarchy, ServedBy};
+use crate::cache::{CacheConfig, CacheHierarchy, CacheStats, ServedBy};
 use crate::ir::{Cond, FBinOp, FUnOp, IAluOp, Inst, MemWidth, Operand, Program, NUM_REGS};
 use crate::pipeline::{FuClass, LatencyModel, Pipeline};
-use crate::predictor::{BranchPredictor, PredictorConfig};
+use crate::predictor::{BranchPredictor, PredictorConfig, PredictorStats};
 use crate::stats::RunStats;
 use axmemo_core::config::MemoConfig;
 use axmemo_core::ids::{ThreadId, MAX_LUTS};
 use axmemo_core::truncate::InputValue;
 use axmemo_core::unit::{LookupResult, MemoizationUnit};
+use axmemo_telemetry::Telemetry;
 use core::fmt;
 
 /// Architectural machine state: 32 × 64-bit registers plus a flat,
@@ -133,7 +134,10 @@ impl fmt::Display for SimError {
                 write!(f, "dynamic instruction limit {limit} exceeded")
             }
             SimError::NoMemoUnit { pc } => {
-                write!(f, "memoization instruction at pc {pc} without a memoization unit")
+                write!(
+                    f,
+                    "memoization instruction at pc {pc} without a memoization unit"
+                )
             }
         }
     }
@@ -219,6 +223,22 @@ pub struct Simulator {
     config: SimConfig,
     cache: CacheHierarchy,
     memo: Option<MemoizationUnit>,
+    telemetry: Telemetry,
+}
+
+/// Dynamic instruction counts by class, flushed to telemetry at the end
+/// of a run (locals in the hot loop; no registry lookups per commit).
+#[derive(Debug, Clone, Copy, Default)]
+struct InstClassCounts {
+    ialu: u64,
+    fbin: u64,
+    fun: u64,
+    load: u64,
+    store: u64,
+    mov: u64,
+    branch: u64,
+    jump: u64,
+    memo: u64,
 }
 
 impl Simulator {
@@ -238,7 +258,33 @@ impl Simulator {
             cache: CacheHierarchy::new(config.cache, reserved),
             config,
             memo,
+            telemetry: Telemetry::off(),
         })
+    }
+
+    /// Install a telemetry handle. An enabled handle makes every
+    /// subsequent run emit per-run metrics (instruction classes, stall
+    /// attribution, cache/predictor outcomes) plus the memoization
+    /// unit's LUT and quality events; the default handle is off and
+    /// costs nothing on the hot path.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = tel;
+    }
+
+    /// The telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry handle (add sinks, read the registry).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Take the telemetry handle out (e.g. to render a report), leaving
+    /// a disabled one in place.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.telemetry)
     }
 
     /// The memoization unit, when configured.
@@ -288,6 +334,10 @@ impl Simulator {
         let mut pipe = Pipeline::new();
         let mut predictor = self.config.predictor.map(BranchPredictor::new);
         let mut stats = RunStats::default();
+        let mut classes = InstClassCounts::default();
+        // Cache statistics accumulate across runs; snapshot for deltas.
+        let l1d_before = self.cache.l1d_stats();
+        let l2_before = self.cache.l2_stats();
         let tid = ThreadId(0);
         // Per-LUT cycle when the CRC unit finishes the queued beats.
         let mut crc_ready = [0u64; MAX_LUTS];
@@ -301,10 +351,7 @@ impl Simulator {
         let mut pc = 0usize;
 
         loop {
-            let inst = *program
-                .insts
-                .get(pc)
-                .ok_or(SimError::PcOutOfRange { pc })?;
+            let inst = *program.insts.get(pc).ok_or(SimError::PcOutOfRange { pc })?;
             if stats.dynamic_insts >= self.config.max_insts {
                 return Err(SimError::InstLimit {
                     limit: self.config.max_insts,
@@ -345,6 +392,7 @@ impl Simulator {
                         FuClass::IntDiv => stats.energy.int_div_ops += 1,
                         _ => stats.energy.int_alu_ops += 1,
                     }
+                    classes.ialu += 1;
                 }
                 Inst::FBin { op, rd, ra, rb } => {
                     let v = fbin(op, machine.f32(ra), machine.f32(rb));
@@ -357,6 +405,7 @@ impl Simulator {
                     } else {
                         stats.energy.fp_ops += 1;
                     }
+                    classes.fbin += 1;
                 }
                 Inst::FUn { op, rd, ra } => {
                     let v = funop(op, machine, ra);
@@ -371,6 +420,7 @@ impl Simulator {
                         FUnOp::Sqrt => stats.energy.fp_div_ops += 1,
                         _ => stats.energy.fp_ops += 1,
                     }
+                    classes.fun += 1;
                 }
                 Inst::Ld {
                     width,
@@ -386,6 +436,7 @@ impl Simulator {
                     let (latency, served) = self.cache.access_served(addr);
                     charge_mem(&mut stats, served);
                     pipe.issue(&[base], Some(rd), FuClass::LdSt, latency, 0);
+                    classes.load += 1;
                 }
                 Inst::St {
                     width,
@@ -399,12 +450,14 @@ impl Simulator {
                     let (_, served) = self.cache.access_served(addr);
                     charge_mem(&mut stats, served);
                     pipe.issue(&[rs, base], None, FuClass::LdSt, lat.store, 0);
+                    classes.store += 1;
                 }
                 Inst::MovImm { rd, imm } => {
                     machine.regs[rd as usize] = imm;
                     wrote = Some((rd, imm));
                     pipe.issue(&[], Some(rd), FuClass::IntAlu, 1, 0);
                     stats.energy.int_alu_ops += 1;
+                    classes.mov += 1;
                 }
                 Inst::Mov { rd, ra } => {
                     let v = machine.regs[ra as usize];
@@ -412,6 +465,7 @@ impl Simulator {
                     wrote = Some((rd, v));
                     pipe.issue(&[ra], Some(rd), FuClass::IntAlu, 1, 0);
                     stats.energy.int_alu_ops += 1;
+                    classes.mov += 1;
                 }
                 Inst::Branch {
                     cond,
@@ -440,6 +494,7 @@ impl Simulator {
                         None => {}
                     }
                     stats.energy.int_alu_ops += 1;
+                    classes.branch += 1;
                 }
                 Inst::Jump { target } => {
                     next_pc = target;
@@ -447,6 +502,7 @@ impl Simulator {
                     pipe.branch_bubble(lat.taken_branch_bubble);
                     stats.branch_bubbles += 1;
                     stats.energy.int_alu_ops += 1;
+                    classes.jump += 1;
                 }
                 Inst::BranchMemoHit { target } => {
                     pipe.issue(&[], None, FuClass::Branch, 1, 0);
@@ -457,6 +513,7 @@ impl Simulator {
                     }
                     stats.memo_insts += 1;
                     stats.energy.int_alu_ops += 1;
+                    classes.memo += 1;
                 }
                 Inst::MemoLdCrc {
                     width,
@@ -480,7 +537,14 @@ impl Simulator {
                     let backlog = crc_ready[lut.index()];
                     let not_before = backlog.saturating_sub(queue_capacity);
                     let at = pipe.issue(&[base], Some(rd), FuClass::LdSt, latency, not_before);
-                    unit.feed(lut, tid, input_value(width, raw), u32::from(trunc));
+                    self.telemetry.set_cycle(at);
+                    unit.feed_tel(
+                        lut,
+                        tid,
+                        input_value(width, raw),
+                        u32::from(trunc),
+                        &mut self.telemetry,
+                    );
                     // The synthesised CRC unit is unrolled 4x and
                     // pipelined (§6.1): 4 bytes per cycle.
                     let beat = (width.bytes() as u64).div_ceil(4);
@@ -490,6 +554,7 @@ impl Simulator {
                     if not_before > at {
                         stats.memo_stall_cycles += not_before - at;
                     }
+                    classes.memo += 1;
                 }
                 Inst::MemoRegCrc {
                     width,
@@ -502,18 +567,27 @@ impl Simulator {
                     let backlog = crc_ready[lut.index()];
                     let not_before = backlog.saturating_sub(queue_capacity);
                     let at = pipe.issue(&[src], None, FuClass::Memo, 1, not_before);
-                    unit.feed(lut, tid, input_value(width, raw), u32::from(trunc));
+                    self.telemetry.set_cycle(at);
+                    unit.feed_tel(
+                        lut,
+                        tid,
+                        input_value(width, raw),
+                        u32::from(trunc),
+                        &mut self.telemetry,
+                    );
                     let beat = (width.bytes() as u64).div_ceil(4);
                     crc_ready[lut.index()] = crc_ready[lut.index()].max(at + 1) + beat;
                     stats.energy.crc_beats += beat;
                     stats.energy.hvr_accesses += 1;
                     stats.memo_insts += 1;
+                    classes.memo += 1;
                 }
                 Inst::MemoLookup { rd, lut } => {
                     let unit = self.memo.as_mut().ok_or(SimError::NoMemoUnit { pc })?;
                     // lookup waits for the CRC pipeline to drain (§3.4).
                     let not_before = crc_ready[lut.index()];
-                    let result = unit.lookup(lut, tid);
+                    self.telemetry.set_cycle(pipe.now().max(not_before));
+                    let result = unit.lookup_tel(lut, tid, &mut self.telemetry);
                     let latency = unit.lookup_cycles(&result);
                     let before = pipe.now();
                     pipe.issue(&[], Some(rd), FuClass::Memo, latency, not_before);
@@ -543,23 +617,28 @@ impl Simulator {
                         }
                     }
                     stats.memo_insts += 1;
+                    classes.memo += 1;
                 }
                 Inst::MemoUpdate { src, lut } => {
                     let unit = self.memo.as_mut().ok_or(SimError::NoMemoUnit { pc })?;
                     let data = machine.regs[src as usize];
-                    let cycles = unit.update(lut, tid, data);
+                    self.telemetry.set_cycle(pipe.now());
+                    let cycles = unit.update_tel(lut, tid, data, &mut self.telemetry);
                     pipe.issue(&[src], None, FuClass::Memo, cycles, 0);
                     stats.energy.l1_lut_accesses += 1;
                     if unit.config().l2_bytes.is_some() {
                         stats.energy.l2_lut_accesses += 1;
                     }
                     stats.memo_insts += 1;
+                    classes.memo += 1;
                 }
                 Inst::MemoInvalidate { lut } => {
                     let unit = self.memo.as_mut().ok_or(SimError::NoMemoUnit { pc })?;
-                    let cycles = unit.invalidate(lut);
+                    self.telemetry.set_cycle(pipe.now());
+                    let cycles = unit.invalidate_tel(lut, &mut self.telemetry);
                     pipe.issue(&[], None, FuClass::Memo, cycles, 0);
                     stats.memo_insts += 1;
+                    classes.memo += 1;
                 }
             }
 
@@ -575,7 +654,60 @@ impl Simulator {
         if let Some(unit) = self.memo.as_ref() {
             stats.energy.quality_compares = unit.stats().sampled_misses;
         }
+        let predictor_stats = predictor.as_ref().map(|bp| bp.stats());
+        self.flush_run_telemetry(&stats, &classes, predictor_stats, l1d_before, l2_before);
         Ok(stats)
+    }
+
+    /// Flush per-run counters into the telemetry registry. Instruction
+    /// classes and stalls accumulate in locals during the run; cache
+    /// statistics are counted as deltas against the run-start snapshot
+    /// (the hierarchy's counters persist across runs).
+    fn flush_run_telemetry(
+        &mut self,
+        stats: &RunStats,
+        classes: &InstClassCounts,
+        predictor: Option<PredictorStats>,
+        l1d_before: CacheStats,
+        l2_before: CacheStats,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let tel = &mut self.telemetry;
+        tel.set_cycle(stats.cycles);
+        tel.count("inst.total", stats.dynamic_insts);
+        tel.count("inst.ialu", classes.ialu);
+        tel.count("inst.fbin", classes.fbin);
+        tel.count("inst.fun", classes.fun);
+        tel.count("inst.load", classes.load);
+        tel.count("inst.store", classes.store);
+        tel.count("inst.mov", classes.mov);
+        tel.count("inst.branch", classes.branch);
+        tel.count("inst.jump", classes.jump);
+        tel.count("inst.memo", classes.memo);
+        tel.count("cycles.total", stats.cycles);
+        tel.count("stall.memo_queue_cycles", stats.memo_stall_cycles);
+        tel.count("stall.branch_bubbles", stats.branch_bubbles);
+        let l1d = self.cache.l1d_stats();
+        let l2 = self.cache.l2_stats();
+        tel.count("cache.l1d.hits", l1d.hits.saturating_sub(l1d_before.hits));
+        tel.count(
+            "cache.l1d.misses",
+            l1d.misses.saturating_sub(l1d_before.misses),
+        );
+        tel.count("cache.l2.hits", l2.hits.saturating_sub(l2_before.hits));
+        tel.count(
+            "cache.l2.misses",
+            l2.misses.saturating_sub(l2_before.misses),
+        );
+        if let Some(ps) = predictor {
+            tel.count("predictor.predictions", ps.predictions);
+            tel.count("predictor.mispredictions", ps.mispredictions);
+        }
+        if let Some(unit) = self.memo.as_ref() {
+            unit.record_occupancy(tel);
+        }
     }
 }
 

@@ -6,9 +6,9 @@
 //! `@index` references — the debugging view used when inspecting
 //! compiler output.
 
-use crate::ir::{Cond, FBinOp, FUnOp, IAluOp, Inst, MemWidth, Program};
 #[cfg(test)]
 use crate::ir::Operand;
+use crate::ir::{Cond, FBinOp, FUnOp, IAluOp, Inst, MemWidth, Program};
 use core::fmt;
 
 fn ialu_mnemonic(op: IAluOp) -> &'static str {

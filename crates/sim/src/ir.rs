@@ -409,14 +409,14 @@ impl Program {
                 Inst::Branch { target, .. }
                 | Inst::Jump { target }
                 | Inst::BranchMemoHit { target }
-                    if target >= n => {
-                        return Err(format!("inst {i}: branch target {target} out of range"));
-                    }
+                    if target >= n =>
+                {
+                    return Err(format!("inst {i}: branch target {target} out of range"));
+                }
                 Inst::RegionBegin { id } => open.push(id),
-                Inst::RegionEnd { id }
-                    if open.pop() != Some(id) => {
-                        return Err(format!("inst {i}: unbalanced RegionEnd({id})"));
-                    }
+                Inst::RegionEnd { id } if open.pop() != Some(id) => {
+                    return Err(format!("inst {i}: unbalanced RegionEnd({id})"));
+                }
                 _ => {}
             }
         }

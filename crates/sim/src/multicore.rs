@@ -29,9 +29,19 @@ pub struct MulticoreStats {
 }
 
 impl MulticoreStats {
+    /// All cores' statistics folded into one [`RunStats`] via
+    /// [`RunStats::merge`]: work counters sum, `cycles` is the makespan.
+    pub fn merged(&self) -> RunStats {
+        let mut total = RunStats::default();
+        for s in &self.per_core {
+            total.merge(s);
+        }
+        total
+    }
+
     /// Total dynamic instructions across cores.
     pub fn total_insts(&self) -> u64 {
-        self.per_core.iter().map(|s| s.dynamic_insts).sum()
+        self.merged().dynamic_insts
     }
 
     /// Aggregate hit rate across all cores' units.
@@ -91,10 +101,7 @@ impl MultiCore {
     /// # Panics
     ///
     /// Panics if `jobs.len()` differs from the core count.
-    pub fn run(
-        &mut self,
-        jobs: &mut [(Program, Machine)],
-    ) -> Result<MulticoreStats, SimError> {
+    pub fn run(&mut self, jobs: &mut [(Program, Machine)]) -> Result<MulticoreStats, SimError> {
         assert_eq!(jobs.len(), self.cores.len(), "one job per core");
         let mut per_core = Vec::with_capacity(jobs.len());
         let mut per_unit = Vec::with_capacity(jobs.len());
@@ -170,6 +177,9 @@ mod tests {
         ];
         let stats = mc.run(&mut jobs).unwrap();
         assert_eq!(stats.per_core.len(), 2);
+        let merged = stats.merged();
+        assert_eq!(merged.dynamic_insts, stats.total_insts());
+        assert_eq!(merged.cycles, stats.makespan);
         // Both cores computed the right outputs.
         for (k, (_, machine)) in jobs.iter().enumerate() {
             for i in 0..128u64 {
@@ -178,7 +188,10 @@ mod tests {
             }
         }
         assert!(stats.aggregate_hit_rate() > 0.8);
-        assert_eq!(stats.makespan, stats.per_core.iter().map(|s| s.cycles).max().unwrap());
+        assert_eq!(
+            stats.makespan,
+            stats.per_core.iter().map(|s| s.cycles).max().unwrap()
+        );
     }
 
     #[test]

@@ -56,6 +56,27 @@ pub struct RunStats {
     pub branch_bubbles: u64,
 }
 
+impl EnergyBreakdown {
+    /// Field-wise accumulation of another breakdown into this one.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.instructions += other.instructions;
+        self.int_alu_ops += other.int_alu_ops;
+        self.int_mul_ops += other.int_mul_ops;
+        self.int_div_ops += other.int_div_ops;
+        self.fp_ops += other.fp_ops;
+        self.fp_div_ops += other.fp_div_ops;
+        self.fp_libm_ops += other.fp_libm_ops;
+        self.l1d_accesses += other.l1d_accesses;
+        self.l2_accesses += other.l2_accesses;
+        self.dram_accesses += other.dram_accesses;
+        self.crc_beats += other.crc_beats;
+        self.hvr_accesses += other.hvr_accesses;
+        self.l1_lut_accesses += other.l1_lut_accesses;
+        self.l2_lut_accesses += other.l2_lut_accesses;
+        self.quality_compares += other.quality_compares;
+    }
+}
+
 impl RunStats {
     /// Fraction of dynamic instructions that are memoization overhead.
     pub fn memo_fraction(&self) -> f64 {
@@ -65,11 +86,70 @@ impl RunStats {
             self.memo_insts as f64 / self.dynamic_insts as f64
         }
     }
+
+    /// Accumulate another run's statistics into this one. Work counters
+    /// (instructions, energy events, stalls) add; `cycles` takes the
+    /// maximum, matching the makespan semantics of concurrent cores —
+    /// for sequential runs, sum `cycles` separately.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.dynamic_insts += other.dynamic_insts;
+        self.memo_insts += other.memo_insts;
+        self.energy.merge(&other.energy);
+        self.memo_stall_cycles += other.memo_stall_cycles;
+        self.branch_bubbles += other.branch_bubbles;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_sums_work_and_takes_makespan() {
+        let mut a = RunStats {
+            cycles: 100,
+            dynamic_insts: 10,
+            memo_insts: 2,
+            memo_stall_cycles: 5,
+            branch_bubbles: 3,
+            ..RunStats::default()
+        };
+        a.energy.instructions = 10;
+        a.energy.fp_ops = 4;
+        let mut b = RunStats {
+            cycles: 250,
+            dynamic_insts: 30,
+            memo_insts: 6,
+            memo_stall_cycles: 1,
+            branch_bubbles: 7,
+            ..RunStats::default()
+        };
+        b.energy.instructions = 30;
+        b.energy.dram_accesses = 2;
+        a.merge(&b);
+        assert_eq!(a.cycles, 250, "makespan, not sum");
+        assert_eq!(a.dynamic_insts, 40);
+        assert_eq!(a.memo_insts, 8);
+        assert_eq!(a.memo_stall_cycles, 6);
+        assert_eq!(a.branch_bubbles, 10);
+        assert_eq!(a.energy.instructions, 40);
+        assert_eq!(a.energy.fp_ops, 4);
+        assert_eq!(a.energy.dram_accesses, 2);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity_on_counters() {
+        let a = RunStats {
+            cycles: 42,
+            dynamic_insts: 7,
+            memo_insts: 1,
+            ..RunStats::default()
+        };
+        let mut m = RunStats::default();
+        m.merge(&a);
+        assert_eq!(m, a);
+    }
 
     #[test]
     fn memo_fraction_handles_zero() {

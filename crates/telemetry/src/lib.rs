@@ -1,0 +1,283 @@
+//! # axmemo-telemetry
+//!
+//! Zero-dependency tracing and metrics for the AxMemo workspace: a
+//! metrics registry (counters, gauges, fixed-bucket histograms with
+//! p50/p90/p99 readout), hierarchical spans keyed on *simulated*
+//! cycles, and a structured event stream with pluggable sinks (ring
+//! buffer for tests, JSONL for offline tooling, text report for
+//! humans).
+//!
+//! The whole workspace threads a `&mut Telemetry` through its hot
+//! paths. When the handle is disabled ([`Telemetry::off`]) every
+//! method is a single branch on a bool and returns immediately, so
+//! instrumented code pays essentially nothing in the common case:
+//!
+//! ```
+//! use axmemo_telemetry::{RingBufferSink, Telemetry};
+//!
+//! let sink = RingBufferSink::new(64);
+//! let mut tel = Telemetry::enabled();
+//! tel.add_sink(Box::new(sink.clone()));
+//!
+//! tel.set_cycle(100);
+//! tel.span_enter("run:fft");
+//! tel.count("lut.l1.hit", 1);
+//! tel.event("lut.lookup", &[("hit", true.into())]);
+//! tel.set_cycle(250);
+//! tel.span_exit();
+//!
+//! assert_eq!(tel.registry().counter("lut.l1.hit"), 1);
+//! assert_eq!(sink.count_kind("lut.lookup"), 1);
+//! assert_eq!(tel.spans()[0].cycles(), 150);
+//! ```
+
+pub mod event;
+pub mod metrics;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+pub use event::{escape_json, event_to_json, Event, Value};
+pub use metrics::{Histogram, Registry, DEFAULT_BUCKETS};
+pub use sink::{EventSink, JsonlSink, RingBufferSink};
+pub use span::{SpanRecord, SpanTracker};
+
+/// The telemetry handle threaded through the simulator, the LUT
+/// hierarchy and the workload runner.
+///
+/// Construct with [`Telemetry::enabled`] to collect, or
+/// [`Telemetry::off`] (also `Default`) for a no-op handle that is
+/// cheap to build — no allocation happens until something is recorded.
+#[derive(Default)]
+pub struct Telemetry {
+    enabled: bool,
+    cycle: u64,
+    registry: Registry,
+    spans: SpanTracker,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl Telemetry {
+    /// Disabled handle: every recording method is a no-op.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Enabled handle with no sinks attached; metrics and spans are
+    /// collected in-memory, events go nowhere until a sink is added.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Attach a sink for the structured event stream.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Set the simulated cycle used to key subsequent events/spans.
+    #[inline]
+    pub fn set_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+    }
+
+    /// Current simulated cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Add `n` to counter `name`.
+    #[inline]
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.registry.counter_add(name, n);
+    }
+
+    /// Set gauge `name` to `v`.
+    #[inline]
+    pub fn gauge(&mut self, name: &'static str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.registry.gauge_set(name, v);
+    }
+
+    /// Record `v` into histogram `name` (default buckets on first use).
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.registry.observe(name, v);
+    }
+
+    /// Emit a structured event at the current cycle, tagged with the
+    /// innermost open span path.
+    #[inline]
+    pub fn event(&mut self, kind: &'static str, fields: &[(&'static str, Value)]) {
+        if !self.enabled || self.sinks.is_empty() {
+            return;
+        }
+        let ev = Event {
+            cycle: self.cycle,
+            kind,
+            span: self.spans.current_path().unwrap_or("").to_string(),
+            fields: fields.to_vec(),
+        };
+        for sink in &mut self.sinks {
+            sink.record(&ev);
+        }
+    }
+
+    /// Open a span at the current cycle.
+    pub fn span_enter(&mut self, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        let path = self.spans.enter(name, self.cycle);
+        let cycle = self.cycle;
+        self.emit_raw(Event {
+            cycle,
+            kind: "span.enter",
+            span: path,
+            fields: Vec::new(),
+        });
+    }
+
+    /// Close the innermost span at the current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (from [`SpanTracker::exit`]) when no span is open.
+    pub fn span_exit(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        let rec = self.spans.exit(self.cycle);
+        self.emit_raw(Event {
+            cycle: rec.end_cycle,
+            kind: "span.exit",
+            span: rec.path.clone(),
+            fields: vec![
+                ("start_cycle", Value::U64(rec.start_cycle)),
+                ("cycles", Value::U64(rec.cycles())),
+            ],
+        });
+    }
+
+    fn emit_raw(&mut self, ev: Event) {
+        for sink in &mut self.sinks {
+            sink.record(&ev);
+        }
+    }
+
+    /// Metrics collected so far.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry (bulk merges in multicore runs).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Completed spans, in close order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        self.spans.completed()
+    }
+
+    /// Flush every attached sink.
+    pub fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+
+    /// Human-readable metrics + span report (see [`report::render_text`]).
+    pub fn text_report(&self) -> String {
+        report::render_text(self)
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .field("cycle", &self.cycle)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_records_nothing() {
+        let sink = RingBufferSink::new(8);
+        let mut tel = Telemetry::off();
+        tel.add_sink(Box::new(sink.clone()));
+        tel.count("a", 1);
+        tel.gauge("g", 2.0);
+        tel.observe("h", 3.0);
+        tel.event("k", &[]);
+        tel.span_enter("s");
+        tel.span_exit(); // no-op, must not panic even though nothing is open
+        assert_eq!(tel.registry().counter("a"), 0);
+        assert!(sink.is_empty());
+        assert!(tel.spans().is_empty());
+    }
+
+    #[test]
+    fn events_carry_cycle_and_span() {
+        let sink = RingBufferSink::new(8);
+        let mut tel = Telemetry::enabled();
+        tel.add_sink(Box::new(sink.clone()));
+        tel.set_cycle(5);
+        tel.span_enter("run:sobel");
+        tel.set_cycle(9);
+        tel.event("lut.lookup", &[("hit", Value::Bool(false))]);
+        tel.set_cycle(20);
+        tel.span_exit();
+
+        let events = sink.events();
+        assert_eq!(events.len(), 3); // enter, lookup, exit
+        assert_eq!(events[1].cycle, 9);
+        assert_eq!(events[1].span, "run:sobel");
+        assert_eq!(events[2].kind, "span.exit");
+        assert_eq!(events[2].field("cycles"), Some(&Value::U64(15)));
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let mut tel = Telemetry::enabled();
+        tel.count("c", 2);
+        tel.count("c", 3);
+        tel.observe("lat", 4.0);
+        assert_eq!(tel.registry().counter("c"), 5);
+        assert_eq!(tel.registry().histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced close")]
+    fn enabled_unbalanced_exit_panics() {
+        let mut tel = Telemetry::enabled();
+        tel.span_exit();
+    }
+
+    #[test]
+    fn event_without_sinks_is_cheap_noop() {
+        let mut tel = Telemetry::enabled();
+        tel.event("k", &[("x", Value::U64(1))]); // must not panic
+    }
+}

@@ -1,0 +1,101 @@
+//! Human-readable rendering of collected telemetry.
+
+use std::fmt::Write as _;
+
+use crate::Telemetry;
+
+/// Render counters, gauges, histogram summaries and completed spans as
+/// an aligned plain-text report. Sections with no data are omitted; a
+/// fully-empty report is the empty string.
+pub fn render_text(tel: &Telemetry) -> String {
+    let mut out = String::new();
+    let reg = tel.registry();
+
+    let counters: Vec<_> = reg.counters().collect();
+    if !counters.is_empty() {
+        out.push_str("== counters ==\n");
+        let width = counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in counters {
+            let _ = writeln!(out, "  {k:<width$}  {v}");
+        }
+    }
+
+    let gauges: Vec<_> = reg.gauges().collect();
+    if !gauges.is_empty() {
+        out.push_str("== gauges ==\n");
+        let width = gauges.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in gauges {
+            let _ = writeln!(out, "  {k:<width$}  {v:.4}");
+        }
+    }
+
+    let hists: Vec<_> = reg.histograms().collect();
+    if !hists.is_empty() {
+        out.push_str("== histograms ==\n");
+        let width = hists.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, h) in hists {
+            let _ = writeln!(
+                out,
+                "  {k:<width$}  n={} mean={:.2} min={} max={} p50={} p90={} p99={}",
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.max(),
+                h.p50(),
+                h.p90(),
+                h.p99()
+            );
+        }
+    }
+
+    let spans = tel.spans();
+    if !spans.is_empty() {
+        out.push_str("== spans ==\n");
+        for s in spans {
+            let _ = writeln!(
+                out,
+                "  {:indent$}{}  [{} .. {}]  {} cycles",
+                "",
+                s.path.rsplit('/').next().unwrap_or(&s.path),
+                s.start_cycle,
+                s.end_cycle,
+                s.cycles(),
+                indent = 2 * s.depth,
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_telemetry_renders_empty() {
+        let tel = Telemetry::enabled();
+        assert_eq!(render_text(&tel), "");
+    }
+
+    #[test]
+    fn sections_appear_when_populated() {
+        let mut tel = Telemetry::enabled();
+        tel.count("lut.l1.hit", 42);
+        tel.gauge("lut.l1.occupancy", 0.5);
+        tel.observe("memo.latency", 3.0);
+        tel.set_cycle(10);
+        tel.span_enter("run:fft");
+        tel.set_cycle(90);
+        tel.span_exit();
+
+        let text = render_text(&tel);
+        assert!(text.contains("== counters =="), "{text}");
+        assert!(text.contains("lut.l1.hit"), "{text}");
+        assert!(text.contains("== gauges =="), "{text}");
+        assert!(text.contains("== histograms =="), "{text}");
+        assert!(text.contains("== spans =="), "{text}");
+        assert!(text.contains("run:fft"), "{text}");
+        assert!(text.contains("80 cycles"), "{text}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Pluggable event sinks.
+//!
+//! A sink receives every [`Event`] the telemetry facade emits. Two
+//! implementations ship in-tree: a bounded in-memory ring buffer for
+//! tests and post-run inspection, and a JSONL writer for offline
+//! tooling. Both are deliberately simple — no background threads, no
+//! buffer sharing beyond an `Rc` handle for the ring buffer so a test
+//! can keep reading after handing the sink to `Telemetry`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::event::{event_to_json, Event};
+
+/// Receiver for the structured event stream.
+pub trait EventSink {
+    /// Record one event.
+    fn record(&mut self, event: &Event);
+    /// Flush any buffered output (called from `Telemetry::flush`).
+    fn flush(&mut self) {}
+}
+
+/// Bounded in-memory sink; oldest events are dropped once `capacity`
+/// is reached. Cloning the sink clones the *handle*: both clones see
+/// the same buffer, which is how tests keep a view after the sink has
+/// been moved into a `Telemetry`.
+#[derive(Clone)]
+pub struct RingBufferSink {
+    buf: Rc<RefCell<VecDeque<Event>>>,
+    capacity: usize,
+    dropped: Rc<RefCell<u64>>,
+}
+
+impl RingBufferSink {
+    /// Ring buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be non-zero");
+        Self {
+            buf: Rc::new(RefCell::new(VecDeque::with_capacity(capacity.min(1024)))),
+            capacity,
+            dropped: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.borrow().iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.borrow()
+    }
+
+    /// Count buffered events of the given kind.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.buf.borrow().iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&mut self, event: &Event) {
+        let mut buf = self.buf.borrow_mut();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            *self.dropped.borrow_mut() += 1;
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Sink writing one JSON object per line to an arbitrary writer.
+pub struct JsonlSink<W: Write> {
+    out: BufWriter<W>,
+}
+
+impl JsonlSink<File> {
+    /// Create (truncating) `path` and stream events to it as JSONL.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            out: BufWriter::new(writer),
+        }
+    }
+
+    /// Flush and return the underlying writer (for in-memory tests).
+    pub fn into_inner(self) -> W {
+        self.out
+            .into_inner()
+            .unwrap_or_else(|_| panic!("flushing JSONL sink failed"))
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        // Trace output failing mid-run should not abort a simulation;
+        // the final flush in `Telemetry::flush` surfaces persistent
+        // errors via the writer's own state.
+        let _ = self.out.write_all(event_to_json(event).as_bytes());
+        let _ = self.out.write_all(b"\n");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    fn ev(kind: &'static str, cycle: u64) -> Event {
+        Event {
+            cycle,
+            kind,
+            span: String::new(),
+            fields: vec![("i", Value::U64(cycle))],
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest() {
+        let mut sink = RingBufferSink::new(3);
+        for c in 0..5 {
+            sink.record(&ev("a", c));
+        }
+        let cycles: Vec<u64> = sink.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn ring_buffer_clone_shares_storage() {
+        let sink = RingBufferSink::new(8);
+        let mut writer = sink.clone();
+        writer.record(&ev("a", 1));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.count_kind("a"), 1);
+        assert_eq!(sink.count_kind("b"), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&ev("a", 1));
+        sink.record(&ev("b", 2));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"cycle\":1,\"kind\":\"a\""));
+        assert!(lines[1].starts_with("{\"cycle\":2,\"kind\":\"b\""));
+        for line in lines {
+            assert!(line.ends_with('}'));
+        }
+    }
+}

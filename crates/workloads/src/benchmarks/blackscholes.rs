@@ -220,14 +220,35 @@ impl Benchmark for Blackscholes {
 
     fn setup(&self, scale: Scale, dataset: Dataset) -> Machine {
         let n = count(scale);
-        let mut machine = Machine::new((IN_BASE + OPTION_BYTES * n as u64).max(OUT_BASE + 4 * n as u64) as usize + 4096);
+        let mut machine = Machine::new(
+            (IN_BASE + OPTION_BYTES * n as u64).max(OUT_BASE + 4 * n as u64) as usize + 4096,
+        );
         let mut rng = Rng::new(dataset.seed() ^ 0xB5);
-        let spot = QuantizedGrid { lo: 40.0, hi: 120.0, levels: 8, jitter_rel: 0.0 };
-        let strike = QuantizedGrid { lo: 50.0, hi: 110.0, levels: 4, jitter_rel: 0.0 };
-        let expiry = QuantizedGrid { lo: 0.25, hi: 2.0, levels: 4, jitter_rel: 0.0 };
+        let spot = QuantizedGrid {
+            lo: 40.0,
+            hi: 120.0,
+            levels: 8,
+            jitter_rel: 0.0,
+        };
+        let strike = QuantizedGrid {
+            lo: 50.0,
+            hi: 110.0,
+            levels: 4,
+            jitter_rel: 0.0,
+        };
+        let expiry = QuantizedGrid {
+            lo: 0.25,
+            hi: 2.0,
+            levels: 4,
+            jitter_rel: 0.0,
+        };
         for i in 0..n {
             let base = IN_BASE + OPTION_BYTES * i as u64;
-            let (r, v) = if rng.index(2) == 0 { (0.02f32, 0.3f32) } else { (0.05, 0.4) };
+            let (r, v) = if rng.index(2) == 0 {
+                (0.02f32, 0.3f32)
+            } else {
+                (0.05, 0.4)
+            };
             machine.store_f32(base, spot.sample(&mut rng));
             machine.store_f32(base + 4, strike.sample(&mut rng));
             machine.store_f32(base + 8, r);

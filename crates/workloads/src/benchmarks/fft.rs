@@ -62,8 +62,7 @@ fn poly_cos(x: f32) -> f32 {
         * (-0.5
             + x2 * (1.0 / 24.0
                 + x2 * (-1.0 / 720.0
-                    + x2 * (1.0 / 40320.0
-                        + x2 * (-1.0 / 3628800.0 + x2 * (1.0 / 479001600.0))))))
+                    + x2 * (1.0 / 40320.0 + x2 * (-1.0 / 3628800.0 + x2 * (1.0 / 479001600.0))))))
 }
 
 /// Golden twiddle for θ ∈ [-2π, 0] via the same shift + polynomials.

@@ -140,8 +140,14 @@ impl Benchmark for Inversek2j {
             region: 1,
             lut,
             input_loads: vec![
-                InputLoad { index: load0, trunc: TRUNC },
-                InputLoad { index: load0 + 1, trunc: TRUNC },
+                InputLoad {
+                    index: load0,
+                    trunc: TRUNC,
+                },
+                InputLoad {
+                    index: load0 + 1,
+                    trunc: TRUNC,
+                },
             ],
             reg_inputs: vec![],
             output: 30,

@@ -114,7 +114,7 @@ impl Benchmark for Jmeint {
         b.fbin(FBinOp::Mul, 28, 20, 24);
         b.fbin(FBinOp::Mul, 29, 21, 23);
         b.fbin(FBinOp::Sub, 28, 28, 29); // nz
-        // d = -(n·v0) -> r29
+                                         // d = -(n·v0) -> r29
         b.fbin(FBinOp::Mul, 29, 26, 10);
         b.fbin(FBinOp::Mul, 9, 27, 11);
         b.fbin(FBinOp::Add, 29, 29, 9);
@@ -124,12 +124,12 @@ impl Benchmark for Jmeint {
         // d0 = d ; d1 = nx + d ; d2 = ny + d
         b.fbin(FBinOp::Add, 26, 26, 29); // d1
         b.fbin(FBinOp::Add, 27, 27, 29); // d2
-        // min/max over {d, d1, d2}
+                                         // min/max over {d, d1, d2}
         b.fbin(FBinOp::Min, 8, 29, 26);
         b.fbin(FBinOp::Min, 8, 8, 27); // min
         b.fbin(FBinOp::Max, 9, 29, 26);
         b.fbin(FBinOp::Max, 9, 9, 27); // max
-        // result = (min < 0) * (max > 0) -> r30 (as 0.0/1.0)
+                                       // result = (min < 0) * (max > 0) -> r30 (as 0.0/1.0)
         b.movf(7, 0.0);
         b.fbin(FBinOp::CmpLt, 8, 8, 7); // min < 0
         b.fbin(FBinOp::CmpLt, 9, 7, 9); // 0 < max

@@ -146,7 +146,13 @@ impl Benchmark for LavaMd {
         // repeating vectors, which is why LavaMD hits without any
         // truncation (Table 2's 0 bits).
         let jitter: Vec<[f32; 3]> = (0..8)
-            .map(|_| [rng.range(0.0, 0.2), rng.range(0.0, 0.2), rng.range(0.0, 0.2)])
+            .map(|_| {
+                [
+                    rng.range(0.0, 0.2),
+                    rng.range(0.0, 0.2),
+                    rng.range(0.0, 0.2),
+                ]
+            })
             .collect();
         // x is periodic with period 16 (folded chain) so that f32
         // rounding cannot perturb the displacement pattern as i grows.

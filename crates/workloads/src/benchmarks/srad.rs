@@ -104,7 +104,7 @@ impl Benchmark for Srad {
         b.fbin(FBinOp::Sub, 21, 12, 10); // dS
         b.fbin(FBinOp::Sub, 22, 13, 10); // dW
         b.fbin(FBinOp::Sub, 23, 14, 10); // dE
-        // G = (ΣdX²)/J² -> r24
+                                         // G = (ΣdX²)/J² -> r24
         b.fbin(FBinOp::Mul, 24, 20, 20);
         b.fbin(FBinOp::Mul, 25, 21, 21);
         b.fbin(FBinOp::Add, 24, 24, 25);

@@ -19,6 +19,111 @@
 //! All generators are deterministic in their seed (xorshift64*), keeping
 //! experiments reproducible without the `rand` crate in the hot path.
 
+pub mod rng {
+    //! Deterministic SplitMix64 PRNG.
+    //!
+    //! The workspace builds with no network access, so there is no
+    //! `rand` crate anywhere; tests and generators that want arbitrary
+    //! but reproducible values use this instead. SplitMix64 passes
+    //! BigCrush, has a full 2^64 period over its counter, and — unlike
+    //! the xorshift64* [`Rng`](super::Rng) above — accepts *any* seed
+    //! including 0 without degenerating.
+
+    /// SplitMix64 generator state.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        /// Seeded generator; every seed (including 0) is valid.
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Next value as u32.
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Uniform u64 in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform usize in `[0, n)`; `n` must be nonzero.
+        pub fn index(&mut self, n: usize) -> usize {
+            self.below(n as u64) as usize
+        }
+
+        /// Uniform bool.
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform f32 in `[0, 1)`.
+        pub fn f32(&mut self) -> f32 {
+            (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+        }
+
+        /// `n` raw bytes.
+        pub fn bytes(&mut self, n: usize) -> Vec<u8> {
+            (0..n).map(|_| self.next_u64() as u8).collect()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn splitmix_matches_reference_vector() {
+            // Reference outputs for seed 1234567 from the canonical
+            // Java/C SplitMix64 implementation.
+            let mut r = SplitMix64::new(1234567);
+            assert_eq!(r.next_u64(), 0x599E_D017_FB08_FC85);
+        }
+
+        #[test]
+        fn splitmix_is_deterministic_and_accepts_zero_seed() {
+            let mut a = SplitMix64::new(0);
+            let mut b = SplitMix64::new(0);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+            assert_ne!(SplitMix64::new(0).next_u64(), 0);
+        }
+
+        #[test]
+        fn splitmix_helpers_stay_in_range() {
+            let mut r = SplitMix64::new(99);
+            for _ in 0..1000 {
+                assert!(r.f64() < 1.0);
+                assert!(r.f32() < 1.0);
+                assert!(r.index(7) < 7);
+                assert!(r.below(13) < 13);
+            }
+            assert_eq!(r.bytes(5).len(), 5);
+        }
+    }
+}
+
+pub use rng::SplitMix64;
+
 /// Deterministic 64-bit PRNG (xorshift64*), adequate for dataset
 /// synthesis and fully reproducible.
 #[derive(Debug, Clone)]
@@ -27,7 +132,11 @@ pub struct Rng(u64);
 impl Rng {
     /// Seeded generator; `seed` must be nonzero (0 is remapped).
     pub fn new(seed: u64) -> Self {
-        Self(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        Self(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next raw 64-bit value.
@@ -193,7 +302,13 @@ mod tests {
             let v = g.sample(&mut rng);
             let nearest = (0..4)
                 .map(|l| 10.0 + 10.0 * l as f32 / 4.0)
-                .fold(f32::MAX, |acc, b| if (v - b).abs() < (v - acc).abs() { b } else { acc });
+                .fold(f32::MAX, |acc, b| {
+                    if (v - b).abs() < (v - acc).abs() {
+                        b
+                    } else {
+                        acc
+                    }
+                });
             assert!((v - nearest).abs() / nearest < 1e-3);
         }
     }

@@ -6,9 +6,12 @@ use crate::meta::Metric;
 use crate::{Benchmark, Dataset, Scale};
 use axmemo_compiler::codegen::memoize;
 use axmemo_core::config::MemoConfig;
+use axmemo_core::lut::LutStats;
+use axmemo_core::unit::UnitStats;
 use axmemo_sim::cpu::{Machine, SimConfig, SimError, Simulator};
 use axmemo_sim::energy::EnergyModel;
 use axmemo_sim::stats::RunStats;
+use axmemo_telemetry::{escape_json, Telemetry};
 
 /// Per-element relative errors (for the Fig. 10b CDF) plus aggregates.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +48,71 @@ pub struct BenchmarkResult {
     pub memo_stats: RunStats,
 }
 
+/// [`BenchmarkResult`] plus the observability surface of the memoized
+/// run: memoization-unit counters, per-level LUT statistics, and the
+/// telemetry handle (metrics registry, completed spans, event sinks)
+/// that was threaded through the simulator.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The paper metrics (what the figures consume).
+    pub result: BenchmarkResult,
+    /// Memoization-unit counters of the memoized run.
+    pub unit_stats: UnitStats,
+    /// L1 LUT statistics of the memoized run.
+    pub l1_lut: LutStats,
+    /// L2 LUT statistics (all zero for single-level configurations).
+    pub l2_lut: LutStats,
+    /// The telemetry handle after the run. Disabled (and empty) when
+    /// the caller passed a disabled handle.
+    pub telemetry: Telemetry,
+}
+
+impl RunReport {
+    /// One machine-readable JSON object with the paper metrics, the
+    /// LUT-level statistics, and the telemetry metrics registry.
+    pub fn to_json(&self) -> String {
+        let r = &self.result;
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        s.push_str("\"name\":\"");
+        escape_json(&r.name, &mut s);
+        s.push_str("\",\"config\":\"");
+        escape_json(&r.config, &mut s);
+        s.push_str("\",");
+        s.push_str(&format!("\"speedup\":{},", r.speedup));
+        s.push_str(&format!("\"energy_reduction\":{},", r.energy_reduction));
+        s.push_str(&format!("\"dyn_inst_ratio\":{},", r.dyn_inst_ratio));
+        s.push_str(&format!("\"memo_inst_fraction\":{},", r.memo_inst_fraction));
+        s.push_str(&format!("\"hit_rate\":{},", r.hit_rate));
+        s.push_str(&format!("\"output_error\":{},", r.error.output_error));
+        s.push_str(&format!(
+            "\"baseline\":{{\"cycles\":{},\"insts\":{}}},",
+            r.baseline_stats.cycles, r.baseline_stats.dynamic_insts
+        ));
+        s.push_str(&format!(
+            "\"memoized\":{{\"cycles\":{},\"insts\":{},\"memo_insts\":{}}},",
+            r.memo_stats.cycles, r.memo_stats.dynamic_insts, r.memo_stats.memo_insts
+        ));
+        let u = &self.unit_stats;
+        s.push_str(&format!(
+            "\"unit\":{{\"lookups\":{},\"reported_hits\":{},\"l1_hits\":{},\"l2_hits\":{},\"sampled_misses\":{},\"updates\":{},\"invalidates\":{}}},",
+            u.lookups, u.reported_hits, u.l1_hits, u.l2_hits, u.sampled_misses, u.updates, u.invalidates
+        ));
+        for (label, l) in [("l1_lut", &self.l1_lut), ("l2_lut", &self.l2_lut)] {
+            s.push_str(&format!(
+                "\"{label}\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}},",
+                l.hits, l.misses, l.inserts, l.evictions
+            ));
+        }
+        s.push_str(&format!(
+            "\"metrics\":{}",
+            self.telemetry.registry().to_json()
+        ));
+        s.push('}');
+        s
+    }
+}
+
 /// Run `bench` on `scale`/`dataset`, baseline vs. memoized with `memo`
 /// LUT configuration (data width is overridden by the benchmark's
 /// requirement).
@@ -75,6 +143,29 @@ pub fn run_benchmark_opts(
     memo: &MemoConfig,
     zero_trunc: bool,
 ) -> Result<BenchmarkResult, Box<dyn std::error::Error>> {
+    run_benchmark_report(bench, scale, dataset, memo, zero_trunc, Telemetry::off())
+        .map(|report| report.result)
+}
+
+/// Like [`run_benchmark_opts`], with a telemetry handle threaded
+/// through the memoized run. The whole run executes under a
+/// `run:<name>` span; every LUT probe, quality decision, and
+/// per-run counter flows into `tel`'s registry and sinks, and the
+/// handle comes back inside the [`RunReport`]. Pass
+/// [`Telemetry::off()`] for a zero-cost run.
+///
+/// # Errors
+///
+/// Propagates simulator faults and codegen failures as a boxed error
+/// (the telemetry handle is dropped on the error path).
+pub fn run_benchmark_report(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    memo: &MemoConfig,
+    zero_trunc: bool,
+    mut tel: Telemetry,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
     let (program, mut specs) = bench.program(scale);
     if zero_trunc {
         for spec in &mut specs {
@@ -98,10 +189,19 @@ pub fn run_benchmark_opts(
     let base_stats = run(&mut base_sim, &program, &mut base_machine)?;
     let exact = bench.outputs(&base_machine, scale);
 
-    // Memoized run.
+    // Memoized run, under a `run:<name>` span with the telemetry
+    // handle installed in the simulator (it reaches the memoization
+    // unit and the LUT hierarchy from there).
     let mut memo_sim = Simulator::new(SimConfig::with_memo(memo_cfg.clone()))?;
     let mut memo_machine = bench.setup(scale, dataset);
+    tel.set_cycle(0);
+    tel.span_enter(&format!("run:{}", bench.meta().name));
+    memo_sim.set_telemetry(tel);
     let memo_stats = run(&mut memo_sim, &memo_program, &mut memo_machine)?;
+    let mut tel = memo_sim.take_telemetry();
+    tel.set_cycle(memo_stats.cycles);
+    tel.span_exit();
+    tel.flush();
     let approx = bench.outputs(&memo_machine, scale);
 
     // Metrics.
@@ -114,7 +214,7 @@ pub fn run_benchmark_opts(
         .unwrap_or(0.0);
     let error = compute_error(bench.meta().metric, &exact, &approx);
 
-    Ok(BenchmarkResult {
+    let result = BenchmarkResult {
         name: bench.meta().name.to_string(),
         config: format!("{memo:?}"),
         speedup: base_stats.cycles as f64 / memo_stats.cycles.max(1) as f64,
@@ -125,6 +225,17 @@ pub fn run_benchmark_opts(
         error,
         baseline_stats: base_stats,
         memo_stats,
+    };
+    let (unit_stats, l1_lut, l2_lut) = match memo_sim.memo_unit() {
+        Some(u) => (u.stats(), u.lut().l1_stats(), u.lut().l2_stats()),
+        None => Default::default(),
+    };
+    Ok(RunReport {
+        result,
+        unit_stats,
+        l1_lut,
+        l2_lut,
+        telemetry: tel,
     })
 }
 
@@ -176,7 +287,11 @@ mod tests {
 
     #[test]
     fn misclassification_error_path() {
-        let e = compute_error(Metric::Misclassification, &[1.0, 0.0, 1.0], &[1.0, 1.0, 1.0]);
+        let e = compute_error(
+            Metric::Misclassification,
+            &[1.0, 0.0, 1.0],
+            &[1.0, 1.0, 1.0],
+        );
         assert!((e.output_error - 1.0 / 3.0).abs() < 1e-12);
     }
 

@@ -30,10 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ctl = AdaptiveTruncation::new(AdaptiveConfig::default(), 4);
 
     let run_phase = |unit: &mut MemoizationUnit,
-                         ctl: &mut AdaptiveTruncation,
-                         kernel: fn(f32) -> f32,
-                         label: &str,
-                         iters: u64| {
+                     ctl: &mut AdaptiveTruncation,
+                     kernel: fn(f32) -> f32,
+                     label: &str,
+                     iters: u64| {
         for i in 0..iters {
             let x = 1.0 + (i % 64) as f32 * 1e-4;
             let bits = ctl.current_bits();

@@ -6,9 +6,9 @@
 
 use axmemo_compiler::codegen::memoize;
 use axmemo_compiler::dddg::Dddg;
+use axmemo_compiler::report::CompilationReport;
 use axmemo_compiler::trace::TraceCapture;
 use axmemo_compiler::truncation::{select_truncation, NUMERIC_ERROR_BOUND};
-use axmemo_compiler::report::CompilationReport;
 use axmemo_compiler::{analyze, candidates, InputLoad, RegionSpec, SearchConfig};
 use axmemo_core::config::MemoConfig;
 use axmemo_core::ids::LutId;
@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cap = TraceCapture::with_limit(100_000);
     sim.run_traced(&small_program, &mut machine, Some(&mut cap))?;
     let graph = Dddg::from_trace(cap.events(), &LatencyModel::default());
-    println!("DDDG: {} vertices, total weight {}", graph.len(), graph.total_weight());
+    println!(
+        "DDDG: {} vertices, total weight {}",
+        graph.len(),
+        graph.total_weight()
+    );
 
     // 3: candidate search.
     let summary = analyze(&graph, &SearchConfig::default());
@@ -88,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(best) = unique.first() {
         let dot = graph.to_dot(&best.vertices);
         std::fs::write("/tmp/axmemo_dddg.dot", &dot)?;
-        println!("wrote candidate subgraph to /tmp/axmemo_dddg.dot ({} bytes)", dot.len());
+        println!(
+            "wrote candidate subgraph to /tmp/axmemo_dddg.dot ({} bytes)",
+            dot.len()
+        );
     }
 
     // 4: truncation-bit selection against the 0.1% output-error bound.

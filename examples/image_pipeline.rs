@@ -12,7 +12,10 @@ use axmemo_workloads::{benchmark_by_name, run_benchmark, Dataset, Scale};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sobel = benchmark_by_name("sobel").expect("sobel is registered");
     println!("Sobel edge detection through the AxMemo pipeline");
-    println!("{:<24} | {:>8} | {:>8} | {:>8} | {:>10}", "configuration", "speedup", "energy", "hit rate", "error");
+    println!(
+        "{:<24} | {:>8} | {:>8} | {:>8} | {:>10}",
+        "configuration", "speedup", "energy", "hit rate", "error"
+    );
     for (name, cfg) in MemoConfig::paper_sweep() {
         let r = run_benchmark(sobel.as_ref(), Scale::Small, Dataset::Eval, &cfg)?;
         println!(

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "LUT hit rate:       {:.1}%",
         100.0 * unit.lut().total_hit_rate()
     );
-    println!("lookups/hits:       {}/{}", stats.lookups, stats.reported_hits);
+    println!(
+        "lookups/hits:       {}/{}",
+        stats.lookups, stats.reported_hits
+    );
     println!("checksum:           {acc:.3}");
     assert!(computed < total / 10, "expected >90% of calls memoized");
     Ok(())

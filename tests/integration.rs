@@ -158,7 +158,12 @@ fn jpeg_drives_two_logical_luts() {
     assert!(per[0].0 > 0, "LUT0 unused");
     assert!(per[1].0 > 0, "LUT1 unused");
     // Pass B sees half as many invocations as pass A (two records in).
-    assert!(per[0].0 >= 2 * per[1].0 - 2, "A {} vs B {}", per[0].0, per[1].0);
+    assert!(
+        per[0].0 >= 2 * per[1].0 - 2,
+        "A {} vs B {}",
+        per[0].0,
+        per[1].0
+    );
     assert_eq!(per[2], (0, 0));
 }
 

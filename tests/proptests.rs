@@ -1,5 +1,9 @@
-//! Property-based tests (proptest) on the core data structures'
-//! invariants.
+//! Property-style tests on the core data structures' invariants.
+//!
+//! These used to run under `proptest`; the workspace now builds with no
+//! network access, so each property is exercised over a few hundred
+//! seeded-random cases from the in-tree [`SplitMix64`] generator. The
+//! cases are fully deterministic: a failure always reproduces.
 
 use axmemo_core::config::{DataWidth, MemoConfig};
 use axmemo_core::crc::{CrcAlgorithm, CrcWidth, PipelinedCrc, SerialCrc, TableCrc};
@@ -7,86 +11,124 @@ use axmemo_core::ids::LutId;
 use axmemo_core::lut::{LookupOutcome, LutArray, LutGeometry};
 use axmemo_core::truncate::{truncate_bits, InputValue, TruncatedBytes};
 use axmemo_core::two_level::TwoLevelLut;
-use proptest::prelude::*;
+use axmemo_workloads::gen::SplitMix64;
 
-proptest! {
-    /// All CRC implementations agree on arbitrary inputs at all widths.
-    #[test]
-    fn crc_implementations_agree(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+const CASES: usize = 200;
+
+/// All CRC implementations agree on arbitrary inputs at all widths.
+#[test]
+fn crc_implementations_agree() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for _ in 0..CASES {
+        let len = rng.index(256);
+        let data = rng.bytes(len);
         for width in [CrcWidth::W16, CrcWidth::W32, CrcWidth::W64] {
             let serial = SerialCrc::new(width).checksum(&data);
             let table = TableCrc::new(width).checksum(&data);
             let pipe = PipelinedCrc::new(width).checksum(&data);
-            prop_assert_eq!(serial, table);
-            prop_assert_eq!(table, pipe);
+            assert_eq!(serial, table, "serial vs table, {width:?}, {data:?}");
+            assert_eq!(table, pipe, "table vs pipelined, {width:?}, {data:?}");
         }
     }
+}
 
-    /// Streaming in arbitrary chunkings equals one-shot hashing.
-    #[test]
-    fn crc_streaming_is_chunking_invariant(
-        data in proptest::collection::vec(any::<u8>(), 1..128),
-        split in 0usize..128,
-    ) {
-        let crc = TableCrc::new(CrcWidth::W32);
-        let cut = split % data.len();
+/// Streaming in arbitrary chunkings equals one-shot hashing.
+#[test]
+fn crc_streaming_is_chunking_invariant() {
+    let mut rng = SplitMix64::new(1);
+    let crc = TableCrc::new(CrcWidth::W32);
+    for _ in 0..CASES {
+        let len = 1 + rng.index(127);
+        let data = rng.bytes(len);
+        let cut = rng.index(data.len());
         let mut s = crc.init();
         crc.feed(&mut s, &data[..cut]);
         crc.feed(&mut s, &data[cut..]);
-        prop_assert_eq!(crc.finalize(s), crc.checksum(&data));
+        assert_eq!(crc.finalize(s), crc.checksum(&data), "cut {cut}, {data:?}");
     }
+}
 
-    /// CRC values always fit the configured width.
-    #[test]
-    fn crc_respects_width_mask(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// CRC values always fit the configured width.
+#[test]
+fn crc_respects_width_mask() {
+    let mut rng = SplitMix64::new(2);
+    for _ in 0..CASES {
+        let len = rng.index(64);
+        let data = rng.bytes(len);
         for width in [CrcWidth::W16, CrcWidth::W32] {
             let v = TableCrc::new(width).checksum(&data);
-            prop_assert_eq!(v & !width.mask(), 0);
+            assert_eq!(v & !width.mask(), 0, "{width:?}, {data:?}");
         }
     }
+}
 
-    /// Truncation is idempotent and only ever clears bits.
-    #[test]
-    fn truncation_idempotent_and_monotone(bits in any::<u64>(), n in 0u32..70) {
+/// Truncation is idempotent and only ever clears bits.
+#[test]
+fn truncation_idempotent_and_monotone() {
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..CASES {
+        let bits = rng.next_u64();
+        let n = rng.below(70) as u32;
         let once = truncate_bits(bits, n);
-        prop_assert_eq!(truncate_bits(once, n), once);
-        prop_assert_eq!(once & !bits, 0, "truncation set a bit");
-        prop_assert!(once <= bits);
+        assert_eq!(
+            truncate_bits(once, n),
+            once,
+            "not idempotent: {bits:#x}/{n}"
+        );
+        assert_eq!(once & !bits, 0, "truncation set a bit: {bits:#x}/{n}");
+        assert!(once <= bits);
     }
+}
 
-    /// Truncated float bytes are a prefix-stable function: equal inputs
-    /// yield equal beats, and more truncation merges at least as many
-    /// values as less truncation.
-    #[test]
-    fn truncation_merging_is_monotone(a in any::<f32>(), b in any::<f32>(), n in 0u32..22) {
+/// Truncated float bytes are prefix-stable: values that collide at
+/// truncation level `n` still collide at the coarser level `n + 1`.
+#[test]
+fn truncation_merging_is_monotone() {
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..CASES * 5 {
+        let a = f32::from_bits(rng.next_u32());
+        // Bias towards nearby values so collisions actually occur.
+        let b = if rng.bool() {
+            f32::from_bits(a.to_bits() ^ (rng.next_u32() & 0xFFFF))
+        } else {
+            f32::from_bits(rng.next_u32())
+        };
+        let n = rng.below(22) as u32;
         let ia = InputValue::F32(a);
         let ib = InputValue::F32(b);
         if ia.truncated_bytes(n) == ib.truncated_bytes(n) {
-            prop_assert_eq!(ia.truncated_bytes(n + 1), ib.truncated_bytes(n + 1));
+            assert_eq!(
+                ia.truncated_bytes(n + 1),
+                ib.truncated_bytes(n + 1),
+                "merge not monotone at {n} for {a}/{b}"
+            );
         }
     }
+}
 
-    /// LUT: whatever was inserted last for a key is what lookup
-    /// returns, regardless of the operation sequence.
-    #[test]
-    fn lut_returns_last_inserted(
-        ops in proptest::collection::vec((0u8..4, any::<u16>(), any::<u32>()), 1..200)
-    ) {
+/// LUT: a hit returns whatever was inserted last for that key,
+/// regardless of the operation sequence.
+#[test]
+fn lut_returns_last_inserted() {
+    let mut rng = SplitMix64::new(5);
+    for _ in 0..CASES {
         let mut lut = LutArray::new(LutGeometry::from_capacity(1024, DataWidth::W4));
         let mut model = std::collections::HashMap::new();
         let id = LutId::new(0).unwrap();
-        for (op, key, val) in ops {
-            let crc = u64::from(key);
+        for _ in 0..1 + rng.index(199) {
+            let op = rng.below(4) as u8;
+            let crc = rng.below(1 << 16);
+            let val = u64::from(rng.next_u32());
             match op {
                 0 | 1 => {
-                    lut.insert(id, crc, u64::from(val));
-                    model.insert(crc, u64::from(val));
+                    lut.insert(id, crc, val);
+                    model.insert(crc, val);
                 }
                 2 => {
                     if let LookupOutcome::Hit(d) = lut.lookup(id, crc) {
                         // A hit must return the model's value (the LUT
                         // may have evicted, but never corrupts).
-                        prop_assert_eq!(Some(&d), model.get(&crc));
+                        assert_eq!(Some(&d), model.get(&crc), "crc {crc:#x}");
                     }
                 }
                 _ => {
@@ -96,118 +138,164 @@ proptest! {
             }
         }
     }
+}
 
-    /// LUT occupancy never exceeds capacity.
-    #[test]
-    fn lut_occupancy_bounded(keys in proptest::collection::vec(any::<u32>(), 0..500)) {
+/// LUT occupancy never exceeds capacity.
+#[test]
+fn lut_occupancy_bounded() {
+    let mut rng = SplitMix64::new(6);
+    for _ in 0..CASES {
         let geo = LutGeometry::from_capacity(512, DataWidth::W4);
         let mut lut = LutArray::new(geo);
         let id = LutId::new(1).unwrap();
-        for k in keys {
-            lut.insert(id, u64::from(k), 0);
-            prop_assert!(lut.occupancy() <= geo.entries());
+        for _ in 0..rng.index(500) {
+            lut.insert(id, u64::from(rng.next_u32()), 0);
+            assert!(lut.occupancy() <= geo.entries());
         }
     }
+}
 
-    /// Two-level LUT: an entry updated and never evicted from both
-    /// levels is found; a found entry always carries the updated data.
-    #[test]
-    fn two_level_is_consistent(keys in proptest::collection::vec(any::<u16>(), 1..300)) {
+/// Two-level LUT: a found entry always carries the updated data.
+#[test]
+fn two_level_is_consistent() {
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..CASES {
         let mut lut = TwoLevelLut::new(&MemoConfig::l1_l2(64, 8 * 1024));
         let id = LutId::new(0).unwrap();
         let mut model = std::collections::HashMap::new();
-        for (i, k) in keys.iter().enumerate() {
-            let crc = u64::from(*k);
+        for i in 0..1 + rng.index(299) {
+            let crc = rng.below(1 << 16);
             lut.update(id, crc, i as u64);
             model.insert(crc, i as u64);
         }
         for (crc, v) in model {
             if let Some(d) = lut.lookup(id, crc).data() {
-                prop_assert_eq!(d, v, "crc {}", crc);
+                assert_eq!(d, v, "crc {crc:#x}");
             }
         }
     }
+}
 
-    /// Assembly print/parse round-trips for arbitrary field values.
-    #[test]
-    fn asm_roundtrip(dst in 0u8..32, addr in 0u8..32, lut_id in 0u8..8, trunc in 0u8..64) {
-        use axmemo_isa::{asm, MemoInst};
-        let lut = LutId::new(lut_id).unwrap();
+/// Assembly print/parse round-trips for arbitrary field values.
+#[test]
+fn asm_roundtrip() {
+    use axmemo_isa::{asm, MemoInst};
+    let mut rng = SplitMix64::new(8);
+    for _ in 0..CASES {
+        let dst = rng.below(32) as u8;
+        let addr = rng.below(32) as u8;
+        let lut = LutId::new(rng.below(8) as u8).unwrap();
+        let trunc = rng.below(64) as u8;
         for inst in [
-            MemoInst::LdCrc { dst, addr, lut, trunc },
-            MemoInst::RegCrc { src: dst, lut, trunc },
+            MemoInst::LdCrc {
+                dst,
+                addr,
+                lut,
+                trunc,
+            },
+            MemoInst::RegCrc {
+                src: dst,
+                lut,
+                trunc,
+            },
             MemoInst::Lookup { dst, lut },
             MemoInst::Update { src: addr, lut },
             MemoInst::Invalidate { lut },
         ] {
-            prop_assert_eq!(asm::parse(&inst.to_string()), Ok(inst));
+            assert_eq!(asm::parse(&inst.to_string()), Ok(inst));
         }
     }
+}
 
-    /// The pipeline never time-travels: issue cycles are monotone
-    /// non-decreasing along the dynamic instruction stream, and every
-    /// constraint (not_before) is honoured.
-    #[test]
-    fn pipeline_issue_is_monotone(
-        ops in proptest::collection::vec((0u8..32, 0u8..32, 1u64..20, 0u64..50), 1..200)
-    ) {
-        use axmemo_sim::pipeline::{FuClass, Pipeline};
+/// The pipeline never time-travels: issue cycles are monotone
+/// non-decreasing along the dynamic instruction stream, and every
+/// `not_before` constraint is honoured.
+#[test]
+fn pipeline_issue_is_monotone() {
+    use axmemo_sim::pipeline::{FuClass, Pipeline};
+    let mut rng = SplitMix64::new(9);
+    for _ in 0..CASES {
         let mut p = Pipeline::new();
         let mut last = 0u64;
-        for (src, dst, latency, not_before) in ops {
+        for _ in 0..1 + rng.index(199) {
+            let src = rng.below(32) as u8;
+            let dst = rng.below(32) as u8;
+            let latency = 1 + rng.below(19);
+            let not_before = rng.below(50);
             let at = p.issue(&[src], Some(dst), FuClass::IntAlu, latency, not_before);
-            prop_assert!(at >= last, "time went backwards: {at} < {last}");
-            prop_assert!(at >= not_before);
+            assert!(at >= last, "time went backwards: {at} < {last}");
+            assert!(at >= not_before);
             last = at;
         }
-        prop_assert!(p.drain() >= last);
+        assert!(p.drain() >= last);
     }
+}
 
-    /// The branch predictor's stall charge is always 0 or the penalty,
-    /// and statistics add up.
-    #[test]
-    fn predictor_accounting_is_consistent(
-        branches in proptest::collection::vec((0usize..4096, any::<bool>()), 1..300)
-    ) {
-        use axmemo_sim::predictor::{BranchPredictor, PredictorConfig};
+/// The branch predictor's stall charge is always 0 or the penalty, and
+/// statistics add up.
+#[test]
+fn predictor_accounting_is_consistent() {
+    use axmemo_sim::predictor::{BranchPredictor, PredictorConfig};
+    let mut rng = SplitMix64::new(10);
+    for _ in 0..CASES {
         let cfg = PredictorConfig::default();
         let mut bp = BranchPredictor::new(cfg);
         let mut stalls = 0;
-        for (pc, taken) in &branches {
-            let s = bp.resolve(*pc, *taken);
-            prop_assert!(s == 0 || s == cfg.mispredict_penalty);
+        let n = 1 + rng.index(299);
+        for _ in 0..n {
+            let s = bp.resolve(rng.index(4096), rng.bool());
+            assert!(s == 0 || s == cfg.mispredict_penalty);
             stalls += s;
         }
         let st = bp.stats();
-        prop_assert_eq!(st.predictions, branches.len() as u64);
-        prop_assert_eq!(stalls, st.mispredictions * cfg.mispredict_penalty);
+        assert_eq!(st.predictions, n as u64);
+        assert_eq!(stalls, st.mispredictions * cfg.mispredict_penalty);
     }
+}
 
-    /// Cache hierarchy: re-touching the same address immediately is
-    /// always an L1 hit, whatever came before.
-    #[test]
-    fn cache_retouch_is_l1_hit(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
-        use axmemo_sim::cache::{CacheConfig, CacheHierarchy};
+/// Cache hierarchy: re-touching the same address immediately is always
+/// an L1 hit, whatever came before.
+#[test]
+fn cache_retouch_is_l1_hit() {
+    use axmemo_sim::cache::{CacheConfig, CacheHierarchy};
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..CASES {
         let mut h = CacheHierarchy::new(CacheConfig::default(), 0);
-        for a in addrs {
+        for _ in 0..1 + rng.index(199) {
+            let a = rng.below(1_000_000);
             let _ = h.access(a);
-            prop_assert_eq!(h.access(a), 1, "addr {}", a);
+            assert_eq!(h.access(a), 1, "addr {a}");
         }
     }
+}
 
-    /// ISA encode/decode round-trips for arbitrary field values.
-    #[test]
-    fn isa_roundtrip(dst in 0u8..32, addr in 0u8..32, lut_id in 0u8..8, trunc in 0u8..64) {
-        use axmemo_isa::{decode, encode, MemoInst};
-        let lut = LutId::new(lut_id).unwrap();
+/// ISA encode/decode round-trips for arbitrary field values.
+#[test]
+fn isa_roundtrip() {
+    use axmemo_isa::{decode, encode, MemoInst};
+    let mut rng = SplitMix64::new(12);
+    for _ in 0..CASES {
+        let dst = rng.below(32) as u8;
+        let addr = rng.below(32) as u8;
+        let lut = LutId::new(rng.below(8) as u8).unwrap();
+        let trunc = rng.below(64) as u8;
         for inst in [
-            MemoInst::LdCrc { dst, addr, lut, trunc },
-            MemoInst::RegCrc { src: dst, lut, trunc },
+            MemoInst::LdCrc {
+                dst,
+                addr,
+                lut,
+                trunc,
+            },
+            MemoInst::RegCrc {
+                src: dst,
+                lut,
+                trunc,
+            },
             MemoInst::Lookup { dst, lut },
             MemoInst::Update { src: addr, lut },
             MemoInst::Invalidate { lut },
         ] {
-            prop_assert_eq!(decode(encode(inst)), Ok(inst));
+            assert_eq!(decode(encode(inst)), Ok(inst));
         }
     }
 }
