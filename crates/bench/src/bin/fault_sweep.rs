@@ -1,0 +1,104 @@
+//! Fault-injection sweep: output quality, LUT hit rate, and speedup as
+//! bit-flip rates rise, for unprotected and ECC-protected LUT arrays.
+//!
+//! The paper's reliability argument (§3.4) is qualitative — LUT faults
+//! only perturb *approximate* results, so memoization degrades quality
+//! instead of crashing. This sweep quantifies that claim: the same
+//! uniform flip rate is applied to every tag/data array, once with no
+//! protection (flips silently corrupt hits or evict entries) and once
+//! with parity+SECDED (single flips are detected or corrected at a
+//! per-access check cost). Protected curves should degrade strictly
+//! slower.
+//!
+//! `--seed <n>` seeds every injection stream; two runs with the same
+//! seed are identical.
+
+use axmemo_bench::{geomean, scale_from_env, BenchArgs, ReportMode, Table};
+use axmemo_core::config::MemoConfig;
+use axmemo_core::faults::{FaultConfig, Protection};
+use axmemo_telemetry::Telemetry;
+use axmemo_workloads::runner::run_benchmark_report;
+use axmemo_workloads::{benchmark_by_name, Dataset};
+
+/// Uniform per-access flip rates (ppm), decade-spaced from fault-free.
+const FLIP_PPM: [u32; 5] = [0, 50, 500, 5_000, 50_000];
+
+/// Representative subset (one per metric family): numeric, image,
+/// misclassification. The full ten-benchmark sweep adds wall-clock
+/// without changing the curves' shape.
+const BENCHES: [&str; 3] = ["blackscholes", "sobel", "kmeans"];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse();
+    let mut tel = args.telemetry()?;
+    let scale = scale_from_env();
+
+    let mut table = Table::new(
+        format!(
+            "Fault sweep (uniform LUT flip rate, seed {}), scale {scale:?}",
+            args.seed
+        ),
+        &[
+            "Flip ppm",
+            "Protection",
+            "Benchmark",
+            "Hit rate",
+            "Output error",
+            "Speedup",
+        ],
+    );
+
+    for protection in [Protection::Unprotected, Protection::EccProtected] {
+        let label = match protection {
+            Protection::Unprotected => "none",
+            Protection::EccProtected => "parity+SECDED",
+        };
+        for ppm in FLIP_PPM {
+            let mut errors = Vec::new();
+            let mut speedups = Vec::new();
+            for name in BENCHES {
+                let bench = benchmark_by_name(name).expect("benchmark registered");
+                let memo = MemoConfig {
+                    data_width: bench.data_width(),
+                    faults: FaultConfig::uniform(args.seed, ppm, protection),
+                    ..MemoConfig::l1_only(8 * 1024)
+                };
+                let report = run_benchmark_report(
+                    bench.as_ref(),
+                    scale,
+                    Dataset::Eval,
+                    &memo,
+                    false,
+                    std::mem::replace(&mut tel, Telemetry::off()),
+                )?;
+                tel = report.telemetry;
+                let r = &report.result;
+                table.row(vec![
+                    format!("{ppm}"),
+                    label.to_string(),
+                    name.to_string(),
+                    format!("{:.1}%", 100.0 * r.hit_rate),
+                    format!("{:.3e}", r.error.output_error),
+                    format!("{:.2}x", r.speedup),
+                ]);
+                errors.push(r.error.output_error);
+                speedups.push(r.speedup);
+            }
+            table.summary(
+                format!("{ppm} ppm / {label}"),
+                format!(
+                    "mean error {:.3e}, geomean speedup {:.2}x",
+                    axmemo_bench::mean(&errors),
+                    geomean(&speedups)
+                ),
+            );
+        }
+    }
+
+    println!("{}", table.render(args.report));
+    tel.flush();
+    if tel.is_enabled() && args.report == ReportMode::Text {
+        println!("{}", tel.text_report());
+    }
+    Ok(())
+}

@@ -38,12 +38,16 @@ pub enum ReportMode {
 /// * `--trace-out <path>` — write the telemetry event stream (LUT
 ///   probes, quality decisions, spans, …) to `path` as JSON Lines.
 /// * `--report text|json` — output format (default `text`).
+/// * `--seed <n>` — seed for binaries with stochastic models (e.g.
+///   `fault_sweep`'s injection streams); default 0.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// JSONL event-trace destination, when requested.
     pub trace_out: Option<String>,
     /// Output format.
     pub report: ReportMode,
+    /// Seed for stochastic models (fault injection); 0 by default.
+    pub seed: u64,
 }
 
 impl BenchArgs {
@@ -53,7 +57,7 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: <bin> [--trace-out <path>] [--report text|json]");
+                eprintln!("usage: <bin> [--trace-out <path>] [--report text|json] [--seed <n>]");
                 std::process::exit(2);
             }
         }
@@ -72,6 +76,12 @@ impl BenchArgs {
             match arg.as_str() {
                 "--trace-out" => {
                     out.trace_out = Some(it.next().ok_or("--trace-out requires a path argument")?);
+                }
+                "--seed" => {
+                    let value = it.next().ok_or("--seed requires a number argument")?;
+                    out.seed = value.parse().map_err(|_| {
+                        format!("--seed must be a non-negative integer, got {value}")
+                    })?;
                 }
                 "--report" => match it.next().as_deref() {
                     Some("text") => out.report = ReportMode::Text,
@@ -482,6 +492,18 @@ mod tests {
         let default = BenchArgs::try_from_iter(std::iter::empty()).unwrap();
         assert!(default.trace_out.is_none());
         assert_eq!(default.report, ReportMode::Text);
+        assert_eq!(default.seed, 0);
+    }
+
+    #[test]
+    fn bench_args_parse_seed() {
+        let args =
+            BenchArgs::try_from_iter(["--seed", "42"].iter().map(|s| (*s).to_string())).unwrap();
+        assert_eq!(args.seed, 42);
+        assert!(BenchArgs::try_from_iter(["--seed".to_string()]).is_err());
+        assert!(
+            BenchArgs::try_from_iter(["--seed", "many"].iter().map(|s| (*s).to_string())).is_err()
+        );
     }
 
     #[test]

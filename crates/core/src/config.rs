@@ -7,6 +7,7 @@
 //! data or 4-way × 8-byte data, §3.3).
 
 use crate::crc::CrcWidth;
+use crate::faults::FaultConfig;
 use crate::lut::{LutGeometry, LUT_LINE_BYTES};
 
 /// Width of a LUT data field (§3.3: "The LUT data is 4-byte by default,
@@ -70,6 +71,10 @@ pub struct MemoConfig {
     /// Enable the quality-monitoring scheme (§6, "every 1 out of 100 LUT
     /// hits is ignored...").
     pub quality_monitoring: bool,
+    /// Fault-injection and protection configuration (default: all off,
+    /// unprotected — the fault-free path is bit-identical to a build
+    /// without fault modelling).
+    pub faults: FaultConfig,
 }
 
 impl MemoConfig {
@@ -159,6 +164,7 @@ impl Default for MemoConfig {
             smt_threads: 2,
             input_queue_depth: 16,
             quality_monitoring: true,
+            faults: FaultConfig::default(),
         }
     }
 }

@@ -23,6 +23,7 @@
 //! * [`hvr_rename`] — renamed physical HVRs for out-of-order cores (§4).
 //! * [`adaptive`] — runtime truncation adjustment (§3.1's dynamic
 //!   profiling alternative).
+//! * [`faults`] — deterministic fault injection and ECC protection.
 //! * [`lut`] — the set-associative lookup table (§3.3, Fig. 4).
 //! * [`two_level`] — L1 + optional inclusive L2 LUT hierarchy (§3.3–3.4).
 //! * [`quality`] — runtime quality monitoring (§6).
@@ -62,6 +63,7 @@
 pub mod adaptive;
 pub mod config;
 pub mod crc;
+pub mod faults;
 pub mod hvr;
 pub mod hvr_rename;
 pub mod ids;
@@ -72,6 +74,7 @@ pub mod two_level;
 pub mod unit;
 
 pub use config::MemoConfig;
+pub use faults::{FaultConfig, FaultInjector, FaultStats, Protection};
 pub use ids::{LutId, ThreadId};
 pub use truncate::InputValue;
 pub use unit::{LookupResult, MemoizationUnit};

@@ -9,11 +9,16 @@
 //! LUT entries are never written back to memory: eviction from the last
 //! level simply invalidates.
 
+use crate::faults::{FaultInjector, FaultStats, StrikeEffect, StrikeKind};
 use crate::ids::LutId;
 
 /// Bytes in one LUT set — exactly one 64-byte LLC line (§3.3: "one set of
 /// the LUT entries ... just fit into a 64-byte last-level cache line").
 pub const LUT_LINE_BYTES: usize = 64;
+
+/// Tag bits stored per entry: the 4-byte tag field minus the CRC bits
+/// consumed by set indexing (§3.3).
+const TAG_FIELD_BITS: u32 = 32;
 
 use crate::config::DataWidth;
 
@@ -176,6 +181,9 @@ pub struct LutArray {
     sets: Vec<Entry>,
     clock: u64,
     stats: LutStats,
+    /// Fault-injection site for this array's SRAM; `None` (the default)
+    /// keeps the access path exactly as it was without fault modelling.
+    faults: Option<FaultInjector>,
 }
 
 impl LutArray {
@@ -186,6 +194,49 @@ impl LutArray {
             sets: vec![Entry::INVALID; geometry.entries()],
             clock: 0,
             stats: LutStats::default(),
+            faults: None,
+        }
+    }
+
+    /// Install (or remove) a fault injector for this array's SRAM.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.faults = injector;
+    }
+
+    /// Counters of injected faults (zero when no injector is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
+    }
+
+    /// Re-seed the fault stream and clear its counters (between runs).
+    pub fn reset_faults(&mut self) {
+        if let Some(f) = self.faults.as_mut() {
+            f.reset();
+        }
+    }
+
+    /// Strike the accessed set with any faults the injector draws for
+    /// this access. Strikes landing in invalid entries are harmless.
+    fn inject_faults(&mut self, set: usize) {
+        let Some(inj) = self.faults.as_mut() else {
+            return;
+        };
+        let tag_bits = TAG_FIELD_BITS - self.geometry.index_bits();
+        let data_bits = (self.geometry.data_width.bytes() * 8) as u32;
+        let pair = inj.strike_set(self.geometry.ways, tag_bits, data_bits);
+        for strike in [pair.tag, pair.data].into_iter().flatten() {
+            let e = &mut self.ways_of(set)[strike.way];
+            if !e.valid {
+                continue;
+            }
+            match strike.effect {
+                StrikeEffect::Corrupt { mask } => match strike.kind {
+                    StrikeKind::Tag => e.tag ^= mask,
+                    StrikeKind::Data => e.data ^= mask,
+                },
+                StrikeEffect::Invalidate => *e = Entry::INVALID,
+                StrikeEffect::Corrected => {}
+            }
         }
     }
 
@@ -226,6 +277,7 @@ impl LutArray {
     pub fn lookup(&mut self, lut_id: LutId, crc: u64) -> LookupOutcome {
         let set = self.set_index(crc);
         let tag = self.tag_of(crc);
+        self.inject_faults(set);
         self.clock += 1;
         let clock = self.clock;
         let mut hit = None;
@@ -268,6 +320,7 @@ impl LutArray {
     pub fn insert(&mut self, lut_id: LutId, crc: u64, data: u64) -> Option<Evicted> {
         let set = self.set_index(crc);
         let tag = self.tag_of(crc);
+        self.inject_faults(set);
         self.clock += 1;
         let clock = self.clock;
         self.stats.inserts += 1;
@@ -515,5 +568,66 @@ mod tests {
     fn hit_rate_zero_when_untouched() {
         let lut = LutArray::new(LutGeometry::from_capacity(64, DataWidth::W4));
         assert_eq!(lut.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn unprotected_tag_flips_turn_hits_into_misses() {
+        use crate::faults::{FaultConfig, FaultInjector, Protection};
+        // Flip on every access: the stored entry's tag (or data) is
+        // corrupted before the probe, so repeated lookups of the same
+        // CRC eventually miss.
+        let cfg = FaultConfig::uniform(11, crate::faults::PPM, Protection::Unprotected);
+        let mut lut = LutArray::new(LutGeometry::from_capacity(1024, DataWidth::W4));
+        lut.set_fault_injector(FaultInjector::for_l1(&cfg));
+        lut.insert(id(0), 0xABCD, 7);
+        let mut missed = false;
+        for _ in 0..50 {
+            if lut.lookup(id(0), 0xABCD) == LookupOutcome::Miss {
+                missed = true;
+                break;
+            }
+        }
+        assert!(missed, "per-access tag flips never produced a miss");
+        assert!(lut.fault_stats().tag_flips > 0);
+    }
+
+    #[test]
+    fn parity_protection_invalidates_instead_of_corrupting() {
+        use crate::faults::{FaultConfig, FaultInjector, Protection};
+        let cfg = FaultConfig {
+            double_flip_pct: 0, // single-bit flips only: parity always detects
+            ..FaultConfig::uniform(11, crate::faults::PPM, Protection::EccProtected)
+        };
+        let mut lut = LutArray::new(LutGeometry::from_capacity(64, DataWidth::W4));
+        lut.set_fault_injector(FaultInjector::for_l1(&cfg));
+        lut.insert(id(0), 5, 99);
+        for _ in 0..50 {
+            // Either the entry was invalidated (clean miss) or SECDED
+            // corrected the data flip (exact hit). Never a wrong value.
+            match lut.lookup(id(0), 5) {
+                LookupOutcome::Hit(d) => assert_eq!(d, 99),
+                LookupOutcome::Miss => break,
+            }
+        }
+        let fs = lut.fault_stats();
+        assert_eq!(fs.parity_escapes, 0);
+        assert!(fs.parity_detected + fs.secded_corrected > 0);
+    }
+
+    #[test]
+    fn fault_reset_restores_determinism() {
+        use crate::faults::{FaultConfig, FaultInjector, Protection};
+        let cfg = FaultConfig::uniform(3, 200_000, Protection::Unprotected);
+        let run = |lut: &mut LutArray| -> Vec<LookupOutcome> {
+            lut.invalidate_all();
+            lut.insert(id(0), 0x77, 1);
+            (0..200).map(|_| lut.lookup(id(0), 0x77)).collect()
+        };
+        let mut lut = LutArray::new(LutGeometry::from_capacity(256, DataWidth::W4));
+        lut.set_fault_injector(FaultInjector::for_l1(&cfg));
+        let first = run(&mut lut);
+        lut.reset_faults();
+        let second = run(&mut lut);
+        assert_eq!(first, second);
     }
 }

@@ -8,6 +8,7 @@
 //! main memory: an entry evicted from L2 is simply invalidated.
 
 use crate::config::MemoConfig;
+use crate::faults::{FaultInjector, FaultStats};
 use crate::ids::LutId;
 use crate::lut::{LookupOutcome, LutArray, LutStats};
 use axmemo_telemetry::{Telemetry, Value};
@@ -67,11 +68,33 @@ pub struct TwoLevelLut {
 }
 
 impl TwoLevelLut {
-    /// Build the hierarchy described by `config`.
+    /// Build the hierarchy described by `config`, installing fault
+    /// injectors on each level when the fault configuration enables them.
     pub fn new(config: &MemoConfig) -> Self {
-        Self {
-            l1: LutArray::new(config.l1_geometry()),
-            l2: config.l2_geometry().map(LutArray::new),
+        let mut l1 = LutArray::new(config.l1_geometry());
+        l1.set_fault_injector(FaultInjector::for_l1(&config.faults));
+        let l2 = config.l2_geometry().map(|g| {
+            let mut a = LutArray::new(g);
+            a.set_fault_injector(FaultInjector::for_l2(&config.faults));
+            a
+        });
+        Self { l1, l2 }
+    }
+
+    /// Injected-fault counters summed across both levels.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut fs = self.l1.fault_stats();
+        if let Some(l2) = self.l2.as_ref() {
+            fs.merge(&l2.fault_stats());
+        }
+        fs
+    }
+
+    /// Re-seed both levels' fault streams (between runs).
+    pub fn reset_faults(&mut self) {
+        self.l1.reset_faults();
+        if let Some(l2) = self.l2.as_mut() {
+            l2.reset_faults();
         }
     }
 

@@ -18,9 +18,13 @@
 
 use crate::config::MemoConfig;
 use crate::crc::PipelinedCrc;
+use crate::faults::{FaultInjector, FaultStats, Protection};
 use crate::hvr::HashValueRegisters;
 use crate::ids::{LutId, ThreadId};
-use crate::quality::{relative_error, QualityMonitor, ERROR_THRESHOLD};
+use crate::quality::{
+    relative_error, DegradationStage, QualityAction, QualityMonitor, ERROR_THRESHOLD,
+    TRUNC_BACKOFF_BITS,
+};
 use crate::truncate::{InputValue, TruncatedBytes};
 use crate::two_level::{HitLevel, TwoLevelLut, TwoLevelOutcome};
 use axmemo_telemetry::{Telemetry, Value};
@@ -44,8 +48,10 @@ pub enum LookupResult {
         /// The data the LUT would have returned (kept for comparison).
         data: u64,
     },
-    /// Memoization has been disabled by the quality monitor; behaves as
-    /// a miss and no further updates are stored.
+    /// Memoization is currently disabled by the quality monitor's
+    /// degradation ladder; behaves as a miss and no updates are stored.
+    /// The monitor periodically probes for re-enabling (see
+    /// [`crate::quality`]).
     Disabled,
 }
 
@@ -103,6 +109,10 @@ pub struct UnitTiming {
     pub update: u64,
     /// `invalidate` latency per way in a set.
     pub invalidate_per_way: u64,
+    /// Extra latency per LUT access when the arrays are ECC-protected
+    /// (parity check on tags, SECDED syndrome on data). Only charged
+    /// when [`crate::faults::Protection::EccProtected`] is configured.
+    pub ecc_check: u64,
 }
 
 impl Default for UnitTiming {
@@ -113,6 +123,7 @@ impl Default for UnitTiming {
             lookup_l2: 13,
             update: 2,
             invalidate_per_way: 1,
+            ecc_check: 1,
         }
     }
 }
@@ -173,6 +184,9 @@ pub struct MemoizationUnit {
     hvr: HashValueRegisters,
     lut: TwoLevelLut,
     quality: QualityMonitor,
+    /// Unit-level fault injector (dropped updates). LUT bit-flips live
+    /// inside the LUT arrays themselves.
+    faults: Option<FaultInjector>,
     pending: Vec<Option<PendingUpdate>>,
     stats: UnitStats,
     timing: UnitTiming,
@@ -199,6 +213,7 @@ impl MemoizationUnit {
         let crc = PipelinedCrc::new(config.crc_width);
         let hvr = HashValueRegisters::new(&crc, config.smt_threads);
         let lut = TwoLevelLut::new(&config);
+        let faults = FaultInjector::for_unit(&config.faults);
         let config_threads = config.smt_threads;
         let pending = vec![None; crate::ids::MAX_LUTS * config.smt_threads];
         Ok(Self {
@@ -207,6 +222,7 @@ impl MemoizationUnit {
             hvr,
             lut,
             quality: QualityMonitor::new(),
+            faults,
             pending,
             stats: UnitStats::default(),
             timing: UnitTiming::default(),
@@ -241,6 +257,36 @@ impl MemoizationUnit {
         !self.quality.enabled()
     }
 
+    /// Current rung of the quality-degradation ladder.
+    pub fn quality_stage(&self) -> DegradationStage {
+        self.quality.stage()
+    }
+
+    /// The quality monitor (escalation/probe counters for reporting).
+    pub fn quality(&self) -> &QualityMonitor {
+        &self.quality
+    }
+
+    /// Aggregate fault statistics across the LUT hierarchy and the
+    /// unit-level (dropped-update) injector.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut s = self.lut.fault_stats();
+        if let Some(f) = &self.faults {
+            s.merge(&f.stats());
+        }
+        s
+    }
+
+    /// Extra cycles per LUT access charged for ECC checking under the
+    /// configured protection scheme.
+    fn ecc_cycles(&self) -> u64 {
+        if self.config.faults.protection == Protection::EccProtected {
+            self.timing.ecc_check
+        } else {
+            0
+        }
+    }
+
     fn pending_slot(&self, lut: LutId, tid: ThreadId) -> usize {
         tid.index() * crate::ids::MAX_LUTS + lut.index()
     }
@@ -264,7 +310,14 @@ impl MemoizationUnit {
         trunc_bits: u32,
         tel: &mut Telemetry,
     ) -> u64 {
-        let (bytes, len) = value.truncated_bytes(trunc_bits);
+        // In a degraded stage the ladder backs off truncation: fewer
+        // merged inputs, fewer collision-induced errors (§6 extension).
+        let trunc = if self.quality.stage().truncation_backed_off() {
+            trunc_bits.saturating_sub(TRUNC_BACKOFF_BITS)
+        } else {
+            trunc_bits
+        };
+        let (bytes, len) = value.truncated_bytes(trunc);
         self.hvr.accumulate(&self.crc, lut, tid, &bytes[..len]);
         if self.event_log.is_some() {
             let slot = self.pending_slot(lut, tid);
@@ -303,11 +356,22 @@ impl MemoizationUnit {
         let slot = self.pending_slot(lut, tid);
 
         if self.config.quality_monitoring && !self.quality.enabled() {
-            // Memoization disabled: always recompute; no updates stored.
-            self.pending[slot] = None;
-            self.staged_bytes[slot].clear();
-            tel.count("quality.disabled_lookups", 1);
-            return LookupResult::Disabled;
+            if self.quality.note_disabled_lookup() {
+                // Probe period elapsed: re-enable into the re-warm stage
+                // with a cold LUT and fall through to a normal lookup.
+                self.lut.invalidate_all();
+                tel.count("quality.reenable_probes", 1);
+                tel.event(
+                    "quality.reenable_probe",
+                    &[("probes", Value::U64(self.quality.probes()))],
+                );
+            } else {
+                // Memoization disabled: recompute; no updates stored.
+                self.pending[slot] = None;
+                self.staged_bytes[slot].clear();
+                tel.count("quality.disabled_lookups", 1);
+                return LookupResult::Disabled;
+            }
         }
 
         match self.lut.lookup_tel(lut, crc, tel) {
@@ -365,19 +429,21 @@ impl MemoizationUnit {
             LookupResult::Hit {
                 level: HitLevel::L1,
                 ..
-            } => self.timing.lookup_l1,
+            } => self.timing.lookup_l1 + self.ecc_cycles(),
             LookupResult::Hit {
                 level: HitLevel::L2,
                 ..
-            } => self.timing.lookup_l2,
+            } => self.timing.lookup_l2 + self.ecc_cycles(),
             // A miss still probes both levels; the L2 probe dominates.
             LookupResult::Miss | LookupResult::SampledMiss { .. } => {
-                if self.lut.has_l2() {
+                let probe = if self.lut.has_l2() {
                     self.timing.lookup_l2
                 } else {
                     self.timing.lookup_l1
-                }
+                };
+                probe + self.ecc_cycles()
             }
+            // Disabled lookups never touch the arrays: no ECC check.
             LookupResult::Disabled => self.timing.lookup_l1,
         }
     }
@@ -404,6 +470,13 @@ impl MemoizationUnit {
             // bug or disabled memoization); costs the same.
             return self.timing.update;
         };
+        // A dropped-update fault loses the LUT write (the interface
+        // transaction is silently discarded); the program still paid the
+        // update cost and the quality comparison still happens.
+        let dropped = self.faults.as_mut().is_some_and(|f| f.drop_update());
+        if dropped {
+            tel.count("faults.dropped_updates", 1);
+        }
         if let Some(lut_data) = p.sampled_data {
             // Quality comparison path: compare recomputed vs LUT output.
             let exact = value_for_quality(data);
@@ -429,26 +502,67 @@ impl MemoizationUnit {
                     ],
                 );
             }
-            let was_enabled = self.quality.enabled();
-            self.quality.record_comparison(exact, approx);
-            if was_enabled && !self.quality.enabled() {
-                tel.count("quality.trips", 1);
-                tel.event(
-                    "quality.tripped",
-                    &[("comparisons", Value::U64(self.quality.comparisons()))],
-                );
-            }
+            let action = self.quality.record_comparison(exact, approx);
+            let suppressed = self.apply_quality_action(action, tel);
             // The entry already exists (it hit); refresh its data with
-            // the exact recomputation.
-            self.lut.update_tel(lut, p.crc, data, tel);
-        } else {
+            // the exact recomputation — unless the ladder just flushed
+            // the LUT (the entry is keyed under stale truncation) or a
+            // fault dropped the write.
+            if !suppressed && !dropped {
+                self.lut.update_tel(lut, p.crc, data, tel);
+            }
+        } else if !dropped {
             self.lut.update_tel(lut, p.crc, data, tel);
         }
         if let (Some(ev), Some(log)) = (p.event, self.event_log.as_mut()) {
             log[ev].data = Some(data);
         }
         self.stats.updates += 1;
-        self.timing.update
+        self.timing.update + self.ecc_cycles()
+    }
+
+    /// Apply a degradation-ladder transition. Returns `true` when the
+    /// pending LUT write must be suppressed (the LUT was flushed or
+    /// memoization disabled).
+    fn apply_quality_action(&mut self, action: QualityAction, tel: &mut Telemetry) -> bool {
+        match action {
+            QualityAction::None => false,
+            QualityAction::BackOffTruncation | QualityAction::FlushAndRewarm => {
+                // Either transition re-keys or re-warms: flush the LUT.
+                self.lut.invalidate_all();
+                tel.count("quality.degradations", 1);
+                tel.event(
+                    "quality.degrade",
+                    &[
+                        ("stage", Value::Str(self.quality.stage().label().into())),
+                        ("comparisons", Value::U64(self.quality.comparisons())),
+                    ],
+                );
+                true
+            }
+            QualityAction::Disable => {
+                tel.count("quality.trips", 1);
+                tel.event(
+                    "quality.tripped",
+                    &[("comparisons", Value::U64(self.quality.comparisons()))],
+                );
+                true
+            }
+            QualityAction::Recover { flush } => {
+                if flush {
+                    self.lut.invalidate_all();
+                }
+                tel.count("quality.recoveries", 1);
+                tel.event(
+                    "quality.recover",
+                    &[
+                        ("stage", Value::Str(self.quality.stage().label().into())),
+                        ("flush", Value::Bool(flush)),
+                    ],
+                );
+                flush
+            }
+        }
     }
 
     /// Invalidate all entries of logical LUT `lut` (the `invalidate`
@@ -485,6 +599,10 @@ impl MemoizationUnit {
     pub fn reset(&mut self) {
         self.lut.invalidate_all();
         self.lut.reset_stats();
+        self.lut.reset_faults();
+        if let Some(f) = self.faults.as_mut() {
+            f.reset();
+        }
         self.hvr = HashValueRegisters::new(&self.crc, self.config.smt_threads);
         self.quality = QualityMonitor::new();
         for p in &mut self.pending {
@@ -660,23 +778,23 @@ mod tests {
     }
 
     #[test]
-    fn bad_memoization_gets_disabled() {
+    fn bad_memoization_walks_the_ladder_to_disabled() {
         // Model a workload whose "recomputed" value drifts between
         // invocations (alternating 1.0 / 100.0): every sampled comparison
-        // sees a huge relative error, so after one full window (100
-        // comparisons = 10,000 hits) the unit must disable itself.
+        // sees a huge relative error. One bad window (100 comparisons =
+        // 10,000 hits) per rung: ReducedTruncation → Rewarmed → Disabled,
+        // so after three bad windows the unit must disable itself.
         let mut u = unit();
         let (lut, tid) = ids();
-        u.feed(lut, tid, InputValue::I32(1), 0);
-        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
-        u.update(lut, tid, u64::from(f32::to_bits(100.0)));
         let mut flip = false;
         let mut disabled = false;
-        for _ in 0..30_000u64 {
+        let mut stages = Vec::new();
+        for _ in 0..60_000u64 {
             u.feed(lut, tid, InputValue::I32(1), 0);
             match u.lookup(lut, tid) {
-                LookupResult::SampledMiss { .. } => {
-                    // "Recompute" a value far from whatever is stored.
+                LookupResult::SampledMiss { .. } | LookupResult::Miss => {
+                    // "Recompute" a value far from whatever is stored
+                    // (misses also re-warm the LUT after ladder flushes).
                     let v = if flip { 100.0f32 } else { 1.0f32 };
                     flip = !flip;
                     u.update(lut, tid, u64::from(v.to_bits()));
@@ -687,9 +805,114 @@ mod tests {
                 }
                 _ => {}
             }
+            if stages.last() != Some(&u.quality_stage()) {
+                stages.push(u.quality_stage());
+            }
         }
         assert!(disabled, "quality monitor never tripped");
         assert!(u.memoization_disabled());
+        assert_eq!(
+            stages,
+            vec![
+                DegradationStage::Healthy,
+                DegradationStage::ReducedTruncation,
+                DegradationStage::Rewarmed,
+                DegradationStage::Disabled,
+            ],
+            "ladder must walk every rung in order"
+        );
+        assert_eq!(u.quality().escalations(), 3);
+    }
+
+    #[test]
+    fn disabled_unit_probes_and_reenables() {
+        use crate::quality::PROBE_PERIOD_INITIAL;
+        let mut u = unit();
+        let (lut, tid) = ids();
+        let mut flip = false;
+        // Drive the unit all the way to Disabled (as above).
+        for _ in 0..60_000u64 {
+            if u.memoization_disabled() {
+                break;
+            }
+            u.feed(lut, tid, InputValue::I32(1), 0);
+            if matches!(
+                u.lookup(lut, tid),
+                LookupResult::SampledMiss { .. } | LookupResult::Miss
+            ) {
+                let v = if flip { 100.0f32 } else { 1.0f32 };
+                flip = !flip;
+                u.update(lut, tid, u64::from(v.to_bits()));
+            }
+        }
+        assert!(u.memoization_disabled());
+        // The next PROBE_PERIOD_INITIAL lookups stay disabled; then the
+        // probe fires and the unit resumes memoizing (Rewarmed stage).
+        let mut reenabled_at = None;
+        for i in 0..2 * PROBE_PERIOD_INITIAL {
+            u.feed(lut, tid, InputValue::I32(1), 0);
+            let r = u.lookup(lut, tid);
+            if r != LookupResult::Disabled {
+                reenabled_at = Some(i);
+                if matches!(r, LookupResult::Miss) {
+                    u.update(lut, tid, u64::from(1.0f32.to_bits()));
+                }
+                break;
+            }
+        }
+        assert_eq!(reenabled_at, Some(PROBE_PERIOD_INITIAL - 1));
+        assert_eq!(u.quality_stage(), DegradationStage::Rewarmed);
+        // Stable values now: the unit hits again after re-warming.
+        u.feed(lut, tid, InputValue::I32(1), 0);
+        assert!(u.lookup(lut, tid).skips_computation());
+    }
+
+    #[test]
+    fn dropped_update_faults_lose_the_write() {
+        use crate::faults::FaultConfig;
+        let cfg = MemoConfig {
+            faults: FaultConfig {
+                seed: 7,
+                dropped_update_ppm: crate::faults::PPM, // drop every update
+                ..FaultConfig::default()
+            },
+            ..MemoConfig::l1_only(4096)
+        };
+        let mut u = MemoizationUnit::new(cfg).unwrap();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::I32(3), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, 3);
+        // The write was dropped: the same key misses again.
+        u.feed(lut, tid, InputValue::I32(3), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        assert_eq!(u.fault_stats().dropped_updates, 1);
+    }
+
+    #[test]
+    fn ecc_protection_charges_check_cycles() {
+        use crate::faults::{FaultConfig, Protection};
+        let cfg = MemoConfig {
+            faults: FaultConfig {
+                protection: Protection::EccProtected,
+                ..FaultConfig::default()
+            },
+            ..MemoConfig::l1_only(4096)
+        };
+        let mut u = MemoizationUnit::new(cfg).unwrap();
+        let (lut, tid) = ids();
+        u.feed(lut, tid, InputValue::I32(5), 0);
+        let miss = u.lookup(lut, tid);
+        assert_eq!(u.lookup_cycles(&miss), 2 + 1); // L1 probe + ECC check
+        assert_eq!(u.update(lut, tid, 5), 2 + 1);
+        u.feed(lut, tid, InputValue::I32(5), 0);
+        let hit = u.lookup(lut, tid);
+        assert_eq!(u.lookup_cycles(&hit), 2 + 1);
+        // Unprotected unit charges the plain Table-4 numbers.
+        let mut plain = unit();
+        plain.feed(lut, tid, InputValue::I32(5), 0);
+        let miss = plain.lookup(lut, tid);
+        assert_eq!(plain.lookup_cycles(&miss), 2);
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub struct MemoTiming {
     /// instruction (already included in the figures above per §6.1; kept
     /// explicit for the ablation bench).
     pub dummy_reg_overhead: u64,
+    /// Parity/SECDED check latency per LUT access when the arrays are
+    /// ECC-protected; zero cost when protection is off.
+    pub ecc_check_cycles: u64,
 }
 
 impl MemoTiming {
@@ -38,6 +41,7 @@ impl MemoTiming {
             update_cycles: 2,
             invalidate_cycles_per_way: 1,
             dummy_reg_overhead: 1,
+            ecc_check_cycles: 1,
         }
     }
 
@@ -46,18 +50,33 @@ impl MemoTiming {
     /// background). `ld_crc`/`reg_crc` retire in one cycle unless the
     /// queue back-pressures; `lookup` blocks until the LUT answers.
     pub fn cpu_cycles(&self, inst: &MemoInst, l2_hit: bool, ways: u64) -> u64 {
+        self.cpu_cycles_protected(inst, l2_hit, ways, false)
+    }
+
+    /// [`Self::cpu_cycles`] with the LUT protection scheme taken into
+    /// account: an ECC-`protected` array adds [`Self::ecc_check_cycles`]
+    /// to every `lookup`/`update` (the syndrome check sits on the array
+    /// read path).
+    pub fn cpu_cycles_protected(
+        &self,
+        inst: &MemoInst,
+        l2_hit: bool,
+        ways: u64,
+        protected: bool,
+    ) -> u64 {
+        let ecc = if protected { self.ecc_check_cycles } else { 0 };
         match inst {
             // The load itself is charged by the cache model; the CRC
             // streaming happens in the background.
             MemoInst::LdCrc { .. } | MemoInst::RegCrc { .. } => 1,
             MemoInst::Lookup { .. } => {
                 if l2_hit {
-                    self.lookup_l2_cycles
+                    self.lookup_l2_cycles + ecc
                 } else {
-                    self.lookup_l1_cycles
+                    self.lookup_l1_cycles + ecc
                 }
             }
-            MemoInst::Update { .. } => self.update_cycles,
+            MemoInst::Update { .. } => self.update_cycles + ecc,
             MemoInst::Invalidate { .. } => self.invalidate_cycles_per_way * ways,
         }
     }
@@ -104,5 +123,23 @@ mod tests {
             ),
             1
         );
+    }
+
+    #[test]
+    fn ecc_protection_adds_check_latency() {
+        let t = MemoTiming::paper();
+        let lut = LutId::new(0).unwrap();
+        let lookup = MemoInst::Lookup { dst: 0, lut };
+        let update = MemoInst::Update { src: 0, lut };
+        assert_eq!(t.cpu_cycles_protected(&lookup, false, 8, true), 3);
+        assert_eq!(t.cpu_cycles_protected(&lookup, true, 8, true), 14);
+        assert_eq!(t.cpu_cycles_protected(&update, false, 8, true), 3);
+        // Invalidate walks ways without reading data: no ECC cost.
+        assert_eq!(
+            t.cpu_cycles_protected(&MemoInst::Invalidate { lut }, false, 8, true),
+            8
+        );
+        // Unprotected arrays keep Table 4 exactly.
+        assert_eq!(t.cpu_cycles_protected(&lookup, false, 8, false), 2);
     }
 }

@@ -14,6 +14,7 @@ use crate::pipeline::{FuClass, LatencyModel, Pipeline};
 use crate::predictor::{BranchPredictor, PredictorConfig, PredictorStats};
 use crate::stats::RunStats;
 use axmemo_core::config::MemoConfig;
+use axmemo_core::faults::{FaultInjector, Protection};
 use axmemo_core::ids::{ThreadId, MAX_LUTS};
 use axmemo_core::truncate::InputValue;
 use axmemo_core::unit::{LookupResult, MemoizationUnit};
@@ -114,6 +115,12 @@ pub enum SimError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// Simulated-cycle budget exhausted (wall-clock watchdog for
+    /// supervised runs; see [`SimConfig::max_cycles`]).
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
     /// A memoization instruction was executed but no memoization unit is
     /// configured.
     NoMemoUnit {
@@ -132,6 +139,9 @@ impl fmt::Display for SimError {
             SimError::PcOutOfRange { pc } => write!(f, "pc {pc} out of range"),
             SimError::InstLimit { limit } => {
                 write!(f, "dynamic instruction limit {limit} exceeded")
+            }
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulated cycle limit {limit} exceeded")
             }
             SimError::NoMemoUnit { pc } => {
                 write!(
@@ -172,6 +182,11 @@ pub struct SimConfig {
     pub predictor: Option<PredictorConfig>,
     /// Dynamic-instruction budget (guards against runaway loops).
     pub max_insts: u64,
+    /// Simulated-cycle budget: the run aborts with
+    /// [`SimError::CycleLimit`] once the pipeline clock passes this
+    /// bound. The supervised benchmark runner uses it as a watchdog
+    /// against non-terminating or pathologically slow programs.
+    pub max_cycles: u64,
 }
 
 impl Default for SimConfig {
@@ -182,6 +197,7 @@ impl Default for SimConfig {
             latency: LatencyModel::default(),
             predictor: None,
             max_insts: 2_000_000_000,
+            max_cycles: u64::MAX,
         }
     }
 }
@@ -223,6 +239,9 @@ pub struct Simulator {
     config: SimConfig,
     cache: CacheHierarchy,
     memo: Option<MemoizationUnit>,
+    /// Memory-model fault injector (latency spikes on cache accesses),
+    /// seeded from the memoization config's fault settings.
+    mem_faults: Option<FaultInjector>,
     telemetry: Telemetry,
 }
 
@@ -254,10 +273,15 @@ impl Simulator {
             Some(m) => Some(MemoizationUnit::new(m.clone())?),
             None => None,
         };
+        let mem_faults = config
+            .memo
+            .as_ref()
+            .and_then(|m| FaultInjector::for_memory(&m.faults));
         Ok(Self {
             cache: CacheHierarchy::new(config.cache, reserved),
             config,
             memo,
+            mem_faults,
             telemetry: Telemetry::off(),
         })
     }
@@ -304,11 +328,15 @@ impl Simulator {
         &self.cache
     }
 
-    /// Clear caches and memoization state between independent runs.
+    /// Clear caches and memoization state between independent runs
+    /// (fault injectors re-seed, so every run replays the same faults).
     pub fn reset(&mut self) {
         self.cache.flush();
         if let Some(m) = self.memo.as_mut() {
             m.reset();
+        }
+        if let Some(f) = self.mem_faults.as_mut() {
+            f.reset();
         }
     }
 
@@ -355,6 +383,11 @@ impl Simulator {
             if stats.dynamic_insts >= self.config.max_insts {
                 return Err(SimError::InstLimit {
                     limit: self.config.max_insts,
+                });
+            }
+            if pipe.now() > self.config.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.config.max_cycles,
                 });
             }
 
@@ -433,7 +466,8 @@ impl Simulator {
                     machine.regs[rd as usize] = v;
                     wrote = Some((rd, v));
                     mem_addr = Some(addr);
-                    let (latency, served) = self.cache.access_served(addr);
+                    let (mut latency, served) = self.cache.access_served(addr);
+                    latency += spike_cycles(&mut self.mem_faults);
                     charge_mem(&mut stats, served);
                     pipe.issue(&[base], Some(rd), FuClass::LdSt, latency, 0);
                     classes.load += 1;
@@ -449,7 +483,8 @@ impl Simulator {
                     mem_addr = Some(addr);
                     let (_, served) = self.cache.access_served(addr);
                     charge_mem(&mut stats, served);
-                    pipe.issue(&[rs, base], None, FuClass::LdSt, lat.store, 0);
+                    let st_latency = lat.store + spike_cycles(&mut self.mem_faults);
+                    pipe.issue(&[rs, base], None, FuClass::LdSt, st_latency, 0);
                     classes.store += 1;
                 }
                 Inst::MovImm { rd, imm } => {
@@ -529,7 +564,8 @@ impl Simulator {
                     machine.regs[rd as usize] = raw;
                     wrote = Some((rd, raw));
                     mem_addr = Some(addr);
-                    let (latency, served) = self.cache.access_served(addr);
+                    let (mut latency, served) = self.cache.access_served(addr);
+                    latency += spike_cycles(&mut self.mem_faults);
                     charge_mem(&mut stats, served);
                     // The load issues like a normal load; the CRC beat is
                     // absorbed in the background, 1 cycle/byte, unless
@@ -594,6 +630,7 @@ impl Simulator {
                     stats.memo_stall_cycles += not_before.saturating_sub(before.max(1)) / 2;
                     stats.energy.hvr_accesses += 1;
                     stats.energy.l1_lut_accesses += 1;
+                    let mut lut_accesses = 1;
                     if unit.config().l2_bytes.is_some() {
                         // L2 LUT probed on L1 miss (and on L2 hits).
                         if !matches!(
@@ -604,7 +641,11 @@ impl Simulator {
                             }
                         ) {
                             stats.energy.l2_lut_accesses += 1;
+                            lut_accesses += 1;
                         }
+                    }
+                    if unit.config().faults.protection == Protection::EccProtected {
+                        stats.energy.ecc_checks += lut_accesses;
                     }
                     match result {
                         LookupResult::Hit { data, .. } => {
@@ -626,8 +667,13 @@ impl Simulator {
                     let cycles = unit.update_tel(lut, tid, data, &mut self.telemetry);
                     pipe.issue(&[src], None, FuClass::Memo, cycles, 0);
                     stats.energy.l1_lut_accesses += 1;
+                    let mut lut_accesses = 1;
                     if unit.config().l2_bytes.is_some() {
                         stats.energy.l2_lut_accesses += 1;
+                        lut_accesses += 1;
+                    }
+                    if unit.config().faults.protection == Protection::EccProtected {
+                        stats.energy.ecc_checks += lut_accesses;
                     }
                     stats.memo_insts += 1;
                     classes.memo += 1;
@@ -739,6 +785,12 @@ fn input_value(width: MemWidth, raw: u64) -> InputValue {
         MemWidth::B4 => InputValue::I32(raw as u32 as i32),
         MemWidth::B8 => InputValue::I64(raw as i64),
     }
+}
+
+/// Extra memory latency from an injected spike fault (0 when no injector
+/// is installed or this access drew no fault).
+fn spike_cycles(faults: &mut Option<FaultInjector>) -> u64 {
+    faults.as_mut().and_then(|f| f.latency_spike()).unwrap_or(0)
 }
 
 fn charge_mem(stats: &mut RunStats, served: ServedBy) {
@@ -932,6 +984,91 @@ mod tests {
             sim.run(&p, &mut m),
             Err(SimError::InstLimit { limit: 1000 })
         );
+    }
+
+    #[test]
+    fn cycle_limit_watchdog_stops_nonterminating_program() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("spin");
+        b.bind(top);
+        b.jump(top);
+        let p = b.build().unwrap();
+        let cfg = SimConfig {
+            max_cycles: 5_000,
+            ..SimConfig::baseline()
+        };
+        let mut sim = Simulator::new(cfg).unwrap();
+        let mut m = Machine::new(64);
+        assert_eq!(
+            sim.run(&p, &mut m),
+            Err(SimError::CycleLimit { limit: 5_000 })
+        );
+    }
+
+    #[test]
+    fn latency_spike_faults_slow_the_run_deterministically() {
+        use axmemo_core::faults::FaultConfig;
+        let p = memo_square_program();
+        let run = |spike_ppm: u32| {
+            let cfg = SimConfig::with_memo(MemoConfig {
+                faults: FaultConfig {
+                    seed: 11,
+                    latency_spike_ppm: spike_ppm,
+                    latency_spike_cycles: 500,
+                    ..FaultConfig::default()
+                },
+                ..MemoConfig::l1_only(4096)
+            });
+            let mut sim = Simulator::new(cfg).unwrap();
+            let mut m = Machine::new(64 * 1024);
+            for i in 0..256 {
+                m.store_f32(0x1000 + 4 * i, (i % 8) as f32 + 1.0);
+            }
+            sim.run(&p, &mut m).unwrap()
+        };
+        let clean = run(0);
+        let spiked = run(200_000); // ~20% of memory accesses spike
+        assert!(
+            spiked.cycles > clean.cycles,
+            "spiked {} !> clean {}",
+            spiked.cycles,
+            clean.cycles
+        );
+        // Same seed, same program: exactly reproducible.
+        assert_eq!(run(200_000), spiked);
+    }
+
+    #[test]
+    fn ecc_protection_charges_energy_checks() {
+        use axmemo_core::faults::{FaultConfig, Protection};
+        let p = memo_square_program();
+        let run = |protection: Protection| {
+            let cfg = SimConfig::with_memo(MemoConfig {
+                faults: FaultConfig {
+                    protection,
+                    ..FaultConfig::default()
+                },
+                ..MemoConfig::l1_only(4096)
+            });
+            let mut sim = Simulator::new(cfg).unwrap();
+            let mut m = Machine::new(64 * 1024);
+            for i in 0..256 {
+                m.store_f32(0x1000 + 4 * i, (i % 8) as f32 + 1.0);
+            }
+            sim.run(&p, &mut m).unwrap()
+        };
+        let plain = run(Protection::Unprotected);
+        let protected = run(Protection::EccProtected);
+        assert_eq!(plain.energy.ecc_checks, 0);
+        assert!(protected.energy.ecc_checks > 0);
+        // One check per charged LUT access (L1-only config).
+        assert_eq!(
+            protected.energy.ecc_checks,
+            protected.energy.l1_lut_accesses
+        );
+        // ECC adds a cycle per lookup/update; the pipeline may hide it
+        // behind other work, but it can never make the run faster.
+        assert!(protected.cycles >= plain.cycles);
     }
 
     #[test]

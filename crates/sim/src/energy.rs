@@ -51,6 +51,9 @@ pub struct EnergyModel {
     /// Quality-monitor comparison (§6.1: 7.47 µW comparator; per-use
     /// energy at 0.96 ns latency).
     pub quality_compare: f64,
+    /// ECC parity/SECDED check on a protected LUT access. The XOR-tree
+    /// logic is tiny compared to the array read it protects.
+    pub ecc_check: f64,
 }
 
 impl EnergyModel {
@@ -76,6 +79,7 @@ impl EnergyModel {
             l1_lut_access,
             l2_lut_access: 120.0,
             quality_compare: 0.0072, // 7.47 µW × 0.96 ns
+            ecc_check: 0.05,
         }
     }
 
@@ -96,6 +100,7 @@ impl EnergyModel {
             + b.l1_lut_accesses as f64 * self.l1_lut_access
             + b.l2_lut_accesses as f64 * self.l2_lut_access
             + b.quality_compares as f64 * self.quality_compare
+            + b.ecc_checks as f64 * self.ecc_check
     }
 }
 
@@ -193,5 +198,7 @@ mod tests {
         assert!((m.total_pj(&b) - 600.0).abs() < 1e-9);
         b.crc_beats = 2;
         assert!((m.total_pj(&b) - (600.0 + 2.0 * 2.9143)).abs() < 1e-9);
+        b.ecc_checks = 4;
+        assert!((m.total_pj(&b) - (600.0 + 2.0 * 2.9143 + 4.0 * 0.05)).abs() < 1e-9);
     }
 }

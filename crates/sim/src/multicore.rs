@@ -16,6 +16,52 @@ use crate::cpu::{Machine, SimConfig, SimError, Simulator};
 use crate::ir::Program;
 use crate::stats::RunStats;
 use axmemo_core::unit::UnitStats;
+use std::fmt;
+
+/// One core's simulator fault, tagged with the core that raised it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreFailure {
+    /// Index of the failing core.
+    pub core: usize,
+    /// The underlying simulator error.
+    pub error: SimError,
+}
+
+impl fmt::Display for CoreFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core {}: {}", self.core, self.error)
+    }
+}
+
+/// Failure of a multi-core run. Every core is driven to completion
+/// before this is returned, so `failures` lists *all* faulting cores —
+/// not just the first — each with its index for attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticoreError {
+    /// Per-core failures, in core order (non-empty).
+    pub failures: Vec<CoreFailure>,
+}
+
+impl fmt::Display for MulticoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} of the cores failed: ", self.failures.len())?;
+        for (i, failure) in self.failures.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{failure}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for MulticoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.failures
+            .first()
+            .map(|f| &f.error as &(dyn std::error::Error + 'static))
+    }
+}
 
 /// Aggregate statistics of a multi-core run.
 #[derive(Debug, Clone)]
@@ -96,19 +142,34 @@ impl MultiCore {
     ///
     /// # Errors
     ///
-    /// Returns the first core's simulator fault.
+    /// Every core runs to completion regardless of other cores' faults
+    /// (they are independent hardware); if any failed, the returned
+    /// [`MulticoreError`] lists each faulting core with its index.
     ///
     /// # Panics
     ///
     /// Panics if `jobs.len()` differs from the core count.
-    pub fn run(&mut self, jobs: &mut [(Program, Machine)]) -> Result<MulticoreStats, SimError> {
+    pub fn run(
+        &mut self,
+        jobs: &mut [(Program, Machine)],
+    ) -> Result<MulticoreStats, MulticoreError> {
         assert_eq!(jobs.len(), self.cores.len(), "one job per core");
         let mut per_core = Vec::with_capacity(jobs.len());
         let mut per_unit = Vec::with_capacity(jobs.len());
-        for (core, (program, machine)) in self.cores.iter_mut().zip(jobs.iter_mut()) {
-            let stats = core.run(program, machine)?;
-            per_unit.push(core.memo_unit().map(|u| u.stats()).unwrap_or_default());
-            per_core.push(stats);
+        let mut failures = Vec::new();
+        for (idx, (core, (program, machine))) in
+            self.cores.iter_mut().zip(jobs.iter_mut()).enumerate()
+        {
+            match core.run(program, machine) {
+                Ok(stats) => {
+                    per_unit.push(core.memo_unit().map(|u| u.stats()).unwrap_or_default());
+                    per_core.push(stats);
+                }
+                Err(error) => failures.push(CoreFailure { core: idx, error }),
+            }
+        }
+        if !failures.is_empty() {
+            return Err(MulticoreError { failures });
         }
         let makespan = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
         Ok(MulticoreStats {
@@ -229,6 +290,40 @@ mod tests {
         let stats = mc.run(&mut jobs2).unwrap();
         // After reset, compulsory misses return: updates > 0 again.
         assert!(stats.per_unit.iter().all(|u| u.updates >= 8));
+    }
+
+    #[test]
+    fn all_core_failures_are_reported_with_indices() {
+        // Core 1 and core 3 run a program that loads out of bounds;
+        // cores 0 and 2 are healthy. Both failures must surface, each
+        // attributed to its core, not just the first.
+        let cfg = SimConfig::with_memo(MemoConfig::l1_only(4096));
+        let mut mc = MultiCore::new(4, &cfg).unwrap();
+        let bad_program = {
+            let mut b = ProgramBuilder::new();
+            b.movi(1, u64::MAX - 16);
+            b.ld(MemWidth::B4, 2, 1, 0);
+            b.halt();
+            b.build().unwrap()
+        };
+        let mut jobs = vec![
+            (shard_program(), shard_machine(0)),
+            (bad_program.clone(), Machine::new(1024)),
+            (shard_program(), shard_machine(4)),
+            (bad_program, Machine::new(1024)),
+        ];
+        let err = mc.run(&mut jobs).unwrap_err();
+        assert_eq!(err.failures.len(), 2);
+        assert_eq!(err.failures[0].core, 1);
+        assert_eq!(err.failures[1].core, 3);
+        for f in &err.failures {
+            assert!(matches!(f.error, SimError::MemOutOfBounds { .. }));
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("2 of the cores failed"), "{msg}");
+        assert!(msg.contains("core 1"), "{msg}");
+        assert!(msg.contains("core 3"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub struct EnergyBreakdown {
     pub l2_lut_accesses: u64,
     /// Quality-monitor comparisons.
     pub quality_compares: u64,
+    /// ECC parity/SECDED checks on protected LUT arrays.
+    pub ecc_checks: u64,
 }
 
 /// Complete statistics for one simulated run.
@@ -74,6 +76,7 @@ impl EnergyBreakdown {
         self.l1_lut_accesses += other.l1_lut_accesses;
         self.l2_lut_accesses += other.l2_lut_accesses;
         self.quality_compares += other.quality_compares;
+        self.ecc_checks += other.ecc_checks;
     }
 }
 
@@ -127,6 +130,7 @@ mod tests {
         };
         b.energy.instructions = 30;
         b.energy.dram_accesses = 2;
+        b.energy.ecc_checks = 9;
         a.merge(&b);
         assert_eq!(a.cycles, 250, "makespan, not sum");
         assert_eq!(a.dynamic_insts, 40);
@@ -136,6 +140,7 @@ mod tests {
         assert_eq!(a.energy.instructions, 40);
         assert_eq!(a.energy.fp_ops, 4);
         assert_eq!(a.energy.dram_accesses, 2);
+        assert_eq!(a.energy.ecc_checks, 9);
     }
 
     #[test]

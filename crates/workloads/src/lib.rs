@@ -35,7 +35,10 @@ pub mod meta;
 pub mod runner;
 
 pub use meta::{Metric, WorkloadMeta};
-pub use runner::{run_benchmark, run_benchmark_opts, BenchmarkResult};
+pub use runner::{
+    run_benchmark, run_benchmark_opts, run_supervised, BenchmarkResult, FailureKind, RunFailure,
+    SupervisorConfig,
+};
 
 use axmemo_compiler::RegionSpec;
 use axmemo_core::config::DataWidth;

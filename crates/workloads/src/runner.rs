@@ -20,6 +20,11 @@ pub struct ErrorReport {
     pub output_error: f64,
     /// Element-wise relative errors, for CDF plotting.
     pub elementwise: Vec<f64>,
+    /// Output elements where the exact or approximate value was NaN or
+    /// infinite. Such pairs are clamped to [`NON_FINITE_ERROR`] (unless
+    /// bit-identical) so aggregates stay finite instead of silently
+    /// poisoning every downstream mean with NaN.
+    pub non_finite: u64,
 }
 
 /// Everything the figures need for one (benchmark, config) cell.
@@ -164,7 +169,21 @@ pub fn run_benchmark_report(
     dataset: Dataset,
     memo: &MemoConfig,
     zero_trunc: bool,
+    tel: Telemetry,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    run_benchmark_inner(bench, scale, dataset, memo, zero_trunc, tel, u64::MAX)
+}
+
+/// [`run_benchmark_report`] with a simulated-cycle watchdog budget
+/// applied to the baseline and memoized runs individually.
+fn run_benchmark_inner(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    memo: &MemoConfig,
+    zero_trunc: bool,
     mut tel: Telemetry,
+    max_cycles: u64,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
     let (program, mut specs) = bench.program(scale);
     if zero_trunc {
@@ -184,7 +203,10 @@ pub fn run_benchmark_report(
     let memo_program = memoize(&program, &specs)?;
 
     // Baseline run.
-    let mut base_sim = Simulator::new(SimConfig::baseline())?;
+    let mut base_sim = Simulator::new(SimConfig {
+        max_cycles,
+        ..SimConfig::baseline()
+    })?;
     let mut base_machine = bench.setup(scale, dataset);
     let base_stats = run(&mut base_sim, &program, &mut base_machine)?;
     let exact = bench.outputs(&base_machine, scale);
@@ -192,7 +214,10 @@ pub fn run_benchmark_report(
     // Memoized run, under a `run:<name>` span with the telemetry
     // handle installed in the simulator (it reaches the memoization
     // unit and the LUT hierarchy from there).
-    let mut memo_sim = Simulator::new(SimConfig::with_memo(memo_cfg.clone()))?;
+    let mut memo_sim = Simulator::new(SimConfig {
+        max_cycles,
+        ..SimConfig::with_memo(memo_cfg.clone())
+    })?;
     let mut memo_machine = bench.setup(scale, dataset);
     tel.set_cycle(0);
     tel.span_enter(&format!("run:{}", bench.meta().name));
@@ -248,8 +273,196 @@ fn run(
     sim.run(program, machine)
 }
 
+/// Why a supervised benchmark run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The run panicked; the panic was caught so sibling benchmarks in a
+    /// sweep keep running.
+    Panic,
+    /// The watchdog cycle budget expired
+    /// ([`axmemo_sim::cpu::SimError::CycleLimit`]): the program did not
+    /// terminate — or did not terminate fast enough — under this
+    /// configuration.
+    Watchdog,
+    /// The simulator or code generator reported an ordinary error.
+    Error,
+}
+
+/// Structured failure from [`run_supervised`].
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// Benchmark that failed.
+    pub benchmark: String,
+    /// Failure class of the *final* attempt.
+    pub kind: FailureKind,
+    /// Human-readable message (panic payload or error display).
+    pub message: String,
+    /// Whether a degraded-config retry was attempted before giving up.
+    pub retried: bool,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} failed ({:?}{}): {}",
+            self.benchmark,
+            self.kind,
+            if self.retried { ", after retry" } else { "" },
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+/// Supervision policy for [`run_supervised`].
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Watchdog budget in simulated cycles, applied to the baseline and
+    /// memoized runs individually.
+    pub max_cycles: u64,
+    /// When the first attempt fails under a fault-injecting
+    /// configuration, retry once with all fault injection cleared
+    /// before reporting failure.
+    pub retry_without_faults: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_cycles: u64::MAX,
+            retry_without_faults: true,
+        }
+    }
+}
+
+/// Supervised variant of [`run_benchmark`] for sweeps that must survive
+/// individual benchmark failures: panics are caught and converted into
+/// [`RunFailure`]s, a watchdog bounds simulated cycles, and a failing
+/// fault-injected run is retried once with faults cleared (isolating
+/// "the fault model broke it" from "the benchmark is broken").
+///
+/// # Errors
+///
+/// Returns a [`RunFailure`] describing the final failed attempt.
+pub fn run_supervised(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    memo: &MemoConfig,
+    sup: &SupervisorConfig,
+) -> Result<BenchmarkResult, RunFailure> {
+    let name = bench.meta().name.to_string();
+    let attempt = |cfg: &MemoConfig| -> Result<BenchmarkResult, (FailureKind, String)> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_benchmark_inner(
+                bench,
+                scale,
+                dataset,
+                cfg,
+                false,
+                Telemetry::off(),
+                sup.max_cycles,
+            )
+            .map(|report| report.result)
+        }));
+        match outcome {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(e)) => {
+                let kind = match e.downcast_ref::<SimError>() {
+                    Some(SimError::CycleLimit { .. }) => FailureKind::Watchdog,
+                    _ => FailureKind::Error,
+                };
+                Err((kind, e.to_string()))
+            }
+            Err(payload) => Err((FailureKind::Panic, panic_message(payload.as_ref()))),
+        }
+    };
+    match attempt(memo) {
+        Ok(r) => Ok(r),
+        Err((kind, message)) => {
+            let faults_active = memo.faults != axmemo_core::faults::FaultConfig::default();
+            if sup.retry_without_faults && faults_active {
+                let degraded = MemoConfig {
+                    faults: axmemo_core::faults::FaultConfig::default(),
+                    ..memo.clone()
+                };
+                match attempt(&degraded) {
+                    Ok(r) => Ok(r),
+                    Err((kind2, message2)) => Err(RunFailure {
+                        benchmark: name,
+                        kind: kind2,
+                        message: message2,
+                        retried: true,
+                    }),
+                }
+            } else {
+                Err(RunFailure {
+                    benchmark: name,
+                    kind,
+                    message,
+                    retried: false,
+                })
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Relative error recorded for a non-finite output pair (finite, so CDF
+/// plots and window means remain well-defined).
+pub const NON_FINITE_ERROR: f64 = 1e9;
+
+/// Replace non-finite output pairs with a finite maximal-error pair
+/// `(1.0, 1.0 + NON_FINITE_ERROR)` — or a zero-error pair when the two
+/// values are bit-identical (the approximation reproduced the NaN/inf
+/// exactly). Returns `None` vectors when everything was already finite
+/// so the common path allocates nothing.
+fn sanitize_outputs(exact: &[f64], approx: &[f64]) -> (Option<Vec<f64>>, Option<Vec<f64>>, u64) {
+    let non_finite = exact
+        .iter()
+        .zip(approx)
+        .filter(|(x, xh)| !x.is_finite() || !xh.is_finite())
+        .count() as u64;
+    if non_finite == 0 {
+        return (None, None, 0);
+    }
+    let mut e = exact.to_vec();
+    let mut a = approx.to_vec();
+    for (x, xh) in e.iter_mut().zip(a.iter_mut()) {
+        if x.is_finite() && xh.is_finite() {
+            continue;
+        }
+        if x.to_bits() == xh.to_bits() {
+            *x = 1.0;
+            *xh = 1.0;
+        } else {
+            *x = 1.0;
+            *xh = 1.0 + NON_FINITE_ERROR;
+        }
+    }
+    (Some(e), Some(a), non_finite)
+}
+
 /// Compute the quality metric between exact and approximate outputs.
+/// NaN/infinite elements (possible under fault injection — a corrupted
+/// LUT word can decode to any f32 bit pattern) are counted and clamped
+/// rather than propagated; see [`ErrorReport::non_finite`].
 pub fn compute_error(metric: Metric, exact: &[f64], approx: &[f64]) -> ErrorReport {
+    let (exact_s, approx_s, non_finite) = sanitize_outputs(exact, approx);
+    let exact = exact_s.as_deref().unwrap_or(exact);
+    let approx = approx_s.as_deref().unwrap_or(approx);
     match metric {
         Metric::Numeric | Metric::Image => {
             let output_error = axmemo_compiler::output_error(exact, approx);
@@ -264,6 +477,7 @@ pub fn compute_error(metric: Metric, exact: &[f64], approx: &[f64]) -> ErrorRepo
             ErrorReport {
                 output_error,
                 elementwise,
+                non_finite,
             }
         }
         Metric::Misclassification => {
@@ -276,6 +490,7 @@ pub fn compute_error(metric: Metric, exact: &[f64], approx: &[f64]) -> ErrorRepo
             ErrorReport {
                 output_error: rate,
                 elementwise: wrong,
+                non_finite,
             }
         }
     }
@@ -300,5 +515,146 @@ mod tests {
         let e = compute_error(Metric::Numeric, &[3.0, 4.0], &[3.0, 5.0]);
         assert!((e.output_error - 0.04).abs() < 1e-12);
         assert_eq!(e.elementwise.len(), 2);
+        assert_eq!(e.non_finite, 0);
+    }
+
+    #[test]
+    fn non_finite_outputs_are_counted_and_clamped() {
+        let e = compute_error(
+            Metric::Numeric,
+            &[3.0, 4.0, f64::NAN, 5.0],
+            &[3.0, f64::NAN, f64::NAN, f64::INFINITY],
+        );
+        // Three pairs involved a non-finite value...
+        assert_eq!(e.non_finite, 3);
+        // ...but every aggregate stays finite.
+        assert!(e.output_error.is_finite());
+        assert!(e.elementwise.iter().all(|v| v.is_finite()));
+        // Bit-identical NaNs mean the approximation reproduced the
+        // exact output: zero error for that element.
+        assert_eq!(e.elementwise[2], 0.0);
+        // Mismatched non-finite pairs clamp to the penalty value.
+        assert_eq!(e.elementwise[1], NON_FINITE_ERROR);
+        assert_eq!(e.elementwise[3], NON_FINITE_ERROR);
+        // Misclassification treats clamped pairs as wrong answers.
+        let m = compute_error(Metric::Misclassification, &[1.0, f64::NAN], &[1.0, 0.0]);
+        assert_eq!(m.non_finite, 1);
+        assert!((m.output_error - 0.5).abs() < 1e-12);
+    }
+
+    /// A benchmark whose program construction panics (models a bug in
+    /// one kernel that must not take down a whole sweep).
+    #[derive(Debug)]
+    struct PanickyBench;
+
+    impl crate::Benchmark for PanickyBench {
+        fn meta(&self) -> crate::meta::WorkloadMeta {
+            crate::meta::WorkloadMeta {
+                name: "panicky",
+                suite: "test",
+                domain: "test",
+                description: "",
+                dataset: "",
+                input_bytes: &[4],
+                truncated_bits: &[0],
+                metric: Metric::Numeric,
+            }
+        }
+        fn program(
+            &self,
+            _scale: crate::Scale,
+        ) -> (axmemo_sim::Program, Vec<axmemo_compiler::RegionSpec>) {
+            panic!("synthetic benchmark bug");
+        }
+        fn setup(&self, _scale: crate::Scale, _dataset: crate::Dataset) -> Machine {
+            Machine::new(64)
+        }
+        fn outputs(&self, _machine: &Machine, _scale: crate::Scale) -> Vec<f64> {
+            Vec::new()
+        }
+        fn golden(&self, _machine: &Machine, _scale: crate::Scale) -> Vec<f64> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn supervised_runner_catches_panics() {
+        let fail = run_supervised(
+            &PanickyBench,
+            crate::Scale::Tiny,
+            crate::Dataset::Eval,
+            &MemoConfig::l1_only(4096),
+            &SupervisorConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(fail.kind, FailureKind::Panic);
+        assert_eq!(fail.benchmark, "panicky");
+        assert!(fail.message.contains("synthetic benchmark bug"));
+        assert!(!fail.retried);
+    }
+
+    #[test]
+    fn supervised_runner_watchdog_bounds_cycles() {
+        let bench = crate::benchmark_by_name("blackscholes").unwrap();
+        let sup = SupervisorConfig {
+            max_cycles: 1_000, // far below what even Tiny needs
+            ..SupervisorConfig::default()
+        };
+        let fail = run_supervised(
+            bench.as_ref(),
+            crate::Scale::Tiny,
+            crate::Dataset::Eval,
+            &MemoConfig::l1_only(4096),
+            &sup,
+        )
+        .unwrap_err();
+        assert_eq!(fail.kind, FailureKind::Watchdog);
+        assert!(fail.message.contains("cycle limit"), "{}", fail.message);
+        assert!(!fail.retried, "no fault config, so no retry");
+    }
+
+    #[test]
+    fn supervised_runner_retries_without_faults() {
+        use axmemo_core::faults::FaultConfig;
+        // A fault storm: every memory access spikes by 100k cycles, so
+        // the memoized run blows the watchdog budget — but the retry
+        // with faults cleared fits comfortably.
+        let bench = crate::benchmark_by_name("blackscholes").unwrap();
+        let memo = MemoConfig {
+            faults: FaultConfig {
+                seed: 3,
+                latency_spike_ppm: axmemo_core::faults::PPM,
+                latency_spike_cycles: 100_000,
+                ..FaultConfig::default()
+            },
+            ..MemoConfig::l1_only(4096)
+        };
+        let sup = SupervisorConfig {
+            max_cycles: 2_000_000,
+            ..SupervisorConfig::default()
+        };
+        let result = run_supervised(
+            bench.as_ref(),
+            crate::Scale::Tiny,
+            crate::Dataset::Eval,
+            &memo,
+            &sup,
+        )
+        .expect("degraded retry must succeed");
+        assert!(result.speedup > 0.0);
+        // With the retry disabled, the same configuration must fail.
+        let sup_no_retry = SupervisorConfig {
+            retry_without_faults: false,
+            ..sup
+        };
+        let fail = run_supervised(
+            bench.as_ref(),
+            crate::Scale::Tiny,
+            crate::Dataset::Eval,
+            &memo,
+            &sup_no_retry,
+        )
+        .unwrap_err();
+        assert_eq!(fail.kind, FailureKind::Watchdog);
     }
 }
