@@ -1,14 +1,25 @@
 //! Run every experiment (tables 1/2/4/5, figures 7-11, the ATM
-//! comparison and the L2-size sensitivity) by invoking their binaries
-//! in sequence. Useful for regenerating EXPERIMENTS.md data in one go:
+//! comparison, the L2-size sensitivity, the ablations, and the
+//! full-matrix fault sweep) by invoking their binaries on the
+//! `bench::orchestrator` worker pool. Useful for regenerating
+//! EXPERIMENTS.md data in one go:
 //!
 //! ```text
-//! AXMEMO_SCALE=small cargo run --release -p axmemo-bench --bin all_experiments
+//! AXMEMO_SCALE=small cargo run --release -p axmemo-bench --bin all_experiments -- --jobs 4
 //! ```
+//!
+//! Each binary's stdout/stderr is captured and printed in the fixed
+//! experiment order regardless of which finishes first, so the combined
+//! output is identical for any `--jobs` value. `--seed`/`--report` are
+//! forwarded to every child.
 
 use std::process::Command;
 
+use axmemo_bench::orchestrator::parallel_map;
+use axmemo_bench::{BenchArgs, ReportMode};
+
 fn main() {
+    let args = BenchArgs::parse();
     let bins = [
         "table1",
         "table2",
@@ -23,17 +34,41 @@ fn main() {
         "ablation_crc",
         "ablation_two_level",
         "ablation_branch_predictor",
+        "fault_sweep",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    for bin in bins {
-        println!("\n==================== {bin} ====================");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
-            std::process::exit(1);
+    let mut forwarded = vec!["--seed".to_string(), args.seed.to_string()];
+    if args.report == ReportMode::Json {
+        forwarded.extend(["--report".to_string(), "json".to_string()]);
+    }
+    // Children get the pool's worker slots one at a time; the expensive
+    // sweep child parallelises internally only when this driver runs
+    // serially, otherwise the host would be oversubscribed.
+    let child_jobs = if args.effective_jobs() > 1 { 1 } else { 0 };
+
+    let outputs = parallel_map(args.effective_jobs(), bins.len(), |i| {
+        let bin = bins[i];
+        let mut cmd = Command::new(dir.join(bin));
+        cmd.args(&forwarded);
+        if bin == "fault_sweep" && child_jobs > 0 {
+            cmd.args(["--jobs", "1"]);
         }
+        cmd.output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"))
+    });
+
+    let mut failed = false;
+    for (bin, output) in bins.iter().zip(&outputs) {
+        println!("\n==================== {bin} ====================");
+        print!("{}", String::from_utf8_lossy(&output.stdout));
+        eprint!("{}", String::from_utf8_lossy(&output.stderr));
+        if !output.status.success() {
+            eprintln!("{bin} exited with {}", output.status);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

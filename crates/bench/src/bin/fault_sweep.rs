@@ -1,99 +1,66 @@
-//! Fault-injection sweep: output quality, LUT hit rate, and speedup as
-//! bit-flip rates rise, for unprotected and ECC-protected LUT arrays.
+//! Full-matrix fault-injection sweep: output quality, LUT hit rate, and
+//! speedup as bit-flip rates rise, across **all ten benchmarks**, the
+//! three fault domains ({L1-only, L2-only, L1+L2} flips), and
+//! unprotected vs. parity+SECDED LUT arrays.
 //!
 //! The paper's reliability argument (§3.4) is qualitative — LUT faults
 //! only perturb *approximate* results, so memoization degrades quality
-//! instead of crashing. This sweep quantifies that claim: the same
-//! uniform flip rate is applied to every tag/data array, once with no
-//! protection (flips silently corrupt hits or evict entries) and once
-//! with parity+SECDED (single flips are detected or corrected at a
-//! per-access check cost). Protected curves should degrade strictly
-//! slower.
+//! instead of crashing. This sweep quantifies that claim over the whole
+//! matrix. Jobs run on the `bench::orchestrator` worker pool: `--jobs N`
+//! selects the worker count (default: available parallelism) and the
+//! report is byte-identical for any worker count and a fixed `--seed`.
+//! Each job runs under a budget policy, so a cell that trips the cycle
+//! watchdog or panics shows up as a structured failure row instead of
+//! killing the sweep.
 //!
-//! `--seed <n>` seeds every injection stream; two runs with the same
-//! seed are identical.
+//! Extra flag (before the shared ones): `--benches a,b,c` restricts the
+//! matrix to a comma-separated benchmark subset (CI smoke runs use
+//! this; the default is all ten).
 
-use axmemo_bench::{geomean, scale_from_env, BenchArgs, ReportMode, Table};
-use axmemo_core::config::MemoConfig;
-use axmemo_core::faults::{FaultConfig, Protection};
-use axmemo_telemetry::Telemetry;
-use axmemo_workloads::runner::run_benchmark_report;
-use axmemo_workloads::{benchmark_by_name, Dataset};
-
-/// Uniform per-access flip rates (ppm), decade-spaced from fault-free.
-const FLIP_PPM: [u32; 5] = [0, 50, 500, 5_000, 50_000];
-
-/// Representative subset (one per metric family): numeric, image,
-/// misclassification. The full ten-benchmark sweep adds wall-clock
-/// without changing the curves' shape.
-const BENCHES: [&str; 3] = ["blackscholes", "sobel", "kmeans"];
+use axmemo_bench::orchestrator::Orchestrator;
+use axmemo_bench::{scale_from_env, sweep, BenchArgs, ReportMode};
+use axmemo_workloads::all_benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = BenchArgs::parse();
-    let mut tel = args.telemetry()?;
-    let scale = scale_from_env();
-
-    let mut table = Table::new(
-        format!(
-            "Fault sweep (uniform LUT flip rate, seed {}), scale {scale:?}",
-            args.seed
-        ),
-        &[
-            "Flip ppm",
-            "Protection",
-            "Benchmark",
-            "Hit rate",
-            "Output error",
-            "Speedup",
-        ],
-    );
-
-    for protection in [Protection::Unprotected, Protection::EccProtected] {
-        let label = match protection {
-            Protection::Unprotected => "none",
-            Protection::EccProtected => "parity+SECDED",
-        };
-        for ppm in FLIP_PPM {
-            let mut errors = Vec::new();
-            let mut speedups = Vec::new();
-            for name in BENCHES {
-                let bench = benchmark_by_name(name).expect("benchmark registered");
-                let memo = MemoConfig {
-                    data_width: bench.data_width(),
-                    faults: FaultConfig::uniform(args.seed, ppm, protection),
-                    ..MemoConfig::l1_only(8 * 1024)
-                };
-                let report = run_benchmark_report(
-                    bench.as_ref(),
-                    scale,
-                    Dataset::Eval,
-                    &memo,
-                    false,
-                    std::mem::replace(&mut tel, Telemetry::off()),
-                )?;
-                tel = report.telemetry;
-                let r = &report.result;
-                table.row(vec![
-                    format!("{ppm}"),
-                    label.to_string(),
-                    name.to_string(),
-                    format!("{:.1}%", 100.0 * r.hit_rate),
-                    format!("{:.3e}", r.error.output_error),
-                    format!("{:.2}x", r.speedup),
-                ]);
-                errors.push(r.error.output_error);
-                speedups.push(r.speedup);
-            }
-            table.summary(
-                format!("{ppm} ppm / {label}"),
-                format!(
-                    "mean error {:.3e}, geomean speedup {:.2}x",
-                    axmemo_bench::mean(&errors),
-                    geomean(&speedups)
-                ),
-            );
+    // Split off the sweep-specific `--benches` flag, hand the rest to
+    // the shared parser.
+    let mut benches: Vec<String> = Vec::new();
+    let mut shared = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--benches" {
+            let list = it.next().unwrap_or_else(|| {
+                eprintln!("error: --benches requires a comma-separated list");
+                std::process::exit(2);
+            });
+            benches = list.split(',').map(str::to_string).collect();
+        } else {
+            shared.push(arg);
         }
     }
+    let args = BenchArgs::try_from_iter(shared).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: fault_sweep [--benches a,b,c] [--trace-out <path>] \
+             [--report text|json] [--seed <n>] [--jobs <n>]"
+        );
+        std::process::exit(2);
+    });
+    if benches.is_empty() {
+        benches = all_benchmarks()
+            .iter()
+            .map(|b| b.meta().name.to_string())
+            .collect();
+    }
+
+    let mut tel = args.telemetry()?;
+    let scale = scale_from_env();
+    let (matrix, metas) = sweep::matrix(args.seed, &benches);
+    let outcomes = Orchestrator::new(scale)
+        .jobs(args.effective_jobs())
+        .progress(true)
+        .run_with_telemetry(&matrix, &mut tel);
+    let table = sweep::table(scale, args.seed, &metas, &outcomes);
 
     println!("{}", table.render(args.report));
     tel.flush();

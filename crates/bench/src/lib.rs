@@ -8,9 +8,18 @@
 //! (`tiny` | `small` | `full`, default `small`). `tiny` is a smoke
 //! setting; `small` reproduces the trends in seconds; `full` approaches
 //! the paper's dataset sizes.
+//!
+//! Sweep binaries (`fault_sweep`, `all_experiments`) run their job
+//! matrices through [`orchestrator`], a deterministic `std::thread`
+//! worker pool: `--jobs N` selects the worker count (default: available
+//! parallelism; `1` reproduces the old serial behaviour bit-for-bit)
+//! and the aggregated report is byte-identical for any worker count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod orchestrator;
+pub mod sweep;
 
 use axmemo_baselines::cost::kernel_profile;
 use axmemo_baselines::{AtmModel, ContenderOutcome, SoftwareLut};
@@ -40,6 +49,9 @@ pub enum ReportMode {
 /// * `--report text|json` — output format (default `text`).
 /// * `--seed <n>` — seed for binaries with stochastic models (e.g.
 ///   `fault_sweep`'s injection streams); default 0.
+/// * `--jobs <n>` — worker threads for orchestrated sweeps (default:
+///   available parallelism; `1` forces the serial path). Serial
+///   binaries accept and ignore it, so one flag set drives them all.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// JSONL event-trace destination, when requested.
@@ -48,6 +60,8 @@ pub struct BenchArgs {
     pub report: ReportMode,
     /// Seed for stochastic models (fault injection); 0 by default.
     pub seed: u64,
+    /// Requested worker count; 0 means "auto" (available parallelism).
+    pub jobs: usize,
 }
 
 impl BenchArgs {
@@ -57,7 +71,9 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: <bin> [--trace-out <path>] [--report text|json] [--seed <n>]");
+                eprintln!(
+                    "usage: <bin> [--trace-out <path>] [--report text|json] [--seed <n>] [--jobs <n>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -83,6 +99,15 @@ impl BenchArgs {
                         format!("--seed must be a non-negative integer, got {value}")
                     })?;
                 }
+                "--jobs" => {
+                    let value = it.next().ok_or("--jobs requires a number argument")?;
+                    out.jobs = value
+                        .parse()
+                        .map_err(|_| format!("--jobs must be a positive integer, got {value}"))?;
+                    if out.jobs == 0 {
+                        return Err("--jobs must be at least 1".to_string());
+                    }
+                }
                 "--report" => match it.next().as_deref() {
                     Some("text") => out.report = ReportMode::Text,
                     Some("json") => out.report = ReportMode::Json,
@@ -93,6 +118,18 @@ impl BenchArgs {
             }
         }
         Ok(out)
+    }
+
+    /// Worker count for orchestrated sweeps: the `--jobs` value, or the
+    /// host's available parallelism when the flag was not given.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
     }
 
     /// Build the telemetry handle the flags ask for: enabled with a
@@ -504,6 +541,24 @@ mod tests {
         assert!(
             BenchArgs::try_from_iter(["--seed", "many"].iter().map(|s| (*s).to_string())).is_err()
         );
+    }
+
+    #[test]
+    fn bench_args_parse_jobs() {
+        let args =
+            BenchArgs::try_from_iter(["--jobs", "4"].iter().map(|s| (*s).to_string())).unwrap();
+        assert_eq!(args.jobs, 4);
+        assert_eq!(args.effective_jobs(), 4);
+        assert!(BenchArgs::try_from_iter(["--jobs".to_string()]).is_err());
+        assert!(
+            BenchArgs::try_from_iter(["--jobs", "0"].iter().map(|s| (*s).to_string())).is_err()
+        );
+        assert!(
+            BenchArgs::try_from_iter(["--jobs", "lots"].iter().map(|s| (*s).to_string())).is_err()
+        );
+        let auto = BenchArgs::default();
+        assert_eq!(auto.jobs, 0);
+        assert!(auto.effective_jobs() >= 1);
     }
 
     #[test]

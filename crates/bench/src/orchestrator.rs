@@ -1,0 +1,410 @@
+//! Parallel sweep orchestration: a zero-dependency `std::thread` worker
+//! pool that runs a declarative (benchmark × config) job matrix through
+//! the supervised runner and aggregates results in **deterministic
+//! job-index order**, regardless of which worker finishes first.
+//!
+//! Every figure/sweep binary used to walk its matrix serially on one
+//! thread; the orchestrator keeps that behaviour available bit-for-bit
+//! (`jobs = 1` takes a plain serial path) while letting `--jobs N`
+//! saturate the host. Determinism comes from two properties:
+//!
+//! 1. Each job is fully self-contained: the simulator, fault-injection
+//!    streams, and datasets are all seeded from the job's own
+//!    [`JobSpec`], never from shared mutable state, so a job computes
+//!    the same [`runner::BenchmarkResult`] on any worker at any time.
+//! 2. Results are written into an index-addressed slot table and read
+//!    back in index order, so aggregation (tables, telemetry spans,
+//!    summaries) never observes completion order.
+//!
+//! Failures never sink a sweep: each job runs under a
+//! [`BudgetPolicy`] (simulated-cycle watchdog, optional wall-clock cap,
+//! bounded retries with exponential backoff, final faults-off attempt)
+//! and a job that exhausts its budget is reported as a structured
+//! [`RunFailure`] row next to its successful siblings.
+//!
+//! ```
+//! use axmemo_bench::orchestrator::{JobMatrix, JobSpec, Orchestrator};
+//! use axmemo_core::config::MemoConfig;
+//! use axmemo_workloads::Scale;
+//!
+//! let mut matrix = JobMatrix::new();
+//! matrix.push(JobSpec::new("blackscholes", "L1 4K", MemoConfig::l1_only(4 * 1024)));
+//! let outcomes = Orchestrator::new(Scale::Tiny).jobs(2).run(&matrix);
+//! assert_eq!(outcomes.len(), 1);
+//! assert!(outcomes[0].result.is_ok());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use axmemo_core::config::MemoConfig;
+use axmemo_telemetry::Telemetry;
+use axmemo_workloads::runner::{BudgetPolicy, RunFailure, SupervisedRun};
+use axmemo_workloads::{benchmark_by_name, runner, Dataset, FailureKind, Scale};
+
+/// Deterministic-order parallel map: evaluate `f(0..count)` on up to
+/// `jobs` worker threads and return the results **in index order**,
+/// regardless of completion order. `jobs <= 1` runs serially on the
+/// calling thread, which reproduces single-threaded behaviour exactly
+/// (same thread, same evaluation order).
+///
+/// Workers claim indices from a shared atomic cursor (work-stealing by
+/// construction: a worker that finishes early immediately claims the
+/// next unstarted index, so one slow job cannot idle the pool).
+pub fn parallel_map<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let workers = jobs.min(count);
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let value = f(index);
+                slots.lock().expect("result slots poisoned")[index] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// One cell of a sweep matrix: which benchmark to run under which
+/// memoization-unit configuration (the [`MemoConfig`] carries the LUT
+/// geometry *and* the fault-injection config, including its seed).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Registered benchmark name (see `axmemo_workloads::all_benchmarks`).
+    pub benchmark: String,
+    /// Human-readable configuration label, used in tables, telemetry
+    /// span names, and progress lines.
+    pub label: String,
+    /// Complete memoization-unit configuration for this cell.
+    pub memo: MemoConfig,
+}
+
+impl JobSpec {
+    /// New job for `benchmark` under `memo`, labelled `label`.
+    pub fn new(benchmark: impl Into<String>, label: impl Into<String>, memo: MemoConfig) -> Self {
+        Self {
+            benchmark: benchmark.into(),
+            label: label.into(),
+            memo,
+        }
+    }
+}
+
+/// A declarative job matrix: an ordered list of [`JobSpec`]s. The order
+/// jobs are pushed is the order results are aggregated in, so a matrix
+/// defines its report layout once, independent of scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct JobMatrix {
+    jobs: Vec<JobSpec>,
+}
+
+impl JobMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one job; returns `&mut self` for chaining.
+    pub fn push(&mut self, spec: JobSpec) -> &mut Self {
+        self.jobs.push(spec);
+        self
+    }
+
+    /// Cross product convenience: one job per (config × benchmark) pair,
+    /// configs outermost (matching how the figure tables group rows).
+    pub fn product(&mut self, benchmarks: &[&str], configs: &[(String, MemoConfig)]) -> &mut Self {
+        for (label, memo) in configs {
+            for bench in benchmarks {
+                self.push(JobSpec::new(*bench, label.clone(), memo.clone()));
+            }
+        }
+        self
+    }
+
+    /// Jobs in aggregation order.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Result of one orchestrated job, in the slot of its matrix index.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Index of this job in the [`JobMatrix`].
+    pub index: usize,
+    /// The job that ran.
+    pub spec: JobSpec,
+    /// Attempts the budget machinery made (1 = first try succeeded).
+    pub attempts: u32,
+    /// The successful attempt ran with fault injection cleared.
+    pub faults_cleared: bool,
+    /// Simulated cycles of the successful memoized run (0 on failure);
+    /// used to key the per-job telemetry span.
+    pub sim_cycles: u64,
+    /// The paper metrics, or a structured failure that names the final
+    /// attempt's failure class.
+    pub result: Result<runner::BenchmarkResult, RunFailure>,
+}
+
+impl JobOutcome {
+    /// One-word status for tables/progress: `ok`, `ok*` (succeeded only
+    /// after clearing faults), or the failure kind.
+    pub fn status(&self) -> &'static str {
+        match &self.result {
+            Ok(_) if self.faults_cleared => "ok*",
+            Ok(_) => "ok",
+            Err(f) => match f.kind {
+                FailureKind::Panic => "panic",
+                FailureKind::Watchdog => "watchdog",
+                FailureKind::Error => "error",
+            },
+        }
+    }
+}
+
+/// The sweep orchestrator: scale/dataset selection, worker count, and
+/// the per-job [`BudgetPolicy`] shared by every job in a run.
+///
+/// Construct with [`Orchestrator::new`], adjust with the builder
+/// methods, then call [`Orchestrator::run`] (or
+/// [`Orchestrator::run_with_telemetry`] to also record per-job spans
+/// and sweep counters into a [`Telemetry`] handle).
+#[derive(Debug, Clone)]
+pub struct Orchestrator {
+    scale: Scale,
+    dataset: Dataset,
+    jobs: usize,
+    budget: BudgetPolicy,
+    progress: bool,
+}
+
+impl Orchestrator {
+    /// Orchestrator for `scale` on the evaluation dataset: serial
+    /// (`jobs = 1`), default budget, progress lines off.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            dataset: Dataset::Eval,
+            jobs: 1,
+            budget: BudgetPolicy::default(),
+            progress: false,
+        }
+    }
+
+    /// Set the worker count (clamped to ≥ 1). `1` reproduces serial
+    /// behaviour bit-for-bit.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Set the per-job budget policy.
+    pub fn budget(mut self, budget: BudgetPolicy) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Select the dataset (default: [`Dataset::Eval`]).
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = dataset;
+        self
+    }
+
+    /// Emit a progress line to stderr as each job completes. Progress
+    /// reflects completion order and is *not* part of the deterministic
+    /// report (stdout).
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Run every job in `matrix` and return outcomes in job-index
+    /// order. Individual job failures are captured as [`RunFailure`]
+    /// values, never propagated — a sweep always yields exactly
+    /// `matrix.len()` outcomes.
+    pub fn run(&self, matrix: &JobMatrix) -> Vec<JobOutcome> {
+        let total = matrix.len();
+        let done = AtomicUsize::new(0);
+        let run_one = |index: usize| -> JobOutcome {
+            let spec = matrix.jobs()[index].clone();
+            let outcome = self.run_job(index, spec);
+            if self.progress {
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[{finished}/{total}] {:<8} {} {} (attempt {})",
+                    outcome.status(),
+                    outcome.spec.benchmark,
+                    outcome.spec.label,
+                    outcome.attempts,
+                );
+            }
+            outcome
+        };
+        parallel_map(self.jobs, total, run_one)
+    }
+
+    /// [`Orchestrator::run`], then record the sweep into `tel` in
+    /// job-index order: one `job:<benchmark>:<label>` span per job
+    /// (covering its simulated memoized-run cycles) and the
+    /// `orchestrator.jobs.{ok,failed,retries,faults_cleared}` counters.
+    ///
+    /// Span paths treat `/` as a hierarchy separator, so any `/` in the
+    /// label is rewritten to `|` to keep the whole name on one path
+    /// segment (the text report prints only the leaf segment).
+    pub fn run_with_telemetry(&self, matrix: &JobMatrix, tel: &mut Telemetry) -> Vec<JobOutcome> {
+        let outcomes = self.run(matrix);
+        for outcome in &outcomes {
+            let label = outcome.spec.label.replace('/', "|");
+            tel.record_span(
+                &format!("job:{}:{}", outcome.spec.benchmark, label),
+                0,
+                outcome.sim_cycles,
+            );
+            match outcome.result {
+                Ok(_) => tel.count("orchestrator.jobs.ok", 1),
+                Err(_) => tel.count("orchestrator.jobs.failed", 1),
+            }
+            tel.count("orchestrator.jobs.retries", u64::from(outcome.attempts - 1));
+            if outcome.faults_cleared {
+                tel.count("orchestrator.jobs.faults_cleared", 1);
+            }
+        }
+        outcomes
+    }
+
+    fn run_job(&self, index: usize, spec: JobSpec) -> JobOutcome {
+        let Some(bench) = benchmark_by_name(&spec.benchmark) else {
+            let failure = RunFailure {
+                benchmark: spec.benchmark.clone(),
+                kind: FailureKind::Error,
+                message: format!("unknown benchmark {:?}", spec.benchmark),
+                retried: false,
+                attempts: 1,
+                wall_clock_exhausted: false,
+            };
+            return JobOutcome {
+                index,
+                spec,
+                attempts: 1,
+                faults_cleared: false,
+                sim_cycles: 0,
+                result: Err(failure),
+            };
+        };
+        match runner::run_budgeted(
+            bench.as_ref(),
+            self.scale,
+            self.dataset,
+            &spec.memo,
+            &self.budget,
+        ) {
+            Ok(SupervisedRun {
+                result,
+                attempts,
+                faults_cleared,
+            }) => JobOutcome {
+                index,
+                attempts,
+                faults_cleared,
+                sim_cycles: result.memo_stats.cycles,
+                result: Ok(result),
+                spec,
+            },
+            Err(failure) => JobOutcome {
+                index,
+                attempts: failure.attempts,
+                faults_cleared: false,
+                sim_cycles: 0,
+                result: Err(failure),
+                spec,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        // Early indices sleep longest, so completion order is the
+        // reverse of index order under real parallelism.
+        let out = parallel_map(4, 8, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(2 * (8 - i as u64)));
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn parallel_map_serial_path_matches() {
+        let serial = parallel_map(1, 16, |i| i as u64 * 3);
+        let parallel = parallel_map(4, 16, |i| i as u64 * 3);
+        assert_eq!(serial, parallel);
+        assert!(parallel_map(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn matrix_product_orders_configs_outermost() {
+        let mut m = JobMatrix::new();
+        m.product(
+            &["a", "b"],
+            &[
+                ("c0".to_string(), MemoConfig::l1_only(4096)),
+                ("c1".to_string(), MemoConfig::l1_only(8192)),
+            ],
+        );
+        let order: Vec<(String, String)> = m
+            .jobs()
+            .iter()
+            .map(|j| (j.label.clone(), j.benchmark.clone()))
+            .collect();
+        assert_eq!(
+            order,
+            [("c0", "a"), ("c0", "b"), ("c1", "a"), ("c1", "b")]
+                .map(|(l, b)| (l.to_string(), b.to_string()))
+        );
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_structured_failure() {
+        let mut m = JobMatrix::new();
+        m.push(JobSpec::new("doom", "L1", MemoConfig::l1_only(4096)));
+        let outcomes = Orchestrator::new(Scale::Tiny).run(&m);
+        assert_eq!(outcomes.len(), 1);
+        let fail = outcomes[0].result.as_ref().unwrap_err();
+        assert_eq!(fail.kind, FailureKind::Error);
+        assert!(fail.message.contains("doom"));
+        assert_eq!(outcomes[0].status(), "error");
+    }
+}

@@ -85,10 +85,53 @@ impl Default for FaultConfig {
     }
 }
 
+/// Which LUT level(s) a flip-rate configuration strikes. The fault
+/// sweep exercises all three so L2-only corruption (plumbed since the
+/// fault subsystem landed, but unexercised by the original sweep
+/// binary) gets its own curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultDomain {
+    /// Flips strike the L1 LUT arrays only.
+    L1Only,
+    /// Flips strike the L2 way-partition arrays only.
+    L2Only,
+    /// Flips strike both levels at the same rate.
+    L1AndL2,
+}
+
+impl FaultDomain {
+    /// All three domains, in sweep order.
+    pub const ALL: [FaultDomain; 3] = [
+        FaultDomain::L1Only,
+        FaultDomain::L2Only,
+        FaultDomain::L1AndL2,
+    ];
+
+    /// Short label used in sweep tables (`L1`, `L2`, `L1+L2`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultDomain::L1Only => "L1",
+            FaultDomain::L2Only => "L2",
+            FaultDomain::L1AndL2 => "L1+L2",
+        }
+    }
+}
+
 impl FaultConfig {
     /// A uniform fault environment: the same `flip_ppm` on every tag and
     /// data array, with `protection`. Dropped updates and latency spikes
     /// stay off (enable them field-wise).
+    ///
+    /// ```
+    /// use axmemo_core::faults::{FaultConfig, Protection};
+    ///
+    /// let cfg = FaultConfig::uniform(7, 500, Protection::EccProtected);
+    /// assert_eq!(cfg.l1_tag_flip_ppm, 500);
+    /// assert_eq!(cfg.l2_data_flip_ppm, 500);
+    /// assert!(cfg.any_lut_faults());
+    /// // Rate zero means no injector is ever installed.
+    /// assert!(!FaultConfig::uniform(7, 0, Protection::Unprotected).any_faults());
+    /// ```
     pub fn uniform(seed: u64, flip_ppm: u32, protection: Protection) -> Self {
         Self {
             seed,
@@ -96,6 +139,36 @@ impl FaultConfig {
             l1_data_flip_ppm: flip_ppm,
             l2_tag_flip_ppm: flip_ppm,
             l2_data_flip_ppm: flip_ppm,
+            protection,
+            ..Self::default()
+        }
+    }
+
+    /// Like [`FaultConfig::uniform`], but restricted to one LUT level
+    /// (or both): `domain` selects which tag/data arrays carry
+    /// `flip_ppm`; the other level's rates stay zero.
+    ///
+    /// ```
+    /// use axmemo_core::faults::{FaultConfig, FaultDomain, Protection};
+    ///
+    /// let l2 = FaultConfig::domain(7, 500, FaultDomain::L2Only, Protection::Unprotected);
+    /// assert_eq!(l2.l1_tag_flip_ppm, 0);
+    /// assert_eq!(l2.l2_tag_flip_ppm, 500);
+    /// let both = FaultConfig::domain(7, 500, FaultDomain::L1AndL2, Protection::Unprotected);
+    /// assert_eq!(both, FaultConfig::uniform(7, 500, Protection::Unprotected));
+    /// ```
+    pub fn domain(seed: u64, flip_ppm: u32, domain: FaultDomain, protection: Protection) -> Self {
+        let (l1, l2) = match domain {
+            FaultDomain::L1Only => (flip_ppm, 0),
+            FaultDomain::L2Only => (0, flip_ppm),
+            FaultDomain::L1AndL2 => (flip_ppm, flip_ppm),
+        };
+        Self {
+            seed,
+            l1_tag_flip_ppm: l1,
+            l1_data_flip_ppm: l1,
+            l2_tag_flip_ppm: l2,
+            l2_data_flip_ppm: l2,
             protection,
             ..Self::default()
         }

@@ -174,6 +174,25 @@ impl Telemetry {
         });
     }
 
+    /// Record one already-completed span covering
+    /// `start_cycle..end_cycle`, emitting the same `span.enter` /
+    /// `span.exit` event pair as live bracketing would.
+    ///
+    /// Sweep orchestrators use this to attach per-job spans (for example
+    /// `job:blackscholes:L1+L2@500ppm`) *after* the parallel workers
+    /// have finished, in deterministic job-index order — a worker thread
+    /// cannot write into the shared handle while jobs are in flight.
+    /// The handle's current cycle is left at `end_cycle`.
+    pub fn record_span(&mut self, name: &str, start_cycle: u64, end_cycle: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.set_cycle(start_cycle);
+        self.span_enter(name);
+        self.set_cycle(end_cycle.max(start_cycle));
+        self.span_exit();
+    }
+
     fn emit_raw(&mut self, ev: Event) {
         for sink in &mut self.sinks {
             sink.record(&ev);
@@ -273,6 +292,28 @@ mod tests {
     fn enabled_unbalanced_exit_panics() {
         let mut tel = Telemetry::enabled();
         tel.span_exit();
+    }
+
+    #[test]
+    fn record_span_matches_live_bracketing() {
+        let sink = RingBufferSink::new(8);
+        let mut tel = Telemetry::enabled();
+        tel.add_sink(Box::new(sink.clone()));
+        tel.record_span("job:fft:L1", 10, 250);
+        assert_eq!(tel.spans().len(), 1);
+        assert_eq!(tel.spans()[0].path, "job:fft:L1");
+        assert_eq!(tel.spans()[0].cycles(), 240);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "span.enter");
+        assert_eq!(events[1].kind, "span.exit");
+        // End before start clamps instead of underflowing.
+        tel.record_span("job:weird", 100, 0);
+        assert_eq!(tel.spans()[1].cycles(), 0);
+        // A disabled handle records nothing.
+        let mut off = Telemetry::off();
+        off.record_span("x", 0, 1);
+        assert!(off.spans().is_empty());
     }
 
     #[test]

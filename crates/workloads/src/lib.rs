@@ -36,8 +36,8 @@ pub mod runner;
 
 pub use meta::{Metric, WorkloadMeta};
 pub use runner::{
-    run_benchmark, run_benchmark_opts, run_supervised, BenchmarkResult, FailureKind, RunFailure,
-    SupervisorConfig,
+    run_benchmark, run_benchmark_opts, run_budgeted, run_supervised, BenchmarkResult, BudgetPolicy,
+    FailureKind, RunFailure, SupervisedRun, SupervisorConfig,
 };
 
 use axmemo_compiler::RegionSpec;

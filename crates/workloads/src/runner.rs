@@ -288,7 +288,7 @@ pub enum FailureKind {
     Error,
 }
 
-/// Structured failure from [`run_supervised`].
+/// Structured failure from [`run_supervised`] / [`run_budgeted`].
 #[derive(Debug, Clone)]
 pub struct RunFailure {
     /// Benchmark that failed.
@@ -299,22 +299,225 @@ pub struct RunFailure {
     pub message: String,
     /// Whether a degraded-config retry was attempted before giving up.
     pub retried: bool,
+    /// Total attempts made (same-config retries plus the optional
+    /// faults-off attempt).
+    pub attempts: u32,
+    /// The wall-clock cap expired before every budgeted attempt could
+    /// run; the failure describes the last attempt that did.
+    pub wall_clock_exhausted: bool,
 }
 
 impl std::fmt::Display for RunFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} failed ({:?}{}): {}",
+            "{} failed ({:?}, {} attempt{}{}): {}",
             self.benchmark,
             self.kind,
-            if self.retried { ", after retry" } else { "" },
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            if self.wall_clock_exhausted {
+                ", wall-clock budget exhausted"
+            } else {
+                ""
+            },
             self.message
         )
     }
 }
 
 impl std::error::Error for RunFailure {}
+
+/// Per-job budget for [`run_budgeted`]: a simulated-cycle watchdog, an
+/// optional wall-clock cap, and a bounded retry schedule with
+/// exponential backoff. This generalizes [`SupervisorConfig`]'s one-shot
+/// faults-off retry for long-running sweep/service harnesses where a
+/// transient failure (fault storm, watchdog trip under a pathological
+/// seed) should be retried a bounded number of times, with growing
+/// pauses so a sweep full of failing jobs does not spin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetPolicy {
+    /// Watchdog budget in simulated cycles, applied to the baseline and
+    /// memoized runs individually.
+    pub max_cycles: u64,
+    /// Wall-clock cap for all attempts of one job, in milliseconds.
+    /// `None` means uncapped. The cap is checked *between* attempts: a
+    /// running attempt is never interrupted (results stay deterministic),
+    /// but no further retry starts once the cap has expired.
+    pub wall_clock_cap_ms: Option<u64>,
+    /// Maximum same-configuration attempts (≥ 1).
+    pub max_attempts: u32,
+    /// Pause before the first same-configuration retry, in milliseconds.
+    /// Zero disables sleeping (the retries still happen).
+    pub backoff_base_ms: u64,
+    /// Multiplier applied to the pause after every retry.
+    pub backoff_factor: u32,
+    /// Ceiling on a single backoff pause, in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// After every same-configuration attempt failed under a
+    /// fault-injecting configuration, make one final attempt with all
+    /// fault injection cleared (isolating "the fault model broke it"
+    /// from "the benchmark is broken").
+    pub retry_without_faults: bool,
+}
+
+impl Default for BudgetPolicy {
+    fn default() -> Self {
+        Self {
+            max_cycles: u64::MAX,
+            wall_clock_cap_ms: None,
+            max_attempts: 1,
+            backoff_base_ms: 25,
+            backoff_factor: 2,
+            backoff_cap_ms: 1_000,
+            retry_without_faults: true,
+        }
+    }
+}
+
+impl BudgetPolicy {
+    /// Backoff pause in milliseconds before retry number `retry` (the
+    /// first retry is `retry = 0`): `base * factor^retry`, saturating,
+    /// clamped to [`Self::backoff_cap_ms`].
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        let factor = u64::from(self.backoff_factor.max(1)).saturating_pow(retry);
+        self.backoff_base_ms
+            .saturating_mul(factor)
+            .min(self.backoff_cap_ms)
+    }
+
+    /// The full pause schedule for this policy: one entry per possible
+    /// same-configuration retry (`max_attempts - 1` entries).
+    pub fn backoff_schedule(&self) -> Vec<u64> {
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|r| self.backoff_ms(r))
+            .collect()
+    }
+}
+
+/// Successful outcome of [`run_budgeted`], annotated with what the
+/// budget machinery had to do to get it.
+#[derive(Debug, Clone)]
+pub struct SupervisedRun {
+    /// The paper metrics of the successful attempt.
+    pub result: BenchmarkResult,
+    /// Attempts made, including the successful one.
+    pub attempts: u32,
+    /// The successful attempt ran with fault injection cleared (every
+    /// attempt with the requested fault configuration failed).
+    pub faults_cleared: bool,
+}
+
+/// Supervised, budgeted variant of [`run_benchmark`] for sweep
+/// orchestration: panics are caught, a watchdog bounds simulated cycles,
+/// failed attempts are retried up to [`BudgetPolicy::max_attempts`]
+/// times with exponential backoff, an optional wall-clock cap stops the
+/// retry loop, and a final faults-off attempt isolates fault-model
+/// breakage. See [`run_supervised`] for the one-shot policy it
+/// generalizes.
+///
+/// # Errors
+///
+/// Returns a [`RunFailure`] describing the final failed attempt, with
+/// the attempt count and whether the wall-clock budget expired.
+pub fn run_budgeted(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    memo: &MemoConfig,
+    policy: &BudgetPolicy,
+) -> Result<SupervisedRun, RunFailure> {
+    let name = bench.meta().name.to_string();
+    let started = std::time::Instant::now();
+    let wall_exhausted = |attempts_left: bool| -> bool {
+        attempts_left
+            && policy
+                .wall_clock_cap_ms
+                .is_some_and(|cap| started.elapsed().as_millis() as u64 >= cap)
+    };
+    let attempt = |cfg: &MemoConfig| -> Result<BenchmarkResult, (FailureKind, String)> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_benchmark_inner(
+                bench,
+                scale,
+                dataset,
+                cfg,
+                false,
+                Telemetry::off(),
+                policy.max_cycles,
+            )
+            .map(|report| report.result)
+        }));
+        match outcome {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(e)) => {
+                let kind = match e.downcast_ref::<SimError>() {
+                    Some(SimError::CycleLimit { .. }) => FailureKind::Watchdog,
+                    _ => FailureKind::Error,
+                };
+                Err((kind, e.to_string()))
+            }
+            Err(payload) => Err((FailureKind::Panic, panic_message(payload.as_ref()))),
+        }
+    };
+
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempts = 0u32;
+    let mut last_failure = None;
+    let mut exhausted = false;
+    for retry in 0..max_attempts {
+        if retry > 0 {
+            if wall_exhausted(true) {
+                exhausted = true;
+                break;
+            }
+            let pause = policy.backoff_ms(retry - 1);
+            if pause > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(pause));
+            }
+        }
+        attempts += 1;
+        match attempt(memo) {
+            Ok(result) => {
+                return Ok(SupervisedRun {
+                    result,
+                    attempts,
+                    faults_cleared: false,
+                })
+            }
+            Err(failure) => last_failure = Some(failure),
+        }
+    }
+
+    let faults_active = memo.faults != axmemo_core::faults::FaultConfig::default();
+    if policy.retry_without_faults && faults_active && !wall_exhausted(true) {
+        let degraded = MemoConfig {
+            faults: axmemo_core::faults::FaultConfig::default(),
+            ..memo.clone()
+        };
+        attempts += 1;
+        match attempt(&degraded) {
+            Ok(result) => {
+                return Ok(SupervisedRun {
+                    result,
+                    attempts,
+                    faults_cleared: true,
+                });
+            }
+            Err(failure) => last_failure = Some(failure),
+        }
+    }
+
+    let (kind, message) = last_failure.expect("at least one attempt ran");
+    Err(RunFailure {
+        benchmark: name,
+        kind,
+        message,
+        retried: attempts > 1,
+        attempts,
+        wall_clock_exhausted: exhausted,
+    })
+}
 
 /// Supervision policy for [`run_supervised`].
 #[derive(Debug, Clone, Copy)]
@@ -343,6 +546,10 @@ impl Default for SupervisorConfig {
 /// fault-injected run is retried once with faults cleared (isolating
 /// "the fault model broke it" from "the benchmark is broken").
 ///
+/// This is the one-shot special case of [`run_budgeted`] (one attempt,
+/// no backoff, no wall-clock cap), kept for callers that do not need a
+/// retry budget.
+///
 /// # Errors
 ///
 /// Returns a [`RunFailure`] describing the final failed attempt.
@@ -353,60 +560,14 @@ pub fn run_supervised(
     memo: &MemoConfig,
     sup: &SupervisorConfig,
 ) -> Result<BenchmarkResult, RunFailure> {
-    let name = bench.meta().name.to_string();
-    let attempt = |cfg: &MemoConfig| -> Result<BenchmarkResult, (FailureKind, String)> {
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_benchmark_inner(
-                bench,
-                scale,
-                dataset,
-                cfg,
-                false,
-                Telemetry::off(),
-                sup.max_cycles,
-            )
-            .map(|report| report.result)
-        }));
-        match outcome {
-            Ok(Ok(result)) => Ok(result),
-            Ok(Err(e)) => {
-                let kind = match e.downcast_ref::<SimError>() {
-                    Some(SimError::CycleLimit { .. }) => FailureKind::Watchdog,
-                    _ => FailureKind::Error,
-                };
-                Err((kind, e.to_string()))
-            }
-            Err(payload) => Err((FailureKind::Panic, panic_message(payload.as_ref()))),
-        }
+    let policy = BudgetPolicy {
+        max_cycles: sup.max_cycles,
+        max_attempts: 1,
+        backoff_base_ms: 0,
+        retry_without_faults: sup.retry_without_faults,
+        ..BudgetPolicy::default()
     };
-    match attempt(memo) {
-        Ok(r) => Ok(r),
-        Err((kind, message)) => {
-            let faults_active = memo.faults != axmemo_core::faults::FaultConfig::default();
-            if sup.retry_without_faults && faults_active {
-                let degraded = MemoConfig {
-                    faults: axmemo_core::faults::FaultConfig::default(),
-                    ..memo.clone()
-                };
-                match attempt(&degraded) {
-                    Ok(r) => Ok(r),
-                    Err((kind2, message2)) => Err(RunFailure {
-                        benchmark: name,
-                        kind: kind2,
-                        message: message2,
-                        retried: true,
-                    }),
-                }
-            } else {
-                Err(RunFailure {
-                    benchmark: name,
-                    kind,
-                    message,
-                    retried: false,
-                })
-            }
-        }
-    }
+    run_budgeted(bench, scale, dataset, memo, &policy).map(|run| run.result)
 }
 
 /// Best-effort extraction of a panic payload's message.

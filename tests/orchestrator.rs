@@ -1,0 +1,199 @@
+//! Integration tests for the sweep orchestrator: worker-count
+//! determinism of the aggregated report, structured budget-exhaustion
+//! failures, the exponential-backoff schedule, and per-job telemetry.
+
+use axmemo_bench::orchestrator::{JobMatrix, JobSpec, Orchestrator};
+use axmemo_bench::{sweep, ReportMode};
+use axmemo_core::config::MemoConfig;
+use axmemo_core::faults::FaultConfig;
+use axmemo_telemetry::Telemetry;
+use axmemo_workloads::runner::BudgetPolicy;
+use axmemo_workloads::{FailureKind, Scale};
+
+/// The acceptance property for the whole PR: the aggregated fault-sweep
+/// report is byte-identical between `--jobs 1` (serial path) and
+/// `--jobs 4` (worker pool) for a fixed seed.
+#[test]
+fn sweep_report_is_identical_for_any_worker_count() {
+    let benches = vec!["blackscholes".to_string()];
+    let (matrix, metas) = sweep::matrix(7, &benches);
+    assert_eq!(matrix.len(), metas.len());
+    // 1 reference group + 3 domains × 2 protections × 3 rates.
+    assert_eq!(matrix.len(), 19 * benches.len());
+
+    let serial = Orchestrator::new(Scale::Tiny).jobs(1).run(&matrix);
+    let pooled = Orchestrator::new(Scale::Tiny).jobs(4).run(&matrix);
+    let a = sweep::table(Scale::Tiny, 7, &metas, &serial).render(ReportMode::Json);
+    let b = sweep::table(Scale::Tiny, 7, &metas, &pooled).render(ReportMode::Json);
+    assert_eq!(a, b, "report must not depend on the worker count");
+    assert!(
+        serial.iter().all(|o| o.result.is_ok()),
+        "tiny-scale sweep cells all succeed"
+    );
+}
+
+/// A job that always trips the cycle watchdog exhausts its retry budget
+/// and is reported as a structured failure; the sweep itself completes.
+#[test]
+fn budget_exhaustion_is_a_structured_failure() {
+    let mut matrix = JobMatrix::new();
+    matrix.push(JobSpec::new(
+        "blackscholes",
+        "tight",
+        MemoConfig::l1_only(4096),
+    ));
+    let budget = BudgetPolicy {
+        max_cycles: 1_000, // far below what even Tiny needs
+        max_attempts: 3,
+        backoff_base_ms: 0, // keep the test fast; the schedule has its own test
+        retry_without_faults: false,
+        ..BudgetPolicy::default()
+    };
+    let outcomes = Orchestrator::new(Scale::Tiny)
+        .jobs(2)
+        .budget(budget)
+        .run(&matrix);
+    assert_eq!(outcomes.len(), 1);
+    let fail = outcomes[0].result.as_ref().unwrap_err();
+    assert_eq!(fail.kind, FailureKind::Watchdog);
+    assert_eq!(fail.attempts, 3, "all budgeted attempts were consumed");
+    assert!(fail.retried);
+    assert!(!fail.wall_clock_exhausted);
+    assert_eq!(outcomes[0].status(), "watchdog");
+}
+
+/// A fault storm that blows the watchdog is healed by the final
+/// faults-off attempt, while a healthy sibling job in the same sweep
+/// succeeds first try — mixed outcomes, nothing sinks.
+#[test]
+fn fault_storm_heals_via_faults_off_attempt() {
+    let storm = FaultConfig {
+        seed: 3,
+        latency_spike_ppm: axmemo_core::faults::PPM,
+        latency_spike_cycles: 100_000,
+        ..FaultConfig::default()
+    };
+    let mut matrix = JobMatrix::new();
+    matrix.push(JobSpec::new(
+        "blackscholes",
+        "storm",
+        MemoConfig {
+            faults: storm,
+            ..MemoConfig::l1_only(4096)
+        },
+    ));
+    matrix.push(JobSpec::new(
+        "blackscholes",
+        "healthy",
+        MemoConfig::l1_only(4096),
+    ));
+    let budget = BudgetPolicy {
+        max_cycles: 2_000_000,
+        backoff_base_ms: 0,
+        ..BudgetPolicy::default()
+    };
+    let outcomes = Orchestrator::new(Scale::Tiny)
+        .jobs(2)
+        .budget(budget)
+        .run(&matrix);
+    assert!(outcomes[0].result.is_ok());
+    assert!(outcomes[0].faults_cleared);
+    assert_eq!(outcomes[0].attempts, 2);
+    assert_eq!(outcomes[0].status(), "ok*");
+    assert!(outcomes[1].result.is_ok());
+    assert!(!outcomes[1].faults_cleared);
+    assert_eq!(outcomes[1].attempts, 1);
+    assert_eq!(outcomes[1].status(), "ok");
+}
+
+/// The backoff schedule is exponential in the retry index, saturating
+/// at the cap.
+#[test]
+fn backoff_schedule_is_exponential_and_capped() {
+    let policy = BudgetPolicy {
+        max_attempts: 6,
+        backoff_base_ms: 10,
+        backoff_factor: 3,
+        backoff_cap_ms: 200,
+        ..BudgetPolicy::default()
+    };
+    assert_eq!(policy.backoff_schedule(), vec![10, 30, 90, 200, 200]);
+    assert_eq!(policy.backoff_ms(0), 10);
+    assert_eq!(policy.backoff_ms(10), 200, "deep retries stay capped");
+
+    let constant = BudgetPolicy {
+        max_attempts: 3,
+        backoff_base_ms: 50,
+        backoff_factor: 1,
+        ..BudgetPolicy::default()
+    };
+    assert_eq!(constant.backoff_schedule(), vec![50, 50]);
+
+    let none = BudgetPolicy {
+        max_attempts: 1,
+        ..BudgetPolicy::default()
+    };
+    assert!(none.backoff_schedule().is_empty());
+
+    // Saturating arithmetic: an absurd retry index must not overflow.
+    let wide = BudgetPolicy {
+        backoff_base_ms: u64::MAX / 2,
+        backoff_factor: u32::MAX,
+        backoff_cap_ms: u64::MAX,
+        ..BudgetPolicy::default()
+    };
+    assert_eq!(wide.backoff_ms(40), u64::MAX);
+}
+
+/// An expired wall-clock cap stops the retry loop (including the
+/// faults-off attempt) after the first failure.
+#[test]
+fn wall_clock_cap_stops_retries() {
+    let mut matrix = JobMatrix::new();
+    matrix.push(JobSpec::new(
+        "blackscholes",
+        "capped",
+        MemoConfig {
+            faults: FaultConfig::uniform(1, 500, Default::default()),
+            ..MemoConfig::l1_only(4096)
+        },
+    ));
+    let budget = BudgetPolicy {
+        max_cycles: 1_000,
+        max_attempts: 5,
+        wall_clock_cap_ms: Some(0), // expired before any retry
+        backoff_base_ms: 0,
+        retry_without_faults: true,
+        ..BudgetPolicy::default()
+    };
+    let outcomes = Orchestrator::new(Scale::Tiny).budget(budget).run(&matrix);
+    let fail = outcomes[0].result.as_ref().unwrap_err();
+    assert_eq!(fail.attempts, 1, "no retry once the cap expired");
+    assert!(fail.wall_clock_exhausted);
+    assert_eq!(fail.kind, FailureKind::Watchdog);
+}
+
+/// `run_with_telemetry` records one span per job in job-index order and
+/// the sweep counters.
+#[test]
+fn telemetry_spans_cover_each_job() {
+    let mut matrix = JobMatrix::new();
+    matrix.push(JobSpec::new(
+        "blackscholes",
+        "L1 4K",
+        MemoConfig::l1_only(4096),
+    ));
+    matrix.push(JobSpec::new("sobel", "L1 4K", MemoConfig::l1_only(4096)));
+    let mut tel = Telemetry::enabled();
+    let outcomes = Orchestrator::new(Scale::Tiny)
+        .jobs(2)
+        .run_with_telemetry(&matrix, &mut tel);
+    assert_eq!(outcomes.len(), 2);
+    let spans = tel.spans();
+    assert_eq!(spans.len(), 2);
+    assert_eq!(spans[0].path, "job:blackscholes:L1 4K");
+    assert_eq!(spans[1].path, "job:sobel:L1 4K");
+    assert_eq!(spans[0].cycles(), outcomes[0].sim_cycles);
+    assert_eq!(tel.registry().counter("orchestrator.jobs.ok"), 2);
+    assert_eq!(tel.registry().counter("orchestrator.jobs.failed"), 0);
+}
