@@ -16,6 +16,14 @@
 //! Extra flag (before the shared ones): `--benches a,b,c` restricts the
 //! matrix to a comma-separated benchmark subset (CI smoke runs use
 //! this; the default is all ten).
+//!
+//! Every cell of the matrix normalises against the same fault-free
+//! baseline, so the sweep shares one baseline simulation per benchmark
+//! (19 cells → 1 baseline) through the orchestrator's `BaselineCache`
+//! and derives each benchmark's cycle watchdog from its measured
+//! baseline. `--no-baseline-cache` restores the old
+//! one-baseline-per-job behaviour; the report is byte-identical either
+//! way.
 
 use axmemo_bench::orchestrator::Orchestrator;
 use axmemo_bench::{scale_from_env, sweep, BenchArgs, ReportMode};
@@ -42,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("error: {msg}");
         eprintln!(
             "usage: fault_sweep [--benches a,b,c] [--trace-out <path>] \
-             [--report text|json] [--seed <n>] [--jobs <n>]"
+             [--report text|json] [--seed <n>] [--jobs <n>] [--no-baseline-cache]"
         );
         std::process::exit(2);
     });
@@ -59,6 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcomes = Orchestrator::new(scale)
         .jobs(args.effective_jobs())
         .progress(true)
+        .baseline_cache(!args.no_baseline_cache)
         .run_with_telemetry(&matrix, &mut tel);
     let table = sweep::table(scale, args.seed, &metas, &outcomes);
 

@@ -3,8 +3,8 @@
 //! contender, all normalised to the non-memoized baseline.
 
 use axmemo_bench::{
-    collect_events, geomean, paper_configs, run_cell_report, scale_from_env, software_lut_outcome,
-    BenchArgs, ReportMode, Table,
+    collect_events_cached, geomean, paper_configs, run_cell_report_cached, scale_from_env,
+    software_lut_outcome, BenchArgs, ReportMode, Table,
 };
 use axmemo_workloads::all_benchmarks;
 
@@ -13,6 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tel = args.telemetry()?;
     let scale = scale_from_env();
     let configs = paper_configs();
+    // One shared baseline per benchmark across all four configurations
+    // and the contender-input collection (--no-baseline-cache opts out).
+    let cache = args.baseline_cache();
 
     let mut columns = vec!["Benchmark", "Metric"];
     let config_names: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
@@ -32,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut speed_cells = vec![name.clone(), "speedup".to_string()];
         let mut energy_cells = vec![name, "energy".to_string()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let report = run_cell_report(bench.as_ref(), scale, cfg, tel)?;
+            let report = run_cell_report_cached(bench.as_ref(), scale, cfg, tel, cache.as_ref())?;
             tel = report.telemetry;
             let r = &report.result;
             speed_cells.push(format!("{:.2}x", r.speedup));
@@ -40,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             speedups[i].push(r.speedup);
             energies[i].push(r.energy_reduction);
         }
-        let inputs = collect_events(bench.as_ref(), scale)?;
+        let inputs = collect_events_cached(bench.as_ref(), scale, cache.as_ref())?;
         let sw = software_lut_outcome(&inputs);
         speed_cells.push(format!("{:.2}x", sw.speedup));
         energy_cells.push(format!("{:.2}x", sw.energy_ratio));

@@ -4,8 +4,8 @@
 //! software-LUT contender's instruction ratio (~2x in the paper).
 
 use axmemo_bench::{
-    collect_events, mean, paper_configs, run_cell_report, scale_from_env, software_lut_outcome,
-    BenchArgs, ReportMode, Table,
+    collect_events_cached, mean, paper_configs, run_cell_report_cached, scale_from_env,
+    software_lut_outcome, BenchArgs, ReportMode, Table,
 };
 use axmemo_workloads::all_benchmarks;
 
@@ -14,6 +14,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tel = args.telemetry()?;
     let scale = scale_from_env();
     let configs = paper_configs();
+    // One shared baseline per benchmark across all configurations and
+    // the contender-input collection (--no-baseline-cache opts out).
+    let cache = args.baseline_cache();
 
     let mut columns = vec!["Benchmark"];
     let config_names: Vec<&str> = configs.iter().map(|(n, _)| n.as_str()).collect();
@@ -29,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bench in all_benchmarks() {
         let mut cells = vec![bench.meta().name.to_string()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let report = run_cell_report(bench.as_ref(), scale, cfg, tel)?;
+            let report = run_cell_report_cached(bench.as_ref(), scale, cfg, tel, cache.as_ref())?;
             tel = report.telemetry;
             let r = &report.result;
             cells.push(format!(
@@ -39,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ));
             totals[i].push(r.dyn_inst_ratio);
         }
-        let inputs = collect_events(bench.as_ref(), scale)?;
+        let inputs = collect_events_cached(bench.as_ref(), scale, cache.as_ref())?;
         let sw = software_lut_outcome(&inputs);
         cells.push(format!("{:.3}", sw.inst_ratio));
         sw_ratios.push(sw.inst_ratio);

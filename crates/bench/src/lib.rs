@@ -29,8 +29,10 @@ use axmemo_core::unit::LookupEvent;
 use axmemo_sim::cpu::{SimConfig, Simulator};
 use axmemo_sim::stats::RunStats;
 use axmemo_telemetry::{escape_json, JsonlSink, Telemetry};
-use axmemo_workloads::runner::{run_benchmark_report, RunReport};
+use axmemo_workloads::runner::{run_benchmark_report, run_benchmark_report_cached, RunReport};
 use axmemo_workloads::{run_benchmark, Benchmark, BenchmarkResult, Dataset, Scale};
+
+pub use axmemo_workloads::BaselineCache;
 
 /// Output format selected with `--report`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,6 +54,10 @@ pub enum ReportMode {
 /// * `--jobs <n>` — worker threads for orchestrated sweeps (default:
 ///   available parallelism; `1` forces the serial path). Serial
 ///   binaries accept and ignore it, so one flag set drives them all.
+/// * `--no-baseline-cache` — re-simulate the fault-free baseline
+///   inside every cell instead of sharing one run per distinct
+///   `(benchmark, scale, dataset)` (the escape hatch; output is
+///   byte-identical either way because the baseline is deterministic).
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// JSONL event-trace destination, when requested.
@@ -62,6 +68,9 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Requested worker count; 0 means "auto" (available parallelism).
     pub jobs: usize,
+    /// Disable baseline sharing (`--no-baseline-cache`): every cell
+    /// re-runs its own baseline, reproducing the pre-cache behaviour.
+    pub no_baseline_cache: bool,
 }
 
 impl BenchArgs {
@@ -72,7 +81,8 @@ impl BenchArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: <bin> [--trace-out <path>] [--report text|json] [--seed <n>] [--jobs <n>]"
+                    "usage: <bin> [--trace-out <path>] [--report text|json] [--seed <n>] \
+                     [--jobs <n>] [--no-baseline-cache]"
                 );
                 std::process::exit(2);
             }
@@ -108,6 +118,7 @@ impl BenchArgs {
                         return Err("--jobs must be at least 1".to_string());
                     }
                 }
+                "--no-baseline-cache" => out.no_baseline_cache = true,
                 "--report" => match it.next().as_deref() {
                     Some("text") => out.report = ReportMode::Text,
                     Some("json") => out.report = ReportMode::Json,
@@ -130,6 +141,16 @@ impl BenchArgs {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         }
+    }
+
+    /// Build the sweep-wide [`BaselineCache`] the flags ask for:
+    /// `Some` (share one baseline run per distinct benchmark) unless
+    /// `--no-baseline-cache` was given. Serial figure binaries thread
+    /// the returned cache through [`run_cell_cached`] /
+    /// [`collect_events_cached`]; orchestrated sweeps pass the flag to
+    /// [`orchestrator::Orchestrator::baseline_cache`] instead.
+    pub fn baseline_cache(&self) -> Option<BaselineCache> {
+        (!self.no_baseline_cache).then(BaselineCache::new)
     }
 
     /// Build the telemetry handle the flags ask for: enabled with a
@@ -328,6 +349,42 @@ pub fn run_cell_report(
     run_benchmark_report(bench, scale, Dataset::Eval, memo, false, tel)
 }
 
+/// [`run_cell`] reusing a sweep-wide [`BaselineCache`]: a figure binary
+/// that runs the same benchmark under several configurations simulates
+/// its fault-free baseline once instead of once per configuration. Pass
+/// `None` (the `--no-baseline-cache` path) to reproduce [`run_cell`]
+/// exactly.
+///
+/// # Errors
+///
+/// Propagates simulator/codegen failures, including a cached baseline
+/// failure.
+pub fn run_cell_cached(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    memo: &MemoConfig,
+    cache: Option<&BaselineCache>,
+) -> Result<BenchmarkResult, Box<dyn std::error::Error>> {
+    run_cell_report_cached(bench, scale, memo, Telemetry::off(), cache).map(|r| r.result)
+}
+
+/// [`run_cell_report`] reusing a sweep-wide [`BaselineCache`]; see
+/// [`run_cell_cached`].
+///
+/// # Errors
+///
+/// Propagates simulator/codegen failures, including a cached baseline
+/// failure.
+pub fn run_cell_report_cached(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    memo: &MemoConfig,
+    tel: Telemetry,
+    cache: Option<&BaselineCache>,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    run_benchmark_report_cached(bench, scale, Dataset::Eval, memo, false, tel, cache)
+}
+
 /// Everything the software contenders need: the recorded lookup-event
 /// stream, the baseline stats, and the kernel profile.
 #[derive(Debug)]
@@ -352,12 +409,40 @@ pub fn collect_events(
     bench: &dyn Benchmark,
     scale: Scale,
 ) -> Result<ContenderInputs, Box<dyn std::error::Error>> {
+    collect_events_cached(bench, scale, None)
+}
+
+/// [`collect_events`] reusing a sweep-wide [`BaselineCache`] for the
+/// baseline-stats leg (the event-recording memoized run is unique to
+/// this collection and always executes). The cached baseline is the
+/// same deterministic simulation, so the contender inputs are
+/// identical; a figure binary that has already run the benchmark's
+/// cells skips one whole baseline re-simulation here.
+///
+/// # Errors
+///
+/// Propagates simulator/codegen failures, including a cached baseline
+/// failure.
+pub fn collect_events_cached(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    cache: Option<&BaselineCache>,
+) -> Result<ContenderInputs, Box<dyn std::error::Error>> {
     let (program, specs) = bench.program(scale);
     let memoized = memoize(&program, &specs)?;
 
-    let mut base_sim = Simulator::new(SimConfig::baseline())?;
-    let mut base_machine = bench.setup(scale, Dataset::Eval);
-    let baseline = base_sim.run(&program, &mut base_machine)?;
+    let baseline = match cache {
+        Some(cache) => {
+            cache
+                .get_or_compute(bench, scale, Dataset::Eval, u64::MAX)?
+                .stats
+        }
+        None => {
+            let mut base_sim = Simulator::new(SimConfig::baseline())?;
+            let mut base_machine = bench.setup(scale, Dataset::Eval);
+            base_sim.run(&program, &mut base_machine)?
+        }
+    };
 
     let cfg = MemoConfig {
         data_width: bench.data_width(),
@@ -541,6 +626,16 @@ mod tests {
         assert!(
             BenchArgs::try_from_iter(["--seed", "many"].iter().map(|s| (*s).to_string())).is_err()
         );
+    }
+
+    #[test]
+    fn bench_args_parse_no_baseline_cache() {
+        let default = BenchArgs::try_from_iter(std::iter::empty()).unwrap();
+        assert!(!default.no_baseline_cache, "sharing is on by default");
+        assert!(default.baseline_cache().is_some());
+        let off = BenchArgs::try_from_iter(["--no-baseline-cache".to_string()]).unwrap();
+        assert!(off.no_baseline_cache);
+        assert!(off.baseline_cache().is_none());
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::sync::Mutex;
 
 use axmemo_core::config::MemoConfig;
 use axmemo_telemetry::Telemetry;
-use axmemo_workloads::runner::{BudgetPolicy, RunFailure, SupervisedRun};
+use axmemo_workloads::runner::{BaselineCache, BudgetPolicy, RunFailure, SupervisedRun};
 use axmemo_workloads::{benchmark_by_name, runner, Dataset, FailureKind, Scale};
 
 /// Deterministic-order parallel map: evaluate `f(0..count)` on up to
@@ -203,11 +203,13 @@ pub struct Orchestrator {
     jobs: usize,
     budget: BudgetPolicy,
     progress: bool,
+    baseline_cache: bool,
 }
 
 impl Orchestrator {
     /// Orchestrator for `scale` on the evaluation dataset: serial
-    /// (`jobs = 1`), default budget, progress lines off.
+    /// (`jobs = 1`), default budget, progress lines off, baseline
+    /// sharing on.
     pub fn new(scale: Scale) -> Self {
         Self {
             scale,
@@ -215,6 +217,7 @@ impl Orchestrator {
             jobs: 1,
             budget: BudgetPolicy::default(),
             progress: false,
+            baseline_cache: true,
         }
     }
 
@@ -245,16 +248,38 @@ impl Orchestrator {
         self
     }
 
+    /// Share one fault-free baseline run per distinct `(benchmark,
+    /// scale, dataset)` across the whole sweep via a [`BaselineCache`]
+    /// (default: on). The baseline simulation is deterministic and
+    /// independent of each cell's memoization/fault configuration, so
+    /// the aggregated report is byte-identical either way; `false` is
+    /// the `--no-baseline-cache` escape hatch that re-simulates the
+    /// baseline inside every job exactly as before. The cache also
+    /// enables the per-benchmark derived watchdogs of
+    /// [`BudgetPolicy::derived`].
+    pub fn baseline_cache(mut self, on: bool) -> Self {
+        self.baseline_cache = on;
+        self
+    }
+
     /// Run every job in `matrix` and return outcomes in job-index
     /// order. Individual job failures are captured as [`RunFailure`]
     /// values, never propagated — a sweep always yields exactly
     /// `matrix.len()` outcomes.
     pub fn run(&self, matrix: &JobMatrix) -> Vec<JobOutcome> {
+        self.run_inner(matrix).0
+    }
+
+    /// [`Orchestrator::run`] plus the sweep's [`BaselineCache`] (when
+    /// enabled), whose `computed`/`reused` counters and measured
+    /// baseline-cycle table outlive the run for reporting and tests.
+    pub fn run_inner(&self, matrix: &JobMatrix) -> (Vec<JobOutcome>, Option<BaselineCache>) {
+        let cache = self.baseline_cache.then(BaselineCache::new);
         let total = matrix.len();
         let done = AtomicUsize::new(0);
         let run_one = |index: usize| -> JobOutcome {
             let spec = matrix.jobs()[index].clone();
-            let outcome = self.run_job(index, spec);
+            let outcome = self.run_job(index, spec, cache.as_ref());
             if self.progress {
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(
@@ -267,28 +292,35 @@ impl Orchestrator {
             }
             outcome
         };
-        parallel_map(self.jobs, total, run_one)
+        (parallel_map(self.jobs, total, run_one), cache)
     }
 
     /// [`Orchestrator::run`], then record the sweep into `tel` in
-    /// job-index order: one `job:<benchmark>:<label>` span per job
-    /// (covering its simulated memoized-run cycles) and the
-    /// `orchestrator.jobs.{ok,failed,retries,faults_cleared}` counters.
+    /// job-index order: one `job:<benchmark>:<label>` span per
+    /// *successful* job (covering its simulated memoized-run cycles —
+    /// failed jobs have no meaningful cycle count, and a zero-length
+    /// span would pollute span min/p50 statistics, so failures are
+    /// counted only via `orchestrator.jobs.failed`), the
+    /// `orchestrator.jobs.{ok,failed,retries,faults_cleared}` counters,
+    /// and — when baseline sharing is on — the
+    /// `orchestrator.baseline.{computed,reused}` counters.
     ///
     /// Span paths treat `/` as a hierarchy separator, so any `/` in the
     /// label is rewritten to `|` to keep the whole name on one path
     /// segment (the text report prints only the leaf segment).
     pub fn run_with_telemetry(&self, matrix: &JobMatrix, tel: &mut Telemetry) -> Vec<JobOutcome> {
-        let outcomes = self.run(matrix);
+        let (outcomes, cache) = self.run_inner(matrix);
         for outcome in &outcomes {
-            let label = outcome.spec.label.replace('/', "|");
-            tel.record_span(
-                &format!("job:{}:{}", outcome.spec.benchmark, label),
-                0,
-                outcome.sim_cycles,
-            );
             match outcome.result {
-                Ok(_) => tel.count("orchestrator.jobs.ok", 1),
+                Ok(_) => {
+                    let label = outcome.spec.label.replace('/', "|");
+                    tel.record_span(
+                        &format!("job:{}:{}", outcome.spec.benchmark, label),
+                        0,
+                        outcome.sim_cycles,
+                    );
+                    tel.count("orchestrator.jobs.ok", 1);
+                }
                 Err(_) => tel.count("orchestrator.jobs.failed", 1),
             }
             tel.count("orchestrator.jobs.retries", u64::from(outcome.attempts - 1));
@@ -296,10 +328,14 @@ impl Orchestrator {
                 tel.count("orchestrator.jobs.faults_cleared", 1);
             }
         }
+        if let Some(cache) = &cache {
+            tel.count("orchestrator.baseline.computed", cache.computed());
+            tel.count("orchestrator.baseline.reused", cache.reused());
+        }
         outcomes
     }
 
-    fn run_job(&self, index: usize, spec: JobSpec) -> JobOutcome {
+    fn run_job(&self, index: usize, spec: JobSpec, cache: Option<&BaselineCache>) -> JobOutcome {
         let Some(bench) = benchmark_by_name(&spec.benchmark) else {
             let failure = RunFailure {
                 benchmark: spec.benchmark.clone(),
@@ -318,12 +354,13 @@ impl Orchestrator {
                 result: Err(failure),
             };
         };
-        match runner::run_budgeted(
+        match runner::run_budgeted_cached(
             bench.as_ref(),
             self.scale,
             self.dataset,
             &spec.memo,
             &self.budget,
+            cache,
         ) {
             Ok(SupervisedRun {
                 result,

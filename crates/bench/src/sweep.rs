@@ -104,8 +104,25 @@ pub fn matrix(seed: u64, benches: &[String]) -> (JobMatrix, Vec<CellMeta>) {
 /// job-index order (failures become structured `watchdog`/`panic`/
 /// `error` rows instead of sinking the sweep) and one summary line per
 /// (domain, protection, ppm) group with the mean output error and
-/// geomean speedup over that group's successful cells.
+/// geomean speedup over that group's successful cells. A group in
+/// which *no* cell succeeded renders `-` for both statistics — the
+/// empty-slice `mean`/`geomean` of `0.0` would make a fully-failed
+/// cell read like a perfect one.
+///
+/// See DESIGN.md ("Sweep orchestration") for the `ok`/`ok*`/failure
+/// status legend the Status column uses.
+///
+/// # Panics
+///
+/// Panics when `metas` and `outcomes` disagree in length: they are
+/// built aligned index-for-index by [`matrix`], and silently zipping
+/// mismatched slices would drop rows from the report.
 pub fn table(scale: Scale, seed: u64, metas: &[CellMeta], outcomes: &[JobOutcome]) -> Table {
+    assert_eq!(
+        metas.len(),
+        outcomes.len(),
+        "cell metadata and outcomes must stay aligned index-for-index"
+    );
     let mut table = Table::new(
         format!("Fault sweep (full matrix, seed {seed}), scale {scale:?}"),
         &[
@@ -154,13 +171,21 @@ pub fn table(scale: Scale, seed: u64, metas: &[CellMeta], outcomes: &[JobOutcome
         let errors: Vec<f64> = ok.iter().map(|r| r.error.output_error).collect();
         let speedups: Vec<f64> = ok.iter().map(|r| r.speedup).collect();
         let failed = (end - group) - ok.len();
-        table.summary(
-            format!("{}/{}@{}ppm", meta.domain, meta.protection, meta.ppm),
+        let stats = if ok.is_empty() {
+            // No successful cell: render `-` instead of the empty-slice
+            // mean/geomean of 0.0, which would read as a *perfect*
+            // group (zero error) right next to its failure count.
+            "mean error -, geomean speedup -".to_string()
+        } else {
             format!(
-                "mean error {:.3e}, geomean speedup {:.2}x, {failed} failed",
+                "mean error {:.3e}, geomean speedup {:.2}x",
                 mean(&errors),
                 geomean(&speedups),
-            ),
+            )
+        };
+        table.summary(
+            format!("{}/{}@{}ppm", meta.domain, meta.protection, meta.ppm),
+            format!("{stats}, {failed} failed"),
         );
         group = end;
     }

@@ -36,8 +36,9 @@ pub mod runner;
 
 pub use meta::{Metric, WorkloadMeta};
 pub use runner::{
-    run_benchmark, run_benchmark_opts, run_budgeted, run_supervised, BenchmarkResult, BudgetPolicy,
-    FailureKind, RunFailure, SupervisedRun, SupervisorConfig,
+    run_baseline, run_benchmark, run_benchmark_opts, run_budgeted, run_budgeted_cached,
+    run_supervised, BaselineCache, BaselineFailure, BaselineRun, BenchmarkResult, BudgetPolicy,
+    DerivedBudget, FailureKind, RunFailure, SupervisedRun, SupervisorConfig,
 };
 
 use axmemo_compiler::RegionSpec;
@@ -61,7 +62,7 @@ pub enum Scale {
 
 /// Which dataset to generate. Sample and Eval use disjoint seeds (§5:
 /// "the sample input set and evaluation input set are disjoint").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// Profiling/compiler-analysis inputs.
     Sample,

@@ -2,6 +2,10 @@
 //! given LUT configuration and report the paper's metrics (speedup,
 //! energy reduction, dynamic-instruction ratio, hit rate, output error).
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::meta::Metric;
 use crate::{Benchmark, Dataset, Scale};
 use axmemo_compiler::codegen::memoize;
@@ -171,11 +175,237 @@ pub fn run_benchmark_report(
     zero_trunc: bool,
     tel: Telemetry,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
-    run_benchmark_inner(bench, scale, dataset, memo, zero_trunc, tel, u64::MAX)
+    run_benchmark_inner(bench, scale, dataset, memo, zero_trunc, tel, u64::MAX, None)
 }
 
-/// [`run_benchmark_report`] with a simulated-cycle watchdog budget
-/// applied to the baseline and memoized runs individually.
+/// Like [`run_benchmark_report`], reusing a [`BaselineCache`] so the
+/// fault-free baseline run (which depends only on the benchmark, scale
+/// and dataset — never on the memoization or fault configuration) is
+/// simulated once per distinct key instead of once per call. Passing
+/// `None` reproduces [`run_benchmark_report`] exactly; the cached path
+/// is byte-identical because the baseline simulation is deterministic.
+///
+/// # Errors
+///
+/// Propagates simulator faults and codegen failures as a boxed error,
+/// including a cached [`BaselineFailure`] when the shared baseline run
+/// itself failed.
+pub fn run_benchmark_report_cached(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    memo: &MemoConfig,
+    zero_trunc: bool,
+    tel: Telemetry,
+    cache: Option<&BaselineCache>,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let baseline = match cache {
+        Some(cache) => Some(cache.get_or_compute(bench, scale, dataset, u64::MAX)?),
+        None => None,
+    };
+    run_benchmark_inner(
+        bench,
+        scale,
+        dataset,
+        memo,
+        zero_trunc,
+        tel,
+        u64::MAX,
+        baseline.as_deref(),
+    )
+}
+
+/// The fault-free reference leg of a benchmark run: the baseline
+/// [`RunStats`] every speedup/energy/instruction ratio is normalised
+/// against, plus the exact output vector quality metrics compare to.
+///
+/// Depends only on `(benchmark, scale, dataset)` — the memoization
+/// configuration (LUT geometry, faults, truncation) never touches the
+/// baseline core — which is what makes it shareable across every cell
+/// of a sweep via [`BaselineCache`].
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Statistics of the non-memoized baseline run.
+    pub stats: RunStats,
+    /// Exact outputs read back from the finished baseline machine.
+    pub exact: Vec<f64>,
+}
+
+/// Run only the baseline leg of `bench` (no memoization) under a cycle
+/// watchdog and return the shareable [`BaselineRun`].
+///
+/// # Errors
+///
+/// Propagates simulator failures (including
+/// [`SimError::CycleLimit`] watchdog trips) as a boxed error.
+pub fn run_baseline(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    max_cycles: u64,
+) -> Result<BaselineRun, Box<dyn std::error::Error>> {
+    let (program, _specs) = bench.program(scale);
+    baseline_leg(bench, &program, scale, dataset, max_cycles)
+}
+
+/// Baseline leg with an already-built program (shared by the inline
+/// path, which reuses the program it must build anyway for codegen).
+fn baseline_leg(
+    bench: &dyn Benchmark,
+    program: &axmemo_sim::Program,
+    scale: Scale,
+    dataset: Dataset,
+    max_cycles: u64,
+) -> Result<BaselineRun, Box<dyn std::error::Error>> {
+    let mut base_sim = Simulator::new(SimConfig {
+        max_cycles,
+        ..SimConfig::baseline()
+    })?;
+    let mut base_machine = bench.setup(scale, dataset);
+    let stats = run(&mut base_sim, program, &mut base_machine)?;
+    let exact = bench.outputs(&base_machine, scale);
+    Ok(BaselineRun { stats, exact })
+}
+
+/// Why a shared baseline run failed, in a cloneable form every cell
+/// waiting on the same cache slot can receive.
+#[derive(Debug, Clone)]
+pub struct BaselineFailure {
+    /// Failure class (watchdog trip, panic, or ordinary error) —
+    /// classified exactly as an inline attempt would classify it.
+    pub kind: FailureKind,
+    /// Human-readable message (panic payload or error display).
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline run failed ({:?}): {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for BaselineFailure {}
+
+/// Classify a boxed run error the same way [`run_budgeted`] does.
+fn classify_error(e: &(dyn std::error::Error + 'static)) -> FailureKind {
+    match e.downcast_ref::<SimError>() {
+        Some(SimError::CycleLimit { .. }) => FailureKind::Watchdog,
+        _ => FailureKind::Error,
+    }
+}
+
+type BaselineSlot = Arc<OnceLock<Result<Arc<BaselineRun>, BaselineFailure>>>;
+
+/// Thread-safe once-per-key map of shared baseline runs, keyed by
+/// `(benchmark, scale, dataset)`.
+///
+/// A sweep's fault matrix runs every benchmark under many (domain ×
+/// protection × rate) cells, but the fault-free baseline those cells
+/// normalise against is identical for all of them — the memoization
+/// configuration never reaches the baseline core. This cache computes
+/// each baseline exactly once per sweep (the first cell to ask performs
+/// the simulation; concurrent askers block on the same [`OnceLock`] and
+/// then share the [`Arc`]) and counts computations vs. reuses so
+/// orchestrators can export `orchestrator.baseline.{computed,reused}`
+/// telemetry.
+///
+/// Baseline *failures* (watchdog trip, panic, simulator error) are
+/// cached too: the simulation is deterministic, so re-running it for
+/// every sibling cell would fail identically 19 more times.
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    slots: Mutex<HashMap<(String, Scale, Dataset), BaselineSlot>>,
+    computed: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl BaselineCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared baseline for `(bench, scale, dataset)`, simulating it
+    /// under `max_cycles` on first request and serving the cached run
+    /// (or cached failure) afterwards. Panics inside the baseline run
+    /// are caught and cached as [`FailureKind::Panic`] failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (possibly cached) [`BaselineFailure`] when the
+    /// baseline simulation failed.
+    pub fn get_or_compute(
+        &self,
+        bench: &dyn Benchmark,
+        scale: Scale,
+        dataset: Dataset,
+        max_cycles: u64,
+    ) -> Result<Arc<BaselineRun>, BaselineFailure> {
+        let key = (bench.meta().name.to_string(), scale, dataset);
+        let slot = {
+            let mut slots = self.slots.lock().expect("baseline cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut fresh = false;
+        let result = slot.get_or_init(|| {
+            fresh = true;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_baseline(bench, scale, dataset, max_cycles)
+            }));
+            match outcome {
+                Ok(Ok(baseline)) => Ok(Arc::new(baseline)),
+                Ok(Err(e)) => Err(BaselineFailure {
+                    kind: classify_error(e.as_ref()),
+                    message: e.to_string(),
+                }),
+                Err(payload) => Err(BaselineFailure {
+                    kind: FailureKind::Panic,
+                    message: panic_message(payload.as_ref()),
+                }),
+            }
+        });
+        if fresh {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Baseline simulations actually performed (one per distinct key).
+    pub fn computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Requests served from an already-computed (or in-flight) slot.
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Measured baseline cycles per benchmark, sorted by name — the raw
+    /// column of the derived per-benchmark budget table (failed
+    /// baselines are omitted). See [`DerivedBudget`].
+    pub fn baseline_cycles(&self) -> Vec<(String, u64)> {
+        let slots = self.slots.lock().expect("baseline cache poisoned");
+        let mut rows: Vec<(String, u64)> = slots
+            .iter()
+            .filter_map(|((name, _, _), slot)| {
+                let run = slot.get()?.as_ref().ok()?;
+                Some((name.clone(), run.stats.cycles))
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+/// [`run_benchmark_report`] with a simulated-cycle watchdog budget and
+/// an optionally injected pre-computed baseline. When `baseline` is
+/// `Some`, only the memoized leg is simulated (under `max_cycles`); the
+/// baseline leg — which is independent of the memoization config — is
+/// taken from the shared run. When `None`, the baseline leg runs inline
+/// exactly as before.
+#[allow(clippy::too_many_arguments)]
 fn run_benchmark_inner(
     bench: &dyn Benchmark,
     scale: Scale,
@@ -184,6 +414,7 @@ fn run_benchmark_inner(
     zero_trunc: bool,
     mut tel: Telemetry,
     max_cycles: u64,
+    baseline: Option<&BaselineRun>,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
     let (program, mut specs) = bench.program(scale);
     if zero_trunc {
@@ -202,14 +433,18 @@ fn run_benchmark_inner(
     };
     let memo_program = memoize(&program, &specs)?;
 
-    // Baseline run.
-    let mut base_sim = Simulator::new(SimConfig {
-        max_cycles,
-        ..SimConfig::baseline()
-    })?;
-    let mut base_machine = bench.setup(scale, dataset);
-    let base_stats = run(&mut base_sim, &program, &mut base_machine)?;
-    let exact = bench.outputs(&base_machine, scale);
+    // Baseline leg: shared run when injected, simulated inline
+    // otherwise.
+    let inline_baseline;
+    let baseline = match baseline {
+        Some(shared) => shared,
+        None => {
+            inline_baseline = baseline_leg(bench, &program, scale, dataset, max_cycles)?;
+            &inline_baseline
+        }
+    };
+    let base_stats = &baseline.stats;
+    let exact = &baseline.exact;
 
     // Memoized run, under a `run:<name>` span with the telemetry
     // handle installed in the simulator (it reaches the memoization
@@ -237,7 +472,7 @@ fn run_benchmark_inner(
         .memo_unit()
         .map(|u| u.lut().total_hit_rate())
         .unwrap_or(0.0);
-    let error = compute_error(bench.meta().metric, &exact, &approx);
+    let error = compute_error(bench.meta().metric, exact, &approx);
 
     let result = BenchmarkResult {
         name: bench.meta().name.to_string(),
@@ -248,7 +483,7 @@ fn run_benchmark_inner(
         memo_inst_fraction: memo_stats.memo_fraction(),
         hit_rate,
         error,
-        baseline_stats: base_stats,
+        baseline_stats: *base_stats,
         memo_stats,
     };
     let (unit_stats, l1_lut, l2_lut) = match memo_sim.memo_unit() {
@@ -337,9 +572,19 @@ impl std::error::Error for RunFailure {}
 /// pauses so a sweep full of failing jobs does not spin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BudgetPolicy {
-    /// Watchdog budget in simulated cycles, applied to the baseline and
-    /// memoized runs individually.
+    /// Watchdog *ceiling* in simulated cycles. Without a shared
+    /// baseline this uniform value is applied to the baseline and
+    /// memoized runs individually (the pre-cache behaviour); with one,
+    /// it bounds the baseline run and caps the per-benchmark watchdog
+    /// derived by [`BudgetPolicy::derived`].
     pub max_cycles: u64,
+    /// Per-benchmark watchdog derivation from the shared baseline's
+    /// measured cycles (see [`DerivedBudget`]). Only takes effect when
+    /// a [`BaselineCache`] supplies a baseline — a uniform ceiling
+    /// cannot be tight across benchmarks whose costs differ by ~30×
+    /// (jpeg vs. blackscholes), but `margin × measured baseline` can.
+    /// `None` keeps the uniform `max_cycles` watchdog everywhere.
+    pub derived: Option<DerivedBudget>,
     /// Wall-clock cap for all attempts of one job, in milliseconds.
     /// `None` means uncapped. The cap is checked *between* attempts: a
     /// running attempt is never interrupted (results stay deterministic),
@@ -365,6 +610,7 @@ impl Default for BudgetPolicy {
     fn default() -> Self {
         Self {
             max_cycles: u64::MAX,
+            derived: Some(DerivedBudget::default()),
             wall_clock_cap_ms: None,
             max_attempts: 1,
             backoff_base_ms: 25,
@@ -372,6 +618,44 @@ impl Default for BudgetPolicy {
             backoff_cap_ms: 1_000,
             retry_without_faults: true,
         }
+    }
+}
+
+/// Per-benchmark watchdog derivation: once a sweep's [`BaselineCache`]
+/// has measured a benchmark's fault-free baseline cycles, the memoized
+/// legs of every sibling cell run under `margin × baseline` cycles
+/// (with a floor for very small runs) instead of one uniform sweep-wide
+/// ceiling. A memoized run that is `margin`× slower than its own
+/// baseline is pathological regardless of the benchmark's absolute
+/// cost, so `full`-scale sweeps get tight watchdogs without false trips
+/// on the expensive kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DerivedBudget {
+    /// Watchdog = `margin × measured baseline cycles` …
+    pub margin: u64,
+    /// … but never below this floor (tiny baselines leave no headroom
+    /// for fixed memoization overheads otherwise).
+    pub floor_cycles: u64,
+}
+
+impl Default for DerivedBudget {
+    fn default() -> Self {
+        Self {
+            margin: 8,
+            floor_cycles: 1_000_000,
+        }
+    }
+}
+
+impl DerivedBudget {
+    /// The derived watchdog for a benchmark whose baseline measured
+    /// `baseline_cycles`, clamped to the policy-wide `ceiling`
+    /// ([`BudgetPolicy::max_cycles`]).
+    pub fn watchdog(&self, baseline_cycles: u64, ceiling: u64) -> u64 {
+        self.margin
+            .saturating_mul(baseline_cycles)
+            .max(self.floor_cycles)
+            .min(ceiling)
     }
 }
 
@@ -427,8 +711,46 @@ pub fn run_budgeted(
     memo: &MemoConfig,
     policy: &BudgetPolicy,
 ) -> Result<SupervisedRun, RunFailure> {
+    run_budgeted_cached(bench, scale, dataset, memo, policy, None)
+}
+
+/// [`run_budgeted`] with an optional shared [`BaselineCache`].
+///
+/// With a cache, the fault-free baseline leg is fetched from it —
+/// simulated once per distinct `(benchmark, scale, dataset)` across the
+/// whole sweep, under the policy's `max_cycles` ceiling — and only the
+/// memoized leg runs per attempt, under the per-benchmark watchdog of
+/// [`BudgetPolicy::derived`] (when set) instead of the uniform ceiling.
+/// A cached baseline *failure* short-circuits every attempt with the
+/// identical failure an inline re-run would deterministically produce,
+/// so the retry/wall-clock accounting matches the uncached path without
+/// re-simulating a run that cannot succeed.
+///
+/// Without a cache this is exactly [`run_budgeted`]: baseline and
+/// memoized legs both run inline under the uniform `max_cycles`.
+///
+/// # Errors
+///
+/// Returns a [`RunFailure`] describing the final failed attempt, with
+/// the attempt count and whether the wall-clock budget expired.
+pub fn run_budgeted_cached(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    memo: &MemoConfig,
+    policy: &BudgetPolicy,
+    cache: Option<&BaselineCache>,
+) -> Result<SupervisedRun, RunFailure> {
     let name = bench.meta().name.to_string();
     let started = std::time::Instant::now();
+    let baseline = cache.map(|c| c.get_or_compute(bench, scale, dataset, policy.max_cycles));
+    // With a shared baseline in hand, the memoized leg runs under the
+    // tight per-benchmark watchdog; otherwise the uniform ceiling
+    // bounds both legs (pre-cache behaviour, bit-for-bit).
+    let memo_max_cycles = match (&baseline, policy.derived) {
+        (Some(Ok(run)), Some(derived)) => derived.watchdog(run.stats.cycles, policy.max_cycles),
+        _ => policy.max_cycles,
+    };
     let wall_exhausted = |attempts_left: bool| -> bool {
         attempts_left
             && policy
@@ -436,6 +758,13 @@ pub fn run_budgeted(
                 .is_some_and(|cap| started.elapsed().as_millis() as u64 >= cap)
     };
     let attempt = |cfg: &MemoConfig| -> Result<BenchmarkResult, (FailureKind, String)> {
+        let shared = match &baseline {
+            Some(Ok(run)) => Some(run.as_ref()),
+            // The deterministic baseline failed once; every inline
+            // retry would reproduce it exactly.
+            Some(Err(fail)) => return Err((fail.kind, fail.message.clone())),
+            None => None,
+        };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_benchmark_inner(
                 bench,
@@ -444,19 +773,14 @@ pub fn run_budgeted(
                 cfg,
                 false,
                 Telemetry::off(),
-                policy.max_cycles,
+                memo_max_cycles,
+                shared,
             )
             .map(|report| report.result)
         }));
         match outcome {
             Ok(Ok(result)) => Ok(result),
-            Ok(Err(e)) => {
-                let kind = match e.downcast_ref::<SimError>() {
-                    Some(SimError::CycleLimit { .. }) => FailureKind::Watchdog,
-                    _ => FailureKind::Error,
-                };
-                Err((kind, e.to_string()))
-            }
+            Ok(Err(e)) => Err((classify_error(e.as_ref()), e.to_string())),
             Err(payload) => Err((FailureKind::Panic, panic_message(payload.as_ref()))),
         }
     };

@@ -1,0 +1,147 @@
+//! Integration tests for baseline sharing: the reduced fault sweep is
+//! byte-identical with the cache on vs. `--no-baseline-cache` at any
+//! worker count, performs exactly one baseline simulation per distinct
+//! benchmark (asserted via `orchestrator.baseline.computed`), and the
+//! per-benchmark derived watchdogs come from measured baseline cycles.
+
+use axmemo_bench::orchestrator::Orchestrator;
+use axmemo_bench::{sweep, ReportMode};
+use axmemo_telemetry::Telemetry;
+use axmemo_workloads::runner::{BaselineCache, DerivedBudget};
+use axmemo_workloads::{benchmark_by_name, Dataset, Scale};
+
+/// The PR's acceptance property: the reduced `fault_sweep` report is
+/// byte-identical between the shared-baseline path and the
+/// `--no-baseline-cache` escape hatch, on the serial path and on the
+/// worker pool — and the cached runs simulate each distinct benchmark's
+/// baseline exactly once (not once per job).
+#[test]
+fn reduced_sweep_is_byte_identical_with_and_without_cache() {
+    let benches = vec!["blackscholes".to_string(), "fft".to_string()];
+    let (matrix, metas) = sweep::matrix(7, &benches);
+    assert_eq!(matrix.len(), 19 * benches.len());
+
+    let render = |cache: bool, jobs: usize| -> (String, u64, u64) {
+        let mut tel = Telemetry::enabled();
+        let outcomes = Orchestrator::new(Scale::Tiny)
+            .jobs(jobs)
+            .baseline_cache(cache)
+            .run_with_telemetry(&matrix, &mut tel);
+        let report = sweep::table(Scale::Tiny, 7, &metas, &outcomes).render(ReportMode::Json);
+        let computed = tel.registry().counter("orchestrator.baseline.computed");
+        let reused = tel.registry().counter("orchestrator.baseline.reused");
+        (report, computed, reused)
+    };
+
+    let (cached_j1, computed_j1, reused_j1) = render(true, 1);
+    let (cached_j4, computed_j4, reused_j4) = render(true, 4);
+    let (uncached_j1, computed_off, _) = render(false, 1);
+    let (uncached_j4, _, _) = render(false, 4);
+
+    assert_eq!(cached_j1, uncached_j1, "cache must not change the report");
+    assert_eq!(
+        cached_j1, cached_j4,
+        "cached report is worker-count independent"
+    );
+    assert_eq!(
+        uncached_j1, uncached_j4,
+        "uncached report is worker-count independent"
+    );
+
+    // Exactly one baseline simulation per distinct benchmark — not per
+    // job — regardless of worker count; every other job reuses it.
+    assert_eq!(computed_j1, benches.len() as u64);
+    assert_eq!(computed_j4, benches.len() as u64);
+    assert_eq!(reused_j1, (matrix.len() - benches.len()) as u64);
+    assert_eq!(reused_j4, (matrix.len() - benches.len()) as u64);
+    // The escape hatch has no cache at all.
+    assert_eq!(computed_off, 0);
+}
+
+/// Direct cache semantics: the first request computes, subsequent
+/// requests (same key) reuse the same shared run; distinct keys get
+/// their own computation; and the measured-cycles table feeds the
+/// derived budgets.
+#[test]
+fn baseline_cache_computes_once_per_key() {
+    let cache = BaselineCache::new();
+    let bs = benchmark_by_name("blackscholes").unwrap();
+    let sobel = benchmark_by_name("sobel").unwrap();
+
+    let first = cache
+        .get_or_compute(bs.as_ref(), Scale::Tiny, Dataset::Eval, u64::MAX)
+        .expect("tiny baseline succeeds");
+    let second = cache
+        .get_or_compute(bs.as_ref(), Scale::Tiny, Dataset::Eval, u64::MAX)
+        .expect("cached baseline succeeds");
+    assert!(std::sync::Arc::ptr_eq(&first, &second), "same shared run");
+    assert_eq!(cache.computed(), 1);
+    assert_eq!(cache.reused(), 1);
+
+    // A different scale is a different key.
+    cache
+        .get_or_compute(bs.as_ref(), Scale::Small, Dataset::Eval, u64::MAX)
+        .expect("small baseline succeeds");
+    // A different benchmark is a different key.
+    cache
+        .get_or_compute(sobel.as_ref(), Scale::Tiny, Dataset::Eval, u64::MAX)
+        .expect("sobel baseline succeeds");
+    assert_eq!(cache.computed(), 3);
+
+    let cycles = cache.baseline_cycles();
+    assert_eq!(cycles.len(), 3, "one measured entry per computed key");
+    assert!(cycles.iter().all(|(_, c)| *c > 0));
+    assert!(
+        cycles.windows(2).all(|w| w[0].0 <= w[1].0),
+        "sorted by name"
+    );
+}
+
+/// A baseline that trips the watchdog is cached as a failure and shared:
+/// one simulation, every sibling request receives the identical
+/// structured failure.
+#[test]
+fn failed_baseline_is_cached_and_shared() {
+    use axmemo_workloads::FailureKind;
+    let cache = BaselineCache::new();
+    let bs = benchmark_by_name("blackscholes").unwrap();
+    let a = cache
+        .get_or_compute(bs.as_ref(), Scale::Tiny, Dataset::Eval, 1_000)
+        .unwrap_err();
+    let b = cache
+        .get_or_compute(bs.as_ref(), Scale::Tiny, Dataset::Eval, 1_000)
+        .unwrap_err();
+    assert_eq!(a.kind, FailureKind::Watchdog);
+    assert_eq!(a.message, b.message);
+    assert_eq!(cache.computed(), 1, "the failing run is simulated once");
+    assert_eq!(cache.reused(), 1);
+    assert!(
+        cache.baseline_cycles().is_empty(),
+        "failures have no cycles"
+    );
+}
+
+/// The derived per-benchmark watchdog is `margin × baseline` with a
+/// floor, clamped to the policy ceiling.
+#[test]
+fn derived_budget_watchdog_math() {
+    let d = DerivedBudget {
+        margin: 8,
+        floor_cycles: 1_000_000,
+    };
+    // Small baselines sit on the floor.
+    assert_eq!(d.watchdog(10_000, u64::MAX), 1_000_000);
+    // Large baselines scale by the margin.
+    assert_eq!(d.watchdog(10_000_000, u64::MAX), 80_000_000);
+    // The policy-wide ceiling always wins.
+    assert_eq!(d.watchdog(10_000_000, 5_000_000), 5_000_000);
+    // Saturating: an absurd baseline must not overflow.
+    assert_eq!(d.watchdog(u64::MAX / 2, u64::MAX), u64::MAX);
+    assert_eq!(
+        DerivedBudget::default(),
+        DerivedBudget {
+            margin: 8,
+            floor_cycles: 1_000_000
+        }
+    );
+}

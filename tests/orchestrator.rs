@@ -173,6 +173,93 @@ fn wall_clock_cap_stops_retries() {
     assert_eq!(fail.kind, FailureKind::Watchdog);
 }
 
+/// Regression (all-failed group summary): a group in which every cell
+/// failed must render `-` for both statistics, not the empty-slice
+/// `mean error 0.000e0, geomean speedup 0.00x` that reads like a
+/// perfect group. Forced via a watchdog budget no benchmark can meet;
+/// the report must also stay byte-identical between the shared-baseline
+/// path and the escape hatch on the failure path.
+#[test]
+fn all_failed_group_summary_renders_dashes() {
+    let benches = vec!["blackscholes".to_string()];
+    let (matrix, metas) = sweep::matrix(7, &benches);
+    let budget = BudgetPolicy {
+        max_cycles: 1_000, // below what any benchmark needs: every cell fails
+        max_attempts: 1,
+        backoff_base_ms: 0,
+        retry_without_faults: false,
+        ..BudgetPolicy::default()
+    };
+    let run = |cache: bool| {
+        Orchestrator::new(Scale::Tiny)
+            .budget(budget)
+            .baseline_cache(cache)
+            .run(&matrix)
+    };
+    let outcomes = run(true);
+    assert!(
+        outcomes.iter().all(|o| o.result.is_err()),
+        "forced watchdog"
+    );
+    let table = sweep::table(Scale::Tiny, 7, &metas, &outcomes);
+    let text = table.render(ReportMode::Text);
+    assert!(
+        text.contains("mean error -, geomean speedup -, 1 failed"),
+        "all-failed groups render dashes:\n{text}"
+    );
+    assert!(
+        !text.contains("0.000e0") && !text.contains("0.00x"),
+        "no zero statistics for failed groups:\n{text}"
+    );
+    // The failure path is also cache-independent, byte for byte.
+    let uncached = sweep::table(Scale::Tiny, 7, &metas, &run(false)).render(ReportMode::Json);
+    assert_eq!(table.render(ReportMode::Json), uncached);
+}
+
+/// Regression (silent zip truncation): `sweep::table` must fail loudly
+/// when cell metadata and outcomes disagree in length instead of
+/// silently dropping rows from the report.
+#[test]
+#[should_panic(expected = "aligned index-for-index")]
+fn mismatched_meta_and_outcome_lengths_panic() {
+    let benches = vec!["blackscholes".to_string()];
+    let (matrix, metas) = sweep::matrix(7, &benches);
+    let budget = BudgetPolicy {
+        max_cycles: 1_000,
+        max_attempts: 1,
+        backoff_base_ms: 0,
+        retry_without_faults: false,
+        ..BudgetPolicy::default()
+    };
+    let mut outcomes = Orchestrator::new(Scale::Tiny).budget(budget).run(&matrix);
+    outcomes.pop(); // a future matrix edit that desyncs the two slices
+    let _ = sweep::table(Scale::Tiny, 7, &metas, &outcomes);
+}
+
+/// Regression (failed-job spans): a failed job must not record a
+/// zero-length `0..0` span — that would pollute span min/p50 statistics
+/// — and is counted only via `orchestrator.jobs.failed`.
+#[test]
+fn failed_jobs_record_no_span() {
+    let mut matrix = JobMatrix::new();
+    matrix.push(JobSpec::new(
+        "blackscholes",
+        "L1 4K",
+        MemoConfig::l1_only(4096),
+    ));
+    matrix.push(JobSpec::new("doom", "L1 4K", MemoConfig::l1_only(4096)));
+    let mut tel = Telemetry::enabled();
+    let outcomes = Orchestrator::new(Scale::Tiny).run_with_telemetry(&matrix, &mut tel);
+    assert!(outcomes[0].result.is_ok());
+    assert!(outcomes[1].result.is_err());
+    let spans = tel.spans();
+    assert_eq!(spans.len(), 1, "only the successful job has a span");
+    assert_eq!(spans[0].path, "job:blackscholes:L1 4K");
+    assert!(spans[0].cycles() > 0);
+    assert_eq!(tel.registry().counter("orchestrator.jobs.ok"), 1);
+    assert_eq!(tel.registry().counter("orchestrator.jobs.failed"), 1);
+}
+
 /// `run_with_telemetry` records one span per job in job-index order and
 /// the sweep counters.
 #[test]
