@@ -1,0 +1,100 @@
+//! Interpreter hot-loop throughput: dynamic instructions per second on
+//! a representative kernel (blackscholes tiny), baseline and memoized,
+//! on both the legacy per-instruction loop (`--no-predecode` path) and
+//! the predecoded fast path. The timed region is `reset` + `run` only:
+//! blackscholes initialises every register before reading it and only
+//! writes recomputed values to its output buffer, so re-running on the
+//! same machine is bit-identical and no per-iteration state restore
+//! (a ~6 MB memcpy that would swamp the interpreter) is needed. That
+//! idempotence is asserted before timing starts.
+//! Uses the in-tree harness (`axmemo_bench::timing`); prints MIPS so
+//! perf PRs have a stable before/after number to cite (EXPERIMENTS.md).
+
+use axmemo_bench::timing::bench;
+use axmemo_compiler::codegen::memoize;
+use axmemo_core::config::MemoConfig;
+use axmemo_sim::cpu::{SimConfig, Simulator};
+use axmemo_sim::DecodedProgram;
+use axmemo_sim::Program;
+use axmemo_workloads::{benchmark_by_name, Benchmark, Dataset, Scale};
+use std::hint::black_box;
+
+/// Measure one (config, program) pair; returns MIPS and prints it
+/// alongside the per-iteration time. Predecoded configs go through
+/// `run_prepared` with a program decoded once up front — the shape the
+/// benchmark runner and sweep orchestrator use in production.
+fn measure(name: &str, cfg: &SimConfig, bench_def: &dyn Benchmark, program: &Program) -> f64 {
+    let decoded = cfg
+        .predecode
+        .then(|| DecodedProgram::compile(program, &cfg.latency));
+    let mut sim = Simulator::new(cfg.clone()).unwrap();
+    let mut machine = bench_def.setup(Scale::Tiny, Dataset::Eval);
+    let run = |sim: &mut Simulator, machine: &mut _| {
+        sim.reset();
+        match &decoded {
+            Some(d) => sim.run_prepared(d, machine),
+            None => sim.run(program, machine),
+        }
+        .unwrap()
+    };
+    let first = run(&mut sim, &mut machine);
+    let again = run(&mut sim, &mut machine);
+    assert_eq!(
+        first, again,
+        "{name}: workload is not re-run idempotent; restore machine state per iteration"
+    );
+    let insts = first.dynamic_insts;
+    let mut best = bench(name, || {
+        black_box(run(&mut sim, &mut machine));
+    });
+    // Shared hosts jitter batch-to-batch by 10–20%; the minimum over a
+    // few batches is the closest estimate of the true cost (noise only
+    // ever adds time).
+    for _ in 1..ROUNDS {
+        let m = bench(name, || {
+            black_box(run(&mut sim, &mut machine));
+        });
+        if m.ns_per_iter < best.ns_per_iter {
+            best = m;
+        }
+    }
+    let mips = insts as f64 / best.ns_per_iter * 1e3;
+    println!("{best}  [{insts} insts, {mips:.1} MIPS]");
+    mips
+}
+
+/// Timed batches per leg; the fastest is reported.
+const ROUNDS: usize = 5;
+
+fn main() {
+    let bench_def = benchmark_by_name("blackscholes").expect("blackscholes registered");
+    let (program, specs) = bench_def.program(Scale::Tiny);
+    let memoized = memoize(&program, &specs).expect("codegen");
+    let memo_cfg = MemoConfig {
+        data_width: bench_def.data_width(),
+        ..MemoConfig::l1_l2(8 * 1024, 256 * 1024)
+    };
+
+    let base_fast = SimConfig::baseline();
+    let base_legacy = SimConfig {
+        predecode: false,
+        ..SimConfig::baseline()
+    };
+    let memo_fast = SimConfig::with_memo(memo_cfg.clone());
+    let memo_legacy = SimConfig {
+        predecode: false,
+        ..SimConfig::with_memo(memo_cfg)
+    };
+
+    println!("sim_hot_loop_blackscholes_tiny");
+    let b = bench_def.as_ref();
+    let legacy = measure("hot/baseline/legacy", &base_legacy, b, &program);
+    let fast = measure("hot/baseline/predecoded", &base_fast, b, &program);
+    let legacy_m = measure("hot/memoized/legacy", &memo_legacy, b, &memoized);
+    let fast_m = measure("hot/memoized/predecoded", &memo_fast, b, &memoized);
+    println!(
+        "predecode speedup: baseline {:.2}x, memoized {:.2}x",
+        fast / legacy,
+        fast_m / legacy_m
+    );
+}

@@ -37,7 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut speedups = Vec::new();
         let mut hits = Vec::new();
         for bench in all_benchmarks() {
-            let r = run_cell_cached(bench.as_ref(), scale, &cfg, cache.as_ref())?;
+            let r = run_cell_cached(
+                bench.as_ref(),
+                scale,
+                &cfg,
+                cache.as_ref(),
+                args.run_options(),
+            )?;
             speedups.push(r.speedup);
             hits.push(r.hit_rate);
         }

@@ -50,7 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("error: {msg}");
         eprintln!(
             "usage: fault_sweep [--benches a,b,c] [--trace-out <path>] \
-             [--report text|json] [--seed <n>] [--jobs <n>] [--no-baseline-cache]"
+             [--report text|json] [--seed <n>] [--jobs <n>] [--no-baseline-cache] \
+             [--no-predecode]"
         );
         std::process::exit(2);
     });
@@ -68,6 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .jobs(args.effective_jobs())
         .progress(true)
         .baseline_cache(!args.no_baseline_cache)
+        .predecode(!args.no_predecode)
         .run_with_telemetry(&matrix, &mut tel);
     let table = sweep::table(scale, args.seed, &metas, &outcomes);
 

@@ -35,7 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut speed_cells = vec![name.clone(), "speedup".to_string()];
         let mut energy_cells = vec![name, "energy".to_string()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let report = run_cell_report_cached(bench.as_ref(), scale, cfg, tel, cache.as_ref())?;
+            let report = run_cell_report_cached(
+                bench.as_ref(),
+                scale,
+                cfg,
+                tel,
+                cache.as_ref(),
+                args.run_options(),
+            )?;
             tel = report.telemetry;
             let r = &report.result;
             speed_cells.push(format!("{:.2}x", r.speedup));

@@ -32,7 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bench in all_benchmarks() {
         let mut cells = vec![bench.meta().name.to_string()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let report = run_cell_report_cached(bench.as_ref(), scale, cfg, tel, cache.as_ref())?;
+            let report = run_cell_report_cached(
+                bench.as_ref(),
+                scale,
+                cfg,
+                tel,
+                cache.as_ref(),
+                args.run_options(),
+            )?;
             tel = report.telemetry;
             let r = &report.result;
             cells.push(format!(

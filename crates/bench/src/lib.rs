@@ -29,6 +29,7 @@ use axmemo_core::unit::LookupEvent;
 use axmemo_sim::cpu::{SimConfig, Simulator};
 use axmemo_sim::stats::RunStats;
 use axmemo_telemetry::{escape_json, JsonlSink, Telemetry};
+pub use axmemo_workloads::runner::RunOptions;
 use axmemo_workloads::runner::{run_benchmark_report, run_benchmark_report_cached, RunReport};
 use axmemo_workloads::{run_benchmark, Benchmark, BenchmarkResult, Dataset, Scale};
 
@@ -58,6 +59,11 @@ pub enum ReportMode {
 ///   inside every cell instead of sharing one run per distinct
 ///   `(benchmark, scale, dataset)` (the escape hatch; output is
 ///   byte-identical either way because the baseline is deterministic).
+/// * `--no-predecode` — run every simulation on the legacy
+///   instruction-at-a-time interpreter instead of the predecoded fast
+///   path. Results are bit-identical (pinned by the decode-equivalence
+///   tests and the CI golden diff); the flag exists as the reference
+///   side of those diffs and as an escape hatch.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// JSONL event-trace destination, when requested.
@@ -71,6 +77,9 @@ pub struct BenchArgs {
     /// Disable baseline sharing (`--no-baseline-cache`): every cell
     /// re-runs its own baseline, reproducing the pre-cache behaviour.
     pub no_baseline_cache: bool,
+    /// Disable the predecoded fast-path interpreter (`--no-predecode`):
+    /// every leg runs on the legacy loop instead.
+    pub no_predecode: bool,
 }
 
 impl BenchArgs {
@@ -82,7 +91,7 @@ impl BenchArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: <bin> [--trace-out <path>] [--report text|json] [--seed <n>] \
-                     [--jobs <n>] [--no-baseline-cache]"
+                     [--jobs <n>] [--no-baseline-cache] [--no-predecode]"
                 );
                 std::process::exit(2);
             }
@@ -119,6 +128,7 @@ impl BenchArgs {
                     }
                 }
                 "--no-baseline-cache" => out.no_baseline_cache = true,
+                "--no-predecode" => out.no_predecode = true,
                 "--report" => match it.next().as_deref() {
                     Some("text") => out.report = ReportMode::Text,
                     Some("json") => out.report = ReportMode::Json,
@@ -153,6 +163,15 @@ impl BenchArgs {
         (!self.no_baseline_cache).then(BaselineCache::new)
     }
 
+    /// The per-run switches the flags ask for: default options with the
+    /// predecoded interpreter disabled when `--no-predecode` was given.
+    pub fn run_options(&self) -> RunOptions {
+        RunOptions {
+            predecode: !self.no_predecode,
+            ..RunOptions::default()
+        }
+    }
+
     /// Build the telemetry handle the flags ask for: enabled with a
     /// JSONL sink when `--trace-out` was given, otherwise disabled
     /// (zero hot-path cost).
@@ -184,6 +203,7 @@ pub struct Table {
     columns: Vec<String>,
     rows: Vec<Vec<String>>,
     summary: Vec<(String, String)>,
+    text_notes: Vec<(String, String)>,
 }
 
 impl Table {
@@ -194,6 +214,7 @@ impl Table {
             columns: columns.iter().map(|c| (*c).to_string()).collect(),
             rows: Vec::new(),
             summary: Vec::new(),
+            text_notes: Vec::new(),
         }
     }
 
@@ -206,6 +227,15 @@ impl Table {
     /// Append a summary line rendered after the table body.
     pub fn summary(&mut self, label: impl Into<String>, value: impl Into<String>) -> &mut Self {
         self.summary.push((label.into(), value.into()));
+        self
+    }
+
+    /// Append a note rendered **only** in the text report, never in
+    /// JSON. For host-dependent observations (wall-clock totals, load
+    /// hints) that would break byte-identical JSON goldens if they
+    /// entered the structured output.
+    pub fn text_note(&mut self, label: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.text_notes.push((label.into(), value.into()));
         self
     }
 
@@ -258,6 +288,12 @@ impl Table {
         if !self.summary.is_empty() {
             out.push('\n');
             for (label, value) in &self.summary {
+                out.push_str(&format!("{label}: {value}\n"));
+            }
+        }
+        if !self.text_notes.is_empty() {
+            out.push('\n');
+            for (label, value) in &self.text_notes {
                 out.push_str(&format!("{label}: {value}\n"));
             }
         }
@@ -346,7 +382,14 @@ pub fn run_cell_report(
     memo: &MemoConfig,
     tel: Telemetry,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
-    run_benchmark_report(bench, scale, Dataset::Eval, memo, false, tel)
+    run_benchmark_report(
+        bench,
+        scale,
+        Dataset::Eval,
+        memo,
+        RunOptions::default(),
+        tel,
+    )
 }
 
 /// [`run_cell`] reusing a sweep-wide [`BaselineCache`]: a figure binary
@@ -364,8 +407,9 @@ pub fn run_cell_cached(
     scale: Scale,
     memo: &MemoConfig,
     cache: Option<&BaselineCache>,
+    opts: RunOptions,
 ) -> Result<BenchmarkResult, Box<dyn std::error::Error>> {
-    run_cell_report_cached(bench, scale, memo, Telemetry::off(), cache).map(|r| r.result)
+    run_cell_report_cached(bench, scale, memo, Telemetry::off(), cache, opts).map(|r| r.result)
 }
 
 /// [`run_cell_report`] reusing a sweep-wide [`BaselineCache`]; see
@@ -381,8 +425,9 @@ pub fn run_cell_report_cached(
     memo: &MemoConfig,
     tel: Telemetry,
     cache: Option<&BaselineCache>,
+    opts: RunOptions,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
-    run_benchmark_report_cached(bench, scale, Dataset::Eval, memo, false, tel, cache)
+    run_benchmark_report_cached(bench, scale, Dataset::Eval, memo, opts, tel, cache)
 }
 
 /// Everything the software contenders need: the recorded lookup-event
@@ -434,7 +479,7 @@ pub fn collect_events_cached(
     let baseline = match cache {
         Some(cache) => {
             cache
-                .get_or_compute(bench, scale, Dataset::Eval, u64::MAX)?
+                .get_or_compute(bench, scale, Dataset::Eval, u64::MAX, true)?
                 .stats
         }
         None => {
@@ -636,6 +681,17 @@ mod tests {
         let off = BenchArgs::try_from_iter(["--no-baseline-cache".to_string()]).unwrap();
         assert!(off.no_baseline_cache);
         assert!(off.baseline_cache().is_none());
+    }
+
+    #[test]
+    fn bench_args_parse_no_predecode() {
+        let default = BenchArgs::try_from_iter(std::iter::empty()).unwrap();
+        assert!(!default.no_predecode, "fast path is on by default");
+        assert!(default.run_options().predecode);
+        let off = BenchArgs::try_from_iter(["--no-predecode".to_string()]).unwrap();
+        assert!(off.no_predecode);
+        assert!(!off.run_options().predecode);
+        assert!(!off.run_options().zero_trunc, "orthogonal switch untouched");
     }
 
     #[test]

@@ -39,7 +39,9 @@ use std::sync::Mutex;
 
 use axmemo_core::config::MemoConfig;
 use axmemo_telemetry::Telemetry;
-use axmemo_workloads::runner::{BaselineCache, BudgetPolicy, RunFailure, SupervisedRun};
+use axmemo_workloads::runner::{
+    BaselineCache, BudgetPolicy, RunFailure, RunOptions, SupervisedRun,
+};
 use axmemo_workloads::{benchmark_by_name, runner, Dataset, FailureKind, Scale};
 
 /// Deterministic-order parallel map: evaluate `f(0..count)` on up to
@@ -168,6 +170,11 @@ pub struct JobOutcome {
     /// Simulated cycles of the successful memoized run (0 on failure);
     /// used to key the per-job telemetry span.
     pub sim_cycles: u64,
+    /// Wall-clock milliseconds this job spent in the runner (all
+    /// attempts, including backoff pauses). Reflects host load, so it
+    /// feeds only the text report's per-group totals — never the
+    /// deterministic JSON output.
+    pub wall_ms: u64,
     /// The paper metrics, or a structured failure that names the final
     /// attempt's failure class.
     pub result: Result<runner::BenchmarkResult, RunFailure>,
@@ -204,6 +211,7 @@ pub struct Orchestrator {
     budget: BudgetPolicy,
     progress: bool,
     baseline_cache: bool,
+    predecode: bool,
 }
 
 impl Orchestrator {
@@ -218,6 +226,7 @@ impl Orchestrator {
             budget: BudgetPolicy::default(),
             progress: false,
             baseline_cache: true,
+            predecode: true,
         }
     }
 
@@ -259,6 +268,15 @@ impl Orchestrator {
     /// [`BudgetPolicy::derived`].
     pub fn baseline_cache(mut self, on: bool) -> Self {
         self.baseline_cache = on;
+        self
+    }
+
+    /// Run every simulation on the predecoded fast-path interpreter
+    /// (default: on). `false` is the `--no-predecode` escape hatch: the
+    /// legacy instruction-at-a-time loop runs instead, producing a
+    /// byte-identical report (the CI golden diff pins exactly that).
+    pub fn predecode(mut self, on: bool) -> Self {
+        self.predecode = on;
         self
     }
 
@@ -336,6 +354,7 @@ impl Orchestrator {
     }
 
     fn run_job(&self, index: usize, spec: JobSpec, cache: Option<&BaselineCache>) -> JobOutcome {
+        let started = std::time::Instant::now();
         let Some(bench) = benchmark_by_name(&spec.benchmark) else {
             let failure = RunFailure {
                 benchmark: spec.benchmark.clone(),
@@ -351,8 +370,13 @@ impl Orchestrator {
                 attempts: 1,
                 faults_cleared: false,
                 sim_cycles: 0,
+                wall_ms: started.elapsed().as_millis() as u64,
                 result: Err(failure),
             };
+        };
+        let opts = RunOptions {
+            predecode: self.predecode,
+            ..RunOptions::default()
         };
         match runner::run_budgeted_cached(
             bench.as_ref(),
@@ -361,6 +385,7 @@ impl Orchestrator {
             &spec.memo,
             &self.budget,
             cache,
+            opts,
         ) {
             Ok(SupervisedRun {
                 result,
@@ -371,6 +396,7 @@ impl Orchestrator {
                 attempts,
                 faults_cleared,
                 sim_cycles: result.memo_stats.cycles,
+                wall_ms: started.elapsed().as_millis() as u64,
                 result: Ok(result),
                 spec,
             },
@@ -379,6 +405,7 @@ impl Orchestrator {
                 attempts: failure.attempts,
                 faults_cleared: false,
                 sim_cycles: 0,
+                wall_ms: started.elapsed().as_millis() as u64,
                 result: Err(failure),
                 spec,
             },

@@ -187,6 +187,17 @@ pub fn table(scale: Scale, seed: u64, metas: &[CellMeta], outcomes: &[JobOutcome
             format!("{}/{}@{}ppm", meta.domain, meta.protection, meta.ppm),
             format!("{stats}, {failed} failed"),
         );
+        // Wall-clock totals are host-dependent, so they ride the
+        // text-only channel: the JSON report (and its goldens) must
+        // stay byte-identical across machines and worker counts.
+        let wall_ms: u64 = outcomes[group..end].iter().map(|o| o.wall_ms).sum();
+        table.text_note(
+            format!(
+                "{}/{}@{}ppm wall-clock",
+                meta.domain, meta.protection, meta.ppm
+            ),
+            format!("{wall_ms} ms total over {} cells", end - group),
+        );
         group = end;
     }
     table

@@ -43,9 +43,18 @@ impl CacheStats {
 struct Level {
     sets: usize,
     ways: usize,
-    line_bytes: usize,
-    /// tags[set * ways + way] = Some(line address)
-    tags: Vec<Option<u64>>,
+    /// `log2(line_bytes)` — set indexing is a shift + mask on the hot
+    /// path, not a division.
+    line_shift: u32,
+    /// tags[set * ways + way] = line address; only meaningful when the
+    /// matching `epochs` entry equals the current `epoch`.
+    tags: Vec<u64>,
+    /// Flush generation each way was last filled in. A way is valid
+    /// iff its epoch matches the level's, which makes [`Self::flush`]
+    /// a single counter bump instead of a multi-hundred-KB memset per
+    /// simulated run.
+    epochs: Vec<u64>,
+    epoch: u64,
     lru: Vec<u64>,
     clock: u64,
     stats: CacheStats,
@@ -53,6 +62,10 @@ struct Level {
 
 impl Level {
     fn new(capacity: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "cache line size must be a power of two, got {line_bytes}"
+        );
         let sets = (capacity / (ways * line_bytes)).max(1).next_power_of_two();
         let sets = if sets * ways * line_bytes > capacity && sets > 1 {
             sets / 2
@@ -62,8 +75,10 @@ impl Level {
         Self {
             sets,
             ways,
-            line_bytes,
-            tags: vec![None; sets * ways],
+            line_shift: line_bytes.trailing_zeros(),
+            tags: vec![0; sets * ways],
+            epochs: vec![0; sets * ways],
+            epoch: 1,
             lru: vec![0; sets * ways],
             clock: 0,
             stats: CacheStats::default(),
@@ -72,12 +87,12 @@ impl Level {
 
     /// Access `addr`; returns true on hit. Allocates on miss.
     fn access(&mut self, addr: u64) -> bool {
-        let line = addr / self.line_bytes as u64;
+        let line = addr >> self.line_shift;
         let set = (line as usize) & (self.sets - 1);
         let base = set * self.ways;
         self.clock += 1;
         for w in 0..self.ways {
-            if self.tags[base + w] == Some(line) {
+            if self.epochs[base + w] == self.epoch && self.tags[base + w] == line {
                 self.lru[base + w] = self.clock;
                 self.stats.hits += 1;
                 return true;
@@ -88,26 +103,26 @@ impl Level {
         let mut victim = 0;
         let mut best = u64::MAX;
         for w in 0..self.ways {
-            match self.tags[base + w] {
-                None => {
-                    victim = w;
-                    break;
-                }
-                Some(_) if self.lru[base + w] < best => {
-                    best = self.lru[base + w];
-                    victim = w;
-                }
-                _ => {}
+            if self.epochs[base + w] != self.epoch {
+                victim = w;
+                break;
+            }
+            if self.lru[base + w] < best {
+                best = self.lru[base + w];
+                victim = w;
             }
         }
-        self.tags[base + victim] = Some(line);
+        self.tags[base + victim] = line;
+        self.epochs[base + victim] = self.epoch;
         self.lru[base + victim] = self.clock;
         false
     }
 
     fn flush(&mut self) {
-        self.tags.iter_mut().for_each(|t| *t = None);
-        self.lru.iter_mut().for_each(|l| *l = 0);
+        // O(1): invalidate every way by advancing the generation. The
+        // clock keeps running, so replacement order after a refill is
+        // identical to the memset implementation's.
+        self.epoch += 1;
     }
 }
 
@@ -289,6 +304,16 @@ mod tests {
     #[should_panic(expected = "cannot reserve all")]
     fn rejects_reserving_every_way() {
         CacheHierarchy::new(CacheConfig::default(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_line_size() {
+        let cfg = CacheConfig {
+            line_bytes: 48,
+            ..CacheConfig::default()
+        };
+        CacheHierarchy::new(cfg, 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! §3.3 describes).
 
 use crate::cache::{CacheConfig, CacheHierarchy, CacheStats, ServedBy};
+use crate::decoded::{BlockCounts, DecodedInst, DecodedProgram};
 use crate::ir::{Cond, FBinOp, FUnOp, IAluOp, Inst, MemWidth, Operand, Program, NUM_REGS};
 use crate::pipeline::{FuClass, LatencyModel, Pipeline};
 use crate::predictor::{BranchPredictor, PredictorConfig, PredictorStats};
@@ -53,13 +54,41 @@ impl Machine {
         self.regs[r as usize] = u64::from(v.to_bits());
     }
 
+    /// Masked register read for the decoded fast path: the decoder has
+    /// already validated every index against [`NUM_REGS`], so the mask
+    /// is a no-op that lets the compiler drop the bounds check.
+    #[inline(always)]
+    pub(crate) fn reg(&self, r: u8) -> u64 {
+        self.regs[r as usize & (NUM_REGS - 1)]
+    }
+
+    /// Masked register write (see [`Self::reg`]).
+    #[inline(always)]
+    pub(crate) fn set_reg(&mut self, r: u8, v: u64) {
+        self.regs[r as usize & (NUM_REGS - 1)] = v;
+    }
+
+    /// Masked f32 register read (see [`Self::reg`]).
+    #[inline(always)]
+    pub(crate) fn reg_f32(&self, r: u8) -> f32 {
+        f32::from_bits(self.reg(r) as u32)
+    }
+
+    /// Masked f32 register write (see [`Self::reg`]).
+    #[inline(always)]
+    pub(crate) fn set_reg_f32(&mut self, r: u8, v: f32) {
+        self.set_reg(r, u64::from(v.to_bits()));
+    }
+
     /// Read `width` bytes at `addr` (little-endian, zero-extended).
     pub fn load(&self, addr: u64, width: MemWidth) -> Result<u64, SimError> {
-        let a = addr as usize;
         let n = width.bytes();
-        let bytes = self
-            .mem
-            .get(a..a + n)
+        // `addr + n` can overflow for near-`u64::MAX` addresses; the
+        // checked range keeps that a structured fault, not a panic.
+        let bytes = usize::try_from(addr)
+            .ok()
+            .and_then(|a| a.checked_add(n).map(|end| a..end))
+            .and_then(|range| self.mem.get(range))
             .ok_or(SimError::MemOutOfBounds { addr, width })?;
         let mut buf = [0u8; 8];
         buf[..n].copy_from_slice(bytes);
@@ -68,11 +97,11 @@ impl Machine {
 
     /// Write the low `width` bytes of `value` at `addr`.
     pub fn store(&mut self, addr: u64, width: MemWidth, value: u64) -> Result<(), SimError> {
-        let a = addr as usize;
         let n = width.bytes();
-        let dst = self
-            .mem
-            .get_mut(a..a + n)
+        let dst = usize::try_from(addr)
+            .ok()
+            .and_then(|a| a.checked_add(n).map(|end| a..end))
+            .and_then(|range| self.mem.get_mut(range))
             .ok_or(SimError::MemOutOfBounds { addr, width })?;
         dst.copy_from_slice(&value.to_le_bytes()[..n]);
         Ok(())
@@ -187,6 +216,11 @@ pub struct SimConfig {
     /// bound. The supervised benchmark runner uses it as a watchdog
     /// against non-terminating or pathologically slow programs.
     pub max_cycles: u64,
+    /// Use the predecoded fast-path interpreter (default). Disabling it
+    /// falls back to the legacy instruction-at-a-time loop; results are
+    /// bit-identical either way (pinned by tests), so this exists only
+    /// as an escape hatch and as the reference for equivalence checks.
+    pub predecode: bool,
 }
 
 impl Default for SimConfig {
@@ -198,6 +232,7 @@ impl Default for SimConfig {
             predictor: None,
             max_insts: 2_000_000_000,
             max_cycles: u64::MAX,
+            predecode: true,
         }
     }
 }
@@ -342,17 +377,69 @@ impl Simulator {
 
     /// Execute `program` to `Halt`.
     ///
+    /// With [`SimConfig::predecode`] set (the default) the program is
+    /// lowered once via [`DecodedProgram::compile`] and run on the
+    /// fast-path interpreter; otherwise the legacy per-instruction loop
+    /// runs. Results are bit-identical either way.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] on the first fault (out-of-bounds access,
     /// division by zero, runaway loop, missing memoization unit).
     pub fn run(&mut self, program: &Program, machine: &mut Machine) -> Result<RunStats, SimError> {
-        self.run_traced(program, machine, None)
+        if self.config.predecode {
+            let decoded = DecodedProgram::compile(program, &self.config.latency);
+            self.run_decoded(&decoded, machine)
+        } else {
+            self.run_legacy(program, machine, None)
+        }
+    }
+
+    /// Execute an already-decoded program (see [`DecodedProgram`]),
+    /// skipping the per-run decode step. This is how the sweep
+    /// orchestrator amortises decoding across a whole matrix of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decoded` was compiled against a different
+    /// [`LatencyModel`] than this simulator's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on the first fault, exactly as [`Self::run`].
+    pub fn run_prepared(
+        &mut self,
+        decoded: &DecodedProgram,
+        machine: &mut Machine,
+    ) -> Result<RunStats, SimError> {
+        assert_eq!(
+            *decoded.latency(),
+            self.config.latency,
+            "DecodedProgram latency model does not match the simulator config"
+        );
+        self.run_decoded(decoded, machine)
     }
 
     /// Like [`Self::run`] with an optional trace sink receiving every
-    /// committed instruction (compiler trace capture).
+    /// committed instruction (compiler trace capture). Tracing always
+    /// uses the legacy loop — trace capture is a compile-time activity
+    /// where per-instruction callbacks dwarf decode savings.
     pub fn run_traced(
+        &mut self,
+        program: &Program,
+        machine: &mut Machine,
+        trace: Option<&mut dyn TraceSink>,
+    ) -> Result<RunStats, SimError> {
+        match trace {
+            Some(sink) => self.run_legacy(program, machine, Some(sink)),
+            None => self.run(program, machine),
+        }
+    }
+
+    /// The legacy instruction-at-a-time interpreter: the reference
+    /// implementation the fast path is checked against, and the only
+    /// path supporting a [`TraceSink`].
+    fn run_legacy(
         &mut self,
         program: &Program,
         machine: &mut Machine,
@@ -441,7 +528,7 @@ impl Simulator {
                     classes.fbin += 1;
                 }
                 Inst::FUn { op, rd, ra } => {
-                    let v = funop(op, machine, ra);
+                    let v = funop(op, machine.regs[ra as usize]);
                     machine.regs[rd as usize] = v;
                     wrote = Some((rd, v));
                     let (latency, fu) = lat.fun(op);
@@ -705,6 +792,367 @@ impl Simulator {
         Ok(stats)
     }
 
+    /// The predecoded fast-path interpreter. Dispatches over
+    /// [`DecodedInst`] (operands, latencies, and FU classes resolved at
+    /// compile time) and batches input-independent counters per basic
+    /// block via [`BlockCounts`]. Every observable — `RunStats`, error
+    /// values, telemetry event streams, fault-injector draws — matches
+    /// [`Self::run_legacy`] exactly; equivalence tests pin this.
+    fn run_decoded(
+        &mut self,
+        dp: &DecodedProgram,
+        machine: &mut Machine,
+    ) -> Result<RunStats, SimError> {
+        let lat = self.config.latency;
+        let mut pipe = Pipeline::new();
+        let mut predictor = self.config.predictor.map(BranchPredictor::new);
+        let mut stats = RunStats::default();
+        let mut classes = InstClassCounts::default();
+        // Cache statistics accumulate across runs; snapshot for deltas.
+        let l1d_before = self.cache.l1d_stats();
+        let l2_before = self.cache.l2_stats();
+        let tid = ThreadId(0);
+        // Per-LUT cycle when the CRC unit finishes the queued beats.
+        let mut crc_ready = [0u64; MAX_LUTS];
+        // Queue capacity in cycles of backlog (1 byte ≈ 1 cycle).
+        let queue_capacity: u64 = self
+            .config
+            .memo
+            .as_ref()
+            .map(|m| m.input_queue_depth as u64 * 8)
+            .unwrap_or(0);
+        // Config-dependent LUT charging, hoisted out of the loop (the
+        // unit config is immutable during a run).
+        let has_l2_lut = self
+            .memo
+            .as_ref()
+            .is_some_and(|u| u.config().l2_bytes.is_some());
+        let ecc = self
+            .memo
+            .as_ref()
+            .is_some_and(|u| u.config().faults.protection == Protection::EccProtected);
+        let max_insts = self.config.max_insts;
+        let max_cycles = self.config.max_cycles;
+        let taken_bubble = lat.taken_branch_bubble;
+        let mut dyn_insts = 0u64;
+        let mut pc = 0usize;
+
+        'run: loop {
+            let Some(&block_idx) = dp.block_of.get(pc) else {
+                return Err(SimError::PcOutOfRange { pc });
+            };
+            let block = &dp.blocks[block_idx as usize];
+            debug_assert_eq!(
+                block.start as usize, pc,
+                "control transfer into the middle of a basic block"
+            );
+            let end = block.end as usize;
+            let mut next_pc = end;
+            // Iterating the block as a slice gives the compiler the trip
+            // count: no per-instruction bounds check on the fetch.
+            for (k, inst) in dp.insts[pc..end].iter().enumerate() {
+                let i = pc + k;
+                // Same per-instruction guard order as the legacy loop
+                // (markers included), so watchdog trip points match. The
+                // non-short-circuiting `|` folds both comparisons into a
+                // single never-taken branch on the hot path.
+                if (dyn_insts >= max_insts) | (pipe.now() > max_cycles) {
+                    if dyn_insts >= max_insts {
+                        return Err(SimError::InstLimit { limit: max_insts });
+                    }
+                    return Err(SimError::CycleLimit { limit: max_cycles });
+                }
+                match *inst {
+                    DecodedInst::Region => {
+                        continue; // zero-cost marker, not a dynamic inst
+                    }
+                    DecodedInst::Halt => {
+                        dyn_insts += 1;
+                        apply_block(&mut stats, &mut classes, &block.counts);
+                        break 'run;
+                    }
+                    DecodedInst::IAluRR {
+                        op,
+                        rd,
+                        ra,
+                        rb,
+                        lat,
+                        fu,
+                    } => {
+                        let a = machine.reg(ra);
+                        let b = machine.reg(rb);
+                        let v = ialu(op, a, b).ok_or(SimError::DivByZero { pc: i })?;
+                        machine.set_reg(rd, v);
+                        pipe.issue(&[ra, rb], Some(rd), fu, lat, 0);
+                    }
+                    DecodedInst::IAluRI {
+                        op,
+                        rd,
+                        ra,
+                        imm,
+                        lat,
+                        fu,
+                    } => {
+                        let a = machine.reg(ra);
+                        let v = ialu(op, a, imm).ok_or(SimError::DivByZero { pc: i })?;
+                        machine.set_reg(rd, v);
+                        pipe.issue(&[ra, ra], Some(rd), fu, lat, 0);
+                    }
+                    DecodedInst::FBin {
+                        op,
+                        rd,
+                        ra,
+                        rb,
+                        lat,
+                        fu,
+                    } => {
+                        let v = fbin(op, machine.reg_f32(ra), machine.reg_f32(rb));
+                        machine.set_reg_f32(rd, v);
+                        pipe.issue(&[ra, rb], Some(rd), fu, lat, 0);
+                    }
+                    DecodedInst::FUn {
+                        op,
+                        rd,
+                        ra,
+                        lat,
+                        fu,
+                    } => {
+                        let v = funop(op, machine.reg(ra));
+                        machine.set_reg(rd, v);
+                        pipe.issue(&[ra], Some(rd), fu, lat, 0);
+                    }
+                    DecodedInst::Ld {
+                        width,
+                        rd,
+                        base,
+                        offset,
+                    } => {
+                        let addr = machine.reg(base).wrapping_add_signed(offset.into());
+                        let v = machine.load(addr, width)?;
+                        machine.set_reg(rd, v);
+                        let (mut latency, served) = self.cache.access_served(addr);
+                        latency += spike_cycles(&mut self.mem_faults);
+                        charge_mem_levels(&mut stats, served);
+                        pipe.issue(&[base], Some(rd), FuClass::LdSt, latency, 0);
+                    }
+                    DecodedInst::St {
+                        width,
+                        rs,
+                        base,
+                        offset,
+                        lat,
+                    } => {
+                        let addr = machine.reg(base).wrapping_add_signed(offset.into());
+                        machine.store(addr, width, machine.reg(rs))?;
+                        let (_, served) = self.cache.access_served(addr);
+                        charge_mem_levels(&mut stats, served);
+                        let st_latency = lat + spike_cycles(&mut self.mem_faults);
+                        pipe.issue(&[rs, base], None, FuClass::LdSt, st_latency, 0);
+                    }
+                    DecodedInst::MovImm { rd, imm } => {
+                        machine.set_reg(rd, imm);
+                        pipe.issue(&[], Some(rd), FuClass::IntAlu, 1, 0);
+                    }
+                    DecodedInst::Mov { rd, ra } => {
+                        machine.set_reg(rd, machine.reg(ra));
+                        pipe.issue(&[ra], Some(rd), FuClass::IntAlu, 1, 0);
+                    }
+                    DecodedInst::BranchRR {
+                        cond,
+                        ra,
+                        rb,
+                        target,
+                    } => {
+                        let taken = cond_taken(cond, machine.reg(ra), machine.reg(rb));
+                        pipe.issue(&[ra, rb], None, FuClass::Branch, 1, 0);
+                        if taken {
+                            next_pc = target;
+                        }
+                        match predictor.as_mut() {
+                            Some(bp) => {
+                                let stall = bp.resolve(i, taken);
+                                if stall > 0 {
+                                    pipe.branch_bubble(stall);
+                                    stats.branch_bubbles += 1;
+                                }
+                            }
+                            None if taken => {
+                                pipe.branch_bubble(taken_bubble);
+                                stats.branch_bubbles += 1;
+                            }
+                            None => {}
+                        }
+                    }
+                    DecodedInst::BranchRI {
+                        cond,
+                        ra,
+                        imm,
+                        target,
+                    } => {
+                        let taken = cond_taken(cond, machine.reg(ra), imm);
+                        pipe.issue(&[ra, ra], None, FuClass::Branch, 1, 0);
+                        if taken {
+                            next_pc = target;
+                        }
+                        match predictor.as_mut() {
+                            Some(bp) => {
+                                let stall = bp.resolve(i, taken);
+                                if stall > 0 {
+                                    pipe.branch_bubble(stall);
+                                    stats.branch_bubbles += 1;
+                                }
+                            }
+                            None if taken => {
+                                pipe.branch_bubble(taken_bubble);
+                                stats.branch_bubbles += 1;
+                            }
+                            None => {}
+                        }
+                    }
+                    DecodedInst::Jump { target } => {
+                        next_pc = target;
+                        pipe.issue(&[], None, FuClass::Branch, 1, 0);
+                        pipe.branch_bubble(taken_bubble);
+                        stats.branch_bubbles += 1;
+                    }
+                    DecodedInst::BranchMemoHit { target } => {
+                        pipe.issue(&[], None, FuClass::Branch, 1, 0);
+                        if machine.memo_hit {
+                            next_pc = target;
+                            pipe.branch_bubble(taken_bubble);
+                            stats.branch_bubbles += 1;
+                        }
+                    }
+                    DecodedInst::MemoLdCrc {
+                        width,
+                        rd,
+                        base,
+                        offset,
+                        lut,
+                        trunc,
+                        beat,
+                    } => {
+                        let unit = self.memo.as_mut().ok_or(SimError::NoMemoUnit { pc: i })?;
+                        let addr = machine.reg(base).wrapping_add_signed(offset.into());
+                        let raw = machine.load(addr, width)?;
+                        machine.set_reg(rd, raw);
+                        let (mut latency, served) = self.cache.access_served(addr);
+                        latency += spike_cycles(&mut self.mem_faults);
+                        charge_mem_levels(&mut stats, served);
+                        let backlog = crc_ready[lut.index()];
+                        let not_before = backlog.saturating_sub(queue_capacity);
+                        let at = pipe.issue(&[base], Some(rd), FuClass::LdSt, latency, not_before);
+                        self.telemetry.set_cycle(at);
+                        unit.feed_tel(
+                            lut,
+                            tid,
+                            input_value(width, raw),
+                            trunc,
+                            &mut self.telemetry,
+                        );
+                        crc_ready[lut.index()] = crc_ready[lut.index()].max(at + latency) + beat;
+                        if not_before > at {
+                            stats.memo_stall_cycles += not_before - at;
+                        }
+                    }
+                    DecodedInst::MemoRegCrc {
+                        width,
+                        src,
+                        mask,
+                        lut,
+                        trunc,
+                        beat,
+                    } => {
+                        let unit = self.memo.as_mut().ok_or(SimError::NoMemoUnit { pc: i })?;
+                        let raw = machine.reg(src) & mask;
+                        let backlog = crc_ready[lut.index()];
+                        let not_before = backlog.saturating_sub(queue_capacity);
+                        let at = pipe.issue(&[src], None, FuClass::Memo, 1, not_before);
+                        self.telemetry.set_cycle(at);
+                        unit.feed_tel(
+                            lut,
+                            tid,
+                            input_value(width, raw),
+                            trunc,
+                            &mut self.telemetry,
+                        );
+                        crc_ready[lut.index()] = crc_ready[lut.index()].max(at + 1) + beat;
+                    }
+                    DecodedInst::MemoLookup { rd, lut } => {
+                        let unit = self.memo.as_mut().ok_or(SimError::NoMemoUnit { pc: i })?;
+                        // lookup waits for the CRC pipeline to drain (§3.4).
+                        let not_before = crc_ready[lut.index()];
+                        self.telemetry.set_cycle(pipe.now().max(not_before));
+                        let result = unit.lookup_tel(lut, tid, &mut self.telemetry);
+                        let latency = unit.lookup_cycles(&result);
+                        let before = pipe.now();
+                        pipe.issue(&[], Some(rd), FuClass::Memo, latency, not_before);
+                        stats.memo_stall_cycles += not_before.saturating_sub(before.max(1)) / 2;
+                        let mut lut_accesses = 1;
+                        if has_l2_lut
+                            && !matches!(
+                                result,
+                                LookupResult::Hit {
+                                    level: axmemo_core::two_level::HitLevel::L1,
+                                    ..
+                                }
+                            )
+                        {
+                            stats.energy.l2_lut_accesses += 1;
+                            lut_accesses += 1;
+                        }
+                        if ecc {
+                            stats.energy.ecc_checks += lut_accesses;
+                        }
+                        match result {
+                            LookupResult::Hit { data, .. } => {
+                                machine.set_reg(rd, data);
+                                machine.memo_hit = true;
+                            }
+                            _ => {
+                                machine.memo_hit = false;
+                            }
+                        }
+                    }
+                    DecodedInst::MemoUpdate { src, lut } => {
+                        let unit = self.memo.as_mut().ok_or(SimError::NoMemoUnit { pc: i })?;
+                        let data = machine.reg(src);
+                        self.telemetry.set_cycle(pipe.now());
+                        let cycles = unit.update_tel(lut, tid, data, &mut self.telemetry);
+                        pipe.issue(&[src], None, FuClass::Memo, cycles, 0);
+                        let mut lut_accesses = 1;
+                        if has_l2_lut {
+                            stats.energy.l2_lut_accesses += 1;
+                            lut_accesses += 1;
+                        }
+                        if ecc {
+                            stats.energy.ecc_checks += lut_accesses;
+                        }
+                    }
+                    DecodedInst::MemoInvalidate { lut } => {
+                        let unit = self.memo.as_mut().ok_or(SimError::NoMemoUnit { pc: i })?;
+                        self.telemetry.set_cycle(pipe.now());
+                        let cycles = unit.invalidate_tel(lut, &mut self.telemetry);
+                        pipe.issue(&[], None, FuClass::Memo, cycles, 0);
+                    }
+                }
+                dyn_insts += 1;
+            }
+            apply_block(&mut stats, &mut classes, &block.counts);
+            pc = next_pc;
+        }
+
+        stats.dynamic_insts = dyn_insts;
+        stats.energy.instructions = dyn_insts;
+        stats.cycles = pipe.drain();
+        if let Some(unit) = self.memo.as_ref() {
+            stats.energy.quality_compares = unit.stats().sampled_misses;
+        }
+        let predictor_stats = predictor.as_ref().map(|bp| bp.stats());
+        self.flush_run_telemetry(&stats, &classes, predictor_stats, l1d_before, l2_before);
+        Ok(stats)
+    }
+
     /// Flush per-run counters into the telemetry registry. Instruction
     /// classes and stalls accumulate in locals during the run; cache
     /// statistics are counted as deltas against the run-start snapshot
@@ -795,6 +1243,13 @@ fn spike_cycles(faults: &mut Option<FaultInjector>) -> u64 {
 
 fn charge_mem(stats: &mut RunStats, served: ServedBy) {
     stats.energy.l1d_accesses += 1;
+    charge_mem_levels(stats, served);
+}
+
+/// The runtime-dependent half of [`charge_mem`]: which level served the
+/// access. The fast path batches the (static) `l1d_accesses` count per
+/// basic block and charges only this part per instruction.
+fn charge_mem_levels(stats: &mut RunStats, served: ServedBy) {
     match served {
         ServedBy::L1 => {}
         ServedBy::L2 => stats.energy.l2_accesses += 1,
@@ -803,6 +1258,31 @@ fn charge_mem(stats: &mut RunStats, served: ServedBy) {
             stats.energy.dram_accesses += 1;
         }
     }
+}
+
+/// Add one retired basic block's input-independent counts (see
+/// [`BlockCounts`]) into the run's statistics.
+fn apply_block(stats: &mut RunStats, classes: &mut InstClassCounts, c: &BlockCounts) {
+    classes.ialu += c.ialu;
+    classes.fbin += c.fbin;
+    classes.fun += c.fun;
+    classes.load += c.load;
+    classes.store += c.store;
+    classes.mov += c.mov;
+    classes.branch += c.branch;
+    classes.jump += c.jump;
+    classes.memo += c.memo;
+    stats.memo_insts += c.memo_insts;
+    stats.energy.int_alu_ops += c.int_alu_ops;
+    stats.energy.int_mul_ops += c.int_mul_ops;
+    stats.energy.int_div_ops += c.int_div_ops;
+    stats.energy.fp_ops += c.fp_ops;
+    stats.energy.fp_div_ops += c.fp_div_ops;
+    stats.energy.fp_libm_ops += c.fp_libm_ops;
+    stats.energy.l1d_accesses += c.l1d_accesses;
+    stats.energy.crc_beats += c.crc_beats;
+    stats.energy.hvr_accesses += c.hvr_accesses;
+    stats.energy.l1_lut_accesses += c.l1_lut_accesses;
 }
 
 fn ialu(op: IAluOp, a: u64, b: u64) -> Option<u64> {
@@ -852,8 +1332,8 @@ fn fbin(op: FBinOp, a: f32, b: f32) -> f32 {
     }
 }
 
-fn funop(op: FUnOp, machine: &Machine, ra: u8) -> u64 {
-    let a = machine.f32(ra);
+fn funop(op: FUnOp, raw: u64) -> u64 {
+    let a = f32::from_bits(raw as u32);
     match op {
         FUnOp::Sqrt => u64::from(a.sqrt().to_bits()),
         FUnOp::Exp => u64::from(a.exp().to_bits()),
@@ -865,13 +1345,18 @@ fn funop(op: FUnOp, machine: &Machine, ra: u8) -> u64 {
         FUnOp::Abs => u64::from(a.abs().to_bits()),
         FUnOp::Floor => u64::from(a.floor().to_bits()),
         FUnOp::ToInt => (a as i64) as u64,
-        FUnOp::FromInt => u64::from(((machine.regs[ra as usize] as i64) as f32).to_bits()),
+        FUnOp::FromInt => u64::from(((raw as i64) as f32).to_bits()),
     }
 }
 
 fn branch_taken(cond: Cond, machine: &Machine, ra: u8, rb: Operand) -> bool {
     let a = machine.regs[ra as usize];
     let b = operand(machine, rb);
+    cond_taken(cond, a, b)
+}
+
+/// Branch condition over pre-resolved operand values.
+fn cond_taken(cond: Cond, a: u64, b: u64) -> bool {
     match cond {
         Cond::Eq => a == b,
         Cond::Ne => a != b,
@@ -1069,6 +1554,110 @@ mod tests {
         // ECC adds a cycle per lookup/update; the pipeline may hide it
         // behind other work, but it can never make the run faster.
         assert!(protected.cycles >= plain.cycles);
+    }
+
+    #[test]
+    fn near_max_address_faults_instead_of_overflowing() {
+        // `addr + width` overflows u64/usize here; the bounds check must
+        // report MemOutOfBounds, not panic (debug builds) or wrap.
+        let m = Machine::new(64);
+        let addr = u64::MAX - 1;
+        assert_eq!(
+            m.load(addr, MemWidth::B8),
+            Err(SimError::MemOutOfBounds {
+                addr,
+                width: MemWidth::B8
+            })
+        );
+        let mut m = Machine::new(64);
+        assert_eq!(
+            m.store(addr, MemWidth::B8, 7),
+            Err(SimError::MemOutOfBounds {
+                addr,
+                width: MemWidth::B8
+            })
+        );
+        // Same through the interpreter (both paths).
+        for predecode in [true, false] {
+            let mut b = ProgramBuilder::new();
+            b.movi(1, u64::MAX - 1);
+            b.ld(MemWidth::B8, 2, 1, 0);
+            b.halt();
+            let p = b.build().unwrap();
+            let cfg = SimConfig {
+                predecode,
+                ..SimConfig::baseline()
+            };
+            let mut sim = Simulator::new(cfg).unwrap();
+            let mut m = Machine::new(64);
+            assert_eq!(
+                sim.run(&p, &mut m),
+                Err(SimError::MemOutOfBounds {
+                    addr: u64::MAX - 1,
+                    width: MemWidth::B8
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn predecoded_and_legacy_paths_agree_exactly() {
+        let p = memo_square_program();
+        let run = |predecode: bool| {
+            let cfg = SimConfig {
+                predecode,
+                ..SimConfig::with_memo(MemoConfig::l1_only(4096))
+            };
+            let mut sim = Simulator::new(cfg).unwrap();
+            let mut m = Machine::new(64 * 1024);
+            for i in 0..256 {
+                m.store_f32(0x1000 + 4 * i, (i % 8) as f32 + 1.0);
+            }
+            let stats = sim.run(&p, &mut m).unwrap();
+            (stats, m.regs, m.mem)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn run_prepared_matches_run() {
+        use crate::decoded::DecodedProgram;
+        let p = memo_square_program();
+        let cfg = SimConfig::with_memo(MemoConfig::l1_only(4096));
+        let decoded = DecodedProgram::compile(&p, &cfg.latency);
+        let setup = || {
+            let mut m = Machine::new(64 * 1024);
+            for i in 0..256 {
+                m.store_f32(0x1000 + 4 * i, (i % 8) as f32 + 1.0);
+            }
+            m
+        };
+        let mut sim = Simulator::new(cfg.clone()).unwrap();
+        let mut m1 = setup();
+        let direct = sim.run(&p, &mut m1).unwrap();
+        let mut sim = Simulator::new(cfg).unwrap();
+        let mut m2 = setup();
+        let prepared = sim.run_prepared(&decoded, &mut m2).unwrap();
+        assert_eq!(direct, prepared);
+        assert_eq!(m1.mem, m2.mem);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency model")]
+    fn run_prepared_rejects_mismatched_latency_model() {
+        use crate::decoded::DecodedProgram;
+        use crate::pipeline::LatencyModel;
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let other = LatencyModel {
+            int_div: 99,
+            ..LatencyModel::default()
+        };
+        let decoded = DecodedProgram::compile(&p, &other);
+        let mut sim = Simulator::new(SimConfig::baseline()).unwrap();
+        let mut m = Machine::new(64);
+        let _ = sim.run_prepared(&decoded, &mut m);
     }
 
     #[test]

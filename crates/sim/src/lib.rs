@@ -43,6 +43,7 @@
 pub mod builder;
 pub mod cache;
 pub mod cpu;
+pub mod decoded;
 pub mod disasm;
 pub mod energy;
 pub mod ir;
@@ -53,6 +54,7 @@ pub mod stats;
 
 pub use builder::ProgramBuilder;
 pub use cpu::{Machine, SimConfig, SimError, Simulator, TraceSink};
+pub use decoded::DecodedProgram;
 pub use energy::EnergyModel;
 pub use ir::{Inst, Program};
 pub use stats::RunStats;

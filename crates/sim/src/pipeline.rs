@@ -101,26 +101,33 @@ impl LatencyModel {
     }
 }
 
+/// Per-cycle issue counters packed into one word so [`Pipeline::issue`]
+/// resets them with a single store when the cycle advances. Lane layout
+/// (8 bits each — issue width 2 means no lane can overflow):
+/// bits 0–7 total issued, 8–15 ALU/branch, 16–23 multiplier,
+/// 24–31 FP, 32–39 load/store, 40–47 memo port.
+const LANE_TOTAL: u32 = 0;
+const LANE_ALU: u32 = 8;
+const LANE_MUL: u32 = 16;
+const LANE_FP: u32 = 24;
+const LANE_LDST: u32 = 32;
+const LANE_MEMO: u32 = 40;
+
 /// The issue scoreboard.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     /// Cycle currently being filled with issue slots.
     cycle: u64,
-    /// Instructions issued in `cycle` so far (width 2).
-    issued_this_cycle: u32,
-    /// Per-FU issue counts this cycle (structural limits).
-    alu_this_cycle: u32,
-    mul_this_cycle: u32,
-    fp_this_cycle: u32,
-    ldst_this_cycle: u32,
-    memo_this_cycle: u32,
+    /// Packed per-cycle issue counts (total + per-FU structural limits);
+    /// see the `LANE_*` constants.
+    issued: u64,
     /// Cycle each architectural register's value becomes available.
     reg_ready: [u64; NUM_REGS],
     /// Unpipelined units: next cycle they are free.
     div_free: u64,
     fp_long_free: u64,
     /// Issue width.
-    width: u32,
+    width: u64,
 }
 
 impl Pipeline {
@@ -128,12 +135,7 @@ impl Pipeline {
     pub fn new() -> Self {
         Self {
             cycle: 0,
-            issued_this_cycle: 0,
-            alu_this_cycle: 0,
-            mul_this_cycle: 0,
-            fp_this_cycle: 0,
-            ldst_this_cycle: 0,
-            memo_this_cycle: 0,
+            issued: 0,
             reg_ready: [0; NUM_REGS],
             div_free: 0,
             fp_long_free: 0,
@@ -142,42 +144,43 @@ impl Pipeline {
     }
 
     /// The cycle the pipeline has reached.
+    #[inline]
     pub fn now(&self) -> u64 {
         self.cycle
     }
 
+    #[inline]
     fn advance_to(&mut self, cycle: u64) {
         if cycle > self.cycle {
             self.cycle = cycle;
-            self.issued_this_cycle = 0;
-            self.alu_this_cycle = 0;
-            self.mul_this_cycle = 0;
-            self.fp_this_cycle = 0;
-            self.ldst_this_cycle = 0;
-            self.memo_this_cycle = 0;
+            self.issued = 0;
         }
     }
 
+    #[inline]
     fn fu_slot_full(&self, fu: FuClass) -> bool {
+        let lane = |shift: u32| (self.issued >> shift) & 0xff;
         match fu {
-            FuClass::IntAlu | FuClass::Branch => self.alu_this_cycle >= 2,
-            FuClass::IntMul => self.mul_this_cycle >= 1,
+            FuClass::IntAlu | FuClass::Branch => lane(LANE_ALU) >= 2,
+            FuClass::IntMul => lane(LANE_MUL) >= 1,
             FuClass::IntDiv => false, // availability handled via div_free
-            FuClass::Fp | FuClass::FpLong => self.fp_this_cycle >= 1,
-            FuClass::LdSt => self.ldst_this_cycle >= 1,
-            FuClass::Memo => self.memo_this_cycle >= 1,
+            FuClass::Fp | FuClass::FpLong => lane(LANE_FP) >= 1,
+            FuClass::LdSt => lane(LANE_LDST) >= 1,
+            FuClass::Memo => lane(LANE_MEMO) >= 1,
         }
     }
 
+    #[inline]
     fn count_fu(&mut self, fu: FuClass) {
-        match fu {
-            FuClass::IntAlu | FuClass::Branch => self.alu_this_cycle += 1,
-            FuClass::IntMul => self.mul_this_cycle += 1,
-            FuClass::IntDiv => {}
-            FuClass::Fp | FuClass::FpLong => self.fp_this_cycle += 1,
-            FuClass::LdSt => self.ldst_this_cycle += 1,
-            FuClass::Memo => self.memo_this_cycle += 1,
-        }
+        self.issued += (1 << LANE_TOTAL)
+            + match fu {
+                FuClass::IntAlu | FuClass::Branch => 1 << LANE_ALU,
+                FuClass::IntMul => 1 << LANE_MUL,
+                FuClass::IntDiv => 0,
+                FuClass::Fp | FuClass::FpLong => 1 << LANE_FP,
+                FuClass::LdSt => 1 << LANE_LDST,
+                FuClass::Memo => 1 << LANE_MEMO,
+            };
     }
 
     /// Issue one instruction.
@@ -189,6 +192,7 @@ impl Pipeline {
     ///   ordering, queue backpressure).
     ///
     /// Returns the cycle the instruction issued at.
+    #[inline(always)]
     pub fn issue(
         &mut self,
         srcs: &[u8],
@@ -197,10 +201,12 @@ impl Pipeline {
         latency: u64,
         not_before: u64,
     ) -> u64 {
-        // Earliest cycle sources are ready.
+        // Earliest cycle sources are ready. Register ids are masked to
+        // NUM_REGS (callers pass architectural indices, which the IR
+        // validates); the mask lets the compiler elide bounds checks.
         let mut earliest = not_before.max(self.cycle);
         for &s in srcs {
-            earliest = earliest.max(self.reg_ready[s as usize]);
+            earliest = earliest.max(self.reg_ready[s as usize & (NUM_REGS - 1)]);
         }
         match fu {
             FuClass::IntDiv => earliest = earliest.max(self.div_free),
@@ -209,15 +215,14 @@ impl Pipeline {
         }
         self.advance_to(earliest);
         // Find a cycle with a free issue slot and FU port.
-        while self.issued_this_cycle >= self.width || self.fu_slot_full(fu) {
+        while (self.issued & 0xff) >= self.width || self.fu_slot_full(fu) {
             let next = self.cycle + 1;
             self.advance_to(next);
         }
         let at = self.cycle;
-        self.issued_this_cycle += 1;
         self.count_fu(fu);
         if let Some(d) = dst {
-            self.reg_ready[d as usize] = at + latency;
+            self.reg_ready[d as usize & (NUM_REGS - 1)] = at + latency;
         }
         match fu {
             FuClass::IntDiv => self.div_free = at + latency,
@@ -228,6 +233,7 @@ impl Pipeline {
     }
 
     /// Charge a taken-branch bubble: the front end refills.
+    #[inline]
     pub fn branch_bubble(&mut self, bubble: u64) {
         let next = self.cycle + 1 + bubble;
         self.advance_to(next);

@@ -38,7 +38,8 @@ pub use meta::{Metric, WorkloadMeta};
 pub use runner::{
     run_baseline, run_benchmark, run_benchmark_opts, run_budgeted, run_budgeted_cached,
     run_supervised, BaselineCache, BaselineFailure, BaselineRun, BenchmarkResult, BudgetPolicy,
-    DerivedBudget, FailureKind, RunFailure, SupervisedRun, SupervisorConfig,
+    DerivedBudget, FailureKind, PreparedProgram, RunFailure, RunOptions, SupervisedRun,
+    SupervisorConfig,
 };
 
 use axmemo_compiler::RegionSpec;

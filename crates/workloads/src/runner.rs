@@ -12,9 +12,12 @@ use axmemo_compiler::codegen::memoize;
 use axmemo_core::config::MemoConfig;
 use axmemo_core::lut::LutStats;
 use axmemo_core::unit::UnitStats;
-use axmemo_sim::cpu::{Machine, SimConfig, SimError, Simulator};
+use axmemo_sim::cpu::{SimConfig, SimError, Simulator};
+use axmemo_sim::decoded::DecodedProgram;
 use axmemo_sim::energy::EnergyModel;
+use axmemo_sim::pipeline::LatencyModel;
 use axmemo_sim::stats::RunStats;
+use axmemo_sim::Program;
 use axmemo_telemetry::{escape_json, Telemetry};
 
 /// Per-element relative errors (for the Fig. 10b CDF) plus aggregates.
@@ -122,6 +125,75 @@ impl RunReport {
     }
 }
 
+/// Per-run switches orthogonal to the LUT configuration.
+///
+/// `Default` matches [`run_benchmark`]: truncation as specified by the
+/// benchmark, predecoded fast-path interpreter on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Disable input truncation (exact memoization) for the Fig. 11
+    /// approximation-effectiveness comparison.
+    pub zero_trunc: bool,
+    /// Run both legs on the predecoded fast-path interpreter (the
+    /// default). `false` falls back to the legacy instruction-at-a-time
+    /// loop; results are bit-identical either way (pinned by the
+    /// decode-equivalence tests), so this exists as an escape hatch and
+    /// as the reference side of golden diffs.
+    pub predecode: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            zero_trunc: false,
+            predecode: true,
+        }
+    }
+}
+
+/// A benchmark's programs compiled once and shared across every run
+/// that uses default truncation: the baseline and memoized [`Program`]s
+/// plus their predecoded forms (against [`LatencyModel::default`], the
+/// latency every runner-constructed [`SimConfig`] uses).
+///
+/// Zero-truncation runs rebuild their specs (different codegen output),
+/// so they never consume a `PreparedProgram`.
+#[derive(Debug)]
+pub struct PreparedProgram {
+    /// The baseline program.
+    pub program: Program,
+    /// The memoized program (default truncation).
+    pub memo_program: Program,
+    /// Predecoded baseline program.
+    pub decoded_base: DecodedProgram,
+    /// Predecoded memoized program.
+    pub decoded_memo: DecodedProgram,
+}
+
+impl PreparedProgram {
+    /// Build and predecode both legs of `bench` at `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codegen failures as a boxed error.
+    pub fn compile(
+        bench: &dyn Benchmark,
+        scale: Scale,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let (program, specs) = bench.program(scale);
+        let memo_program = memoize(&program, &specs)?;
+        let latency = LatencyModel::default();
+        let decoded_base = DecodedProgram::compile(&program, &latency);
+        let decoded_memo = DecodedProgram::compile(&memo_program, &latency);
+        Ok(Self {
+            program,
+            memo_program,
+            decoded_base,
+            decoded_memo,
+        })
+    }
+}
+
 /// Run `bench` on `scale`/`dataset`, baseline vs. memoized with `memo`
 /// LUT configuration (data width is overridden by the benchmark's
 /// requirement).
@@ -135,12 +207,11 @@ pub fn run_benchmark(
     dataset: Dataset,
     memo: &MemoConfig,
 ) -> Result<BenchmarkResult, Box<dyn std::error::Error>> {
-    run_benchmark_opts(bench, scale, dataset, memo, false)
+    run_benchmark_opts(bench, scale, dataset, memo, RunOptions::default())
 }
 
-/// Like [`run_benchmark`], with `zero_trunc` disabling input truncation
-/// (exact memoization) for the Fig. 11 approximation-effectiveness
-/// comparison.
+/// Like [`run_benchmark`], with [`RunOptions`] switches (exact
+/// memoization for Fig. 11, legacy-interpreter escape hatch).
 ///
 /// # Errors
 ///
@@ -150,9 +221,9 @@ pub fn run_benchmark_opts(
     scale: Scale,
     dataset: Dataset,
     memo: &MemoConfig,
-    zero_trunc: bool,
+    opts: RunOptions,
 ) -> Result<BenchmarkResult, Box<dyn std::error::Error>> {
-    run_benchmark_report(bench, scale, dataset, memo, zero_trunc, Telemetry::off())
+    run_benchmark_report(bench, scale, dataset, memo, opts, Telemetry::off())
         .map(|report| report.result)
 }
 
@@ -172,10 +243,10 @@ pub fn run_benchmark_report(
     scale: Scale,
     dataset: Dataset,
     memo: &MemoConfig,
-    zero_trunc: bool,
+    opts: RunOptions,
     tel: Telemetry,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
-    run_benchmark_inner(bench, scale, dataset, memo, zero_trunc, tel, u64::MAX, None)
+    run_benchmark_inner(bench, scale, dataset, memo, opts, tel, u64::MAX, None, None)
 }
 
 /// Like [`run_benchmark_report`], reusing a [`BaselineCache`] so the
@@ -195,23 +266,28 @@ pub fn run_benchmark_report_cached(
     scale: Scale,
     dataset: Dataset,
     memo: &MemoConfig,
-    zero_trunc: bool,
+    opts: RunOptions,
     tel: Telemetry,
     cache: Option<&BaselineCache>,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
-    let baseline = match cache {
-        Some(cache) => Some(cache.get_or_compute(bench, scale, dataset, u64::MAX)?),
-        None => None,
+    let (baseline, prepared) = match cache {
+        Some(cache) => {
+            let prepared = cache.prepared_for(bench, scale, opts);
+            let baseline = cache.get_or_compute(bench, scale, dataset, u64::MAX, opts.predecode)?;
+            (Some(baseline), prepared)
+        }
+        None => (None, None),
     };
     run_benchmark_inner(
         bench,
         scale,
         dataset,
         memo,
-        zero_trunc,
+        opts,
         tel,
         u64::MAX,
         baseline.as_deref(),
+        prepared.as_deref(),
     )
 }
 
@@ -232,7 +308,8 @@ pub struct BaselineRun {
 }
 
 /// Run only the baseline leg of `bench` (no memoization) under a cycle
-/// watchdog and return the shareable [`BaselineRun`].
+/// watchdog and return the shareable [`BaselineRun`]. `predecode`
+/// selects the interpreter (results are bit-identical either way).
 ///
 /// # Errors
 ///
@@ -243,26 +320,37 @@ pub fn run_baseline(
     scale: Scale,
     dataset: Dataset,
     max_cycles: u64,
+    predecode: bool,
 ) -> Result<BaselineRun, Box<dyn std::error::Error>> {
     let (program, _specs) = bench.program(scale);
-    baseline_leg(bench, &program, scale, dataset, max_cycles)
+    baseline_leg(bench, &program, scale, dataset, max_cycles, predecode, None)
 }
 
 /// Baseline leg with an already-built program (shared by the inline
 /// path, which reuses the program it must build anyway for codegen).
+/// When `decoded` carries the shared predecoded form, the simulator
+/// skips its internal decode; otherwise `predecode` decides which
+/// interpreter [`Simulator::run`] dispatches to.
 fn baseline_leg(
     bench: &dyn Benchmark,
-    program: &axmemo_sim::Program,
+    program: &Program,
     scale: Scale,
     dataset: Dataset,
     max_cycles: u64,
+    predecode: bool,
+    decoded: Option<&DecodedProgram>,
 ) -> Result<BaselineRun, Box<dyn std::error::Error>> {
     let mut base_sim = Simulator::new(SimConfig {
         max_cycles,
+        predecode,
         ..SimConfig::baseline()
     })?;
     let mut base_machine = bench.setup(scale, dataset);
-    let stats = run(&mut base_sim, program, &mut base_machine)?;
+    base_sim.reset();
+    let stats = match decoded.filter(|_| predecode) {
+        Some(d) => base_sim.run_prepared(d, &mut base_machine)?,
+        None => base_sim.run(program, &mut base_machine)?,
+    };
     let exact = bench.outputs(&base_machine, scale);
     Ok(BaselineRun { stats, exact })
 }
@@ -295,9 +383,10 @@ fn classify_error(e: &(dyn std::error::Error + 'static)) -> FailureKind {
 }
 
 type BaselineSlot = Arc<OnceLock<Result<Arc<BaselineRun>, BaselineFailure>>>;
+type PreparedSlot = Arc<OnceLock<Option<Arc<PreparedProgram>>>>;
 
 /// Thread-safe once-per-key map of shared baseline runs, keyed by
-/// `(benchmark, scale, dataset)`.
+/// `(benchmark, scale, dataset, predecode)`.
 ///
 /// A sweep's fault matrix runs every benchmark under many (domain ×
 /// protection × rate) cells, but the fault-free baseline those cells
@@ -312,11 +401,20 @@ type BaselineSlot = Arc<OnceLock<Result<Arc<BaselineRun>, BaselineFailure>>>;
 /// Baseline *failures* (watchdog trip, panic, simulator error) are
 /// cached too: the simulation is deterministic, so re-running it for
 /// every sibling cell would fail identically 19 more times.
+/// In addition to baseline runs, the cache shares *compiled programs*:
+/// building, memoizing and predecoding a benchmark is deterministic and
+/// identical for every cell with default truncation, so the cache holds
+/// one [`PreparedProgram`] per `(benchmark, scale)` and every predecoded
+/// run executes it via [`Simulator::run_prepared`] instead of
+/// recompiling per attempt.
 #[derive(Debug, Default)]
 pub struct BaselineCache {
-    slots: Mutex<HashMap<(String, Scale, Dataset), BaselineSlot>>,
+    slots: Mutex<HashMap<(String, Scale, Dataset, bool), BaselineSlot>>,
+    programs: Mutex<HashMap<(String, Scale), PreparedSlot>>,
     computed: AtomicU64,
     reused: AtomicU64,
+    programs_compiled: AtomicU64,
+    programs_reused: AtomicU64,
 }
 
 impl BaselineCache {
@@ -325,10 +423,14 @@ impl BaselineCache {
         Self::default()
     }
 
-    /// The shared baseline for `(bench, scale, dataset)`, simulating it
-    /// under `max_cycles` on first request and serving the cached run
-    /// (or cached failure) afterwards. Panics inside the baseline run
-    /// are caught and cached as [`FailureKind::Panic`] failures.
+    /// The shared baseline for `(bench, scale, dataset, predecode)`,
+    /// simulating it under `max_cycles` on first request and serving the
+    /// cached run (or cached failure) afterwards. Panics inside the
+    /// baseline run are caught and cached as [`FailureKind::Panic`]
+    /// failures. The interpreter choice is part of the key so a
+    /// `--no-predecode` run genuinely exercises the legacy loop instead
+    /// of reusing a fast-path baseline (they are bit-identical, but the
+    /// golden diffs exist to prove exactly that).
     ///
     /// # Errors
     ///
@@ -340,8 +442,9 @@ impl BaselineCache {
         scale: Scale,
         dataset: Dataset,
         max_cycles: u64,
+        predecode: bool,
     ) -> Result<Arc<BaselineRun>, BaselineFailure> {
-        let key = (bench.meta().name.to_string(), scale, dataset);
+        let key = (bench.meta().name.to_string(), scale, dataset, predecode);
         let slot = {
             let mut slots = self.slots.lock().expect("baseline cache poisoned");
             Arc::clone(slots.entry(key).or_default())
@@ -349,9 +452,27 @@ impl BaselineCache {
         let mut fresh = false;
         let result = slot.get_or_init(|| {
             fresh = true;
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_baseline(bench, scale, dataset, max_cycles)
-            }));
+            // Predecoded baselines reuse the shared compiled program
+            // when available; a `None` (codegen failed) falls through to
+            // the inline path so the error is reproduced and classified.
+            let prepared = if predecode {
+                self.prepared(bench, scale)
+            } else {
+                None
+            };
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &prepared {
+                    Some(p) => baseline_leg(
+                        bench,
+                        &p.program,
+                        scale,
+                        dataset,
+                        max_cycles,
+                        true,
+                        Some(&p.decoded_base),
+                    ),
+                    None => run_baseline(bench, scale, dataset, max_cycles, predecode),
+                }));
             match outcome {
                 Ok(Ok(baseline)) => Ok(Arc::new(baseline)),
                 Ok(Err(e)) => Err(BaselineFailure {
@@ -372,6 +493,62 @@ impl BaselineCache {
         result.clone()
     }
 
+    /// The shared compiled-and-predecoded programs for `(bench, scale)`,
+    /// built once per key. Returns `None` when compilation failed (by
+    /// error or panic); callers then fall back to inline compilation,
+    /// which reproduces the failure with full context.
+    pub fn prepared(&self, bench: &dyn Benchmark, scale: Scale) -> Option<Arc<PreparedProgram>> {
+        let key = (bench.meta().name.to_string(), scale);
+        let slot = {
+            let mut programs = self.programs.lock().expect("program cache poisoned");
+            Arc::clone(programs.entry(key).or_default())
+        };
+        let mut fresh = false;
+        let result = slot.get_or_init(|| {
+            fresh = true;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                PreparedProgram::compile(bench, scale)
+            }))
+            .ok()
+            .and_then(Result::ok)
+            .map(Arc::new)
+        });
+        if fresh {
+            self.programs_compiled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.programs_reused.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// [`Self::prepared`] gated on the options that make it usable: a
+    /// prepared program is compiled with default truncation for the
+    /// predecoded interpreter, so zero-truncation or legacy runs get
+    /// `None` and compile inline.
+    fn prepared_for(
+        &self,
+        bench: &dyn Benchmark,
+        scale: Scale,
+        opts: RunOptions,
+    ) -> Option<Arc<PreparedProgram>> {
+        if opts.predecode && !opts.zero_trunc {
+            self.prepared(bench, scale)
+        } else {
+            None
+        }
+    }
+
+    /// Prepared-program compilations actually performed (one per
+    /// distinct `(benchmark, scale)`).
+    pub fn programs_compiled(&self) -> u64 {
+        self.programs_compiled.load(Ordering::Relaxed)
+    }
+
+    /// Prepared-program requests served from an existing slot.
+    pub fn programs_reused(&self) -> u64 {
+        self.programs_reused.load(Ordering::Relaxed)
+    }
+
     /// Baseline simulations actually performed (one per distinct key).
     pub fn computed(&self) -> u64 {
         self.computed.load(Ordering::Relaxed)
@@ -389,12 +566,15 @@ impl BaselineCache {
         let slots = self.slots.lock().expect("baseline cache poisoned");
         let mut rows: Vec<(String, u64)> = slots
             .iter()
-            .filter_map(|((name, _, _), slot)| {
+            .filter_map(|((name, _, _, _), slot)| {
                 let run = slot.get()?.as_ref().ok()?;
                 Some((name.clone(), run.stats.cycles))
             })
             .collect();
         rows.sort();
+        // Both interpreter variants produce bit-identical stats; a cache
+        // that saw both keys would list the benchmark twice otherwise.
+        rows.dedup();
         rows
     }
 }
@@ -404,34 +584,47 @@ impl BaselineCache {
 /// `Some`, only the memoized leg is simulated (under `max_cycles`); the
 /// baseline leg — which is independent of the memoization config — is
 /// taken from the shared run. When `None`, the baseline leg runs inline
-/// exactly as before.
+/// exactly as before. `prepared` optionally supplies the shared
+/// compiled-and-predecoded programs; it is only consumed when the
+/// options allow (predecode on, default truncation) — otherwise the
+/// programs are built inline.
 #[allow(clippy::too_many_arguments)]
 fn run_benchmark_inner(
     bench: &dyn Benchmark,
     scale: Scale,
     dataset: Dataset,
     memo: &MemoConfig,
-    zero_trunc: bool,
+    opts: RunOptions,
     mut tel: Telemetry,
     max_cycles: u64,
     baseline: Option<&BaselineRun>,
+    prepared: Option<&PreparedProgram>,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
-    let (program, mut specs) = bench.program(scale);
-    if zero_trunc {
-        for spec in &mut specs {
-            for il in &mut spec.input_loads {
-                il.trunc = 0;
+    let prepared = prepared.filter(|_| opts.predecode && !opts.zero_trunc);
+    let inline_built;
+    let (program, memo_program): (&Program, &Program) = match prepared {
+        Some(p) => (&p.program, &p.memo_program),
+        None => {
+            let (program, mut specs) = bench.program(scale);
+            if opts.zero_trunc {
+                for spec in &mut specs {
+                    for il in &mut spec.input_loads {
+                        il.trunc = 0;
+                    }
+                    for ri in &mut spec.reg_inputs {
+                        ri.trunc = 0;
+                    }
+                }
             }
-            for ri in &mut spec.reg_inputs {
-                ri.trunc = 0;
-            }
+            let memo_program = memoize(&program, &specs)?;
+            inline_built = (program, memo_program);
+            (&inline_built.0, &inline_built.1)
         }
-    }
+    };
     let memo_cfg = MemoConfig {
         data_width: bench.data_width(),
         ..memo.clone()
     };
-    let memo_program = memoize(&program, &specs)?;
 
     // Baseline leg: shared run when injected, simulated inline
     // otherwise.
@@ -439,7 +632,15 @@ fn run_benchmark_inner(
     let baseline = match baseline {
         Some(shared) => shared,
         None => {
-            inline_baseline = baseline_leg(bench, &program, scale, dataset, max_cycles)?;
+            inline_baseline = baseline_leg(
+                bench,
+                program,
+                scale,
+                dataset,
+                max_cycles,
+                opts.predecode,
+                prepared.map(|p| &p.decoded_base),
+            )?;
             &inline_baseline
         }
     };
@@ -451,13 +652,18 @@ fn run_benchmark_inner(
     // unit and the LUT hierarchy from there).
     let mut memo_sim = Simulator::new(SimConfig {
         max_cycles,
+        predecode: opts.predecode,
         ..SimConfig::with_memo(memo_cfg.clone())
     })?;
     let mut memo_machine = bench.setup(scale, dataset);
     tel.set_cycle(0);
     tel.span_enter(&format!("run:{}", bench.meta().name));
     memo_sim.set_telemetry(tel);
-    let memo_stats = run(&mut memo_sim, &memo_program, &mut memo_machine)?;
+    memo_sim.reset();
+    let memo_stats = match prepared {
+        Some(p) => memo_sim.run_prepared(&p.decoded_memo, &mut memo_machine)?,
+        None => memo_sim.run(memo_program, &mut memo_machine)?,
+    };
     let mut tel = memo_sim.take_telemetry();
     tel.set_cycle(memo_stats.cycles);
     tel.span_exit();
@@ -497,15 +703,6 @@ fn run_benchmark_inner(
         l2_lut,
         telemetry: tel,
     })
-}
-
-fn run(
-    sim: &mut Simulator,
-    program: &axmemo_sim::Program,
-    machine: &mut Machine,
-) -> Result<RunStats, SimError> {
-    sim.reset();
-    sim.run(program, machine)
 }
 
 /// Why a supervised benchmark run failed.
@@ -711,7 +908,15 @@ pub fn run_budgeted(
     memo: &MemoConfig,
     policy: &BudgetPolicy,
 ) -> Result<SupervisedRun, RunFailure> {
-    run_budgeted_cached(bench, scale, dataset, memo, policy, None)
+    run_budgeted_cached(
+        bench,
+        scale,
+        dataset,
+        memo,
+        policy,
+        None,
+        RunOptions::default(),
+    )
 }
 
 /// [`run_budgeted`] with an optional shared [`BaselineCache`].
@@ -740,10 +945,15 @@ pub fn run_budgeted_cached(
     memo: &MemoConfig,
     policy: &BudgetPolicy,
     cache: Option<&BaselineCache>,
+    opts: RunOptions,
 ) -> Result<SupervisedRun, RunFailure> {
     let name = bench.meta().name.to_string();
     let started = std::time::Instant::now();
-    let baseline = cache.map(|c| c.get_or_compute(bench, scale, dataset, policy.max_cycles));
+    let baseline =
+        cache.map(|c| c.get_or_compute(bench, scale, dataset, policy.max_cycles, opts.predecode));
+    // Compiled programs are shared across attempts (and across sibling
+    // cells through the cache); the attempt loop then only re-simulates.
+    let prepared = cache.and_then(|c| c.prepared_for(bench, scale, opts));
     // With a shared baseline in hand, the memoized leg runs under the
     // tight per-benchmark watchdog; otherwise the uniform ceiling
     // bounds both legs (pre-cache behaviour, bit-for-bit).
@@ -771,10 +981,11 @@ pub fn run_budgeted_cached(
                 scale,
                 dataset,
                 cfg,
-                false,
+                opts,
                 Telemetry::off(),
                 memo_max_cycles,
                 shared,
+                prepared.as_deref(),
             )
             .map(|report| report.result)
         }));
@@ -984,6 +1195,7 @@ pub fn compute_error(metric: Metric, exact: &[f64], approx: &[f64]) -> ErrorRepo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use axmemo_sim::cpu::Machine;
 
     #[test]
     fn misclassification_error_path() {

@@ -1,0 +1,99 @@
+//! The predecoded fast-path interpreter is an *optimisation*, never a
+//! semantic change: these tests pin byte-identical results between
+//! `predecode: true` (the default) and the legacy
+//! instruction-at-a-time loop (`--no-predecode`) at the benchmark and
+//! sweep level — metrics, raw run statistics, telemetry event streams,
+//! and the whole aggregated fault-sweep report.
+
+use axmemo_bench::orchestrator::Orchestrator;
+use axmemo_bench::{sweep, ReportMode};
+use axmemo_core::config::MemoConfig;
+use axmemo_telemetry::{event_to_json, RingBufferSink, Telemetry};
+use axmemo_workloads::runner::{run_benchmark_report, RunOptions};
+use axmemo_workloads::{all_benchmarks, Dataset, Scale};
+
+fn options(predecode: bool) -> RunOptions {
+    RunOptions {
+        predecode,
+        ..RunOptions::default()
+    }
+}
+
+/// Every registered benchmark at tiny scale: identical baseline and
+/// memoized [`axmemo_sim::stats::RunStats`], identical paper metrics,
+/// and an identical telemetry event stream (every LUT probe, quality
+/// decision and span edge at the same simulated cycle) on both
+/// interpreters.
+#[test]
+fn every_benchmark_is_bit_identical_across_interpreters() {
+    let cfg = MemoConfig::l1_l2(8 * 1024, 256 * 1024);
+    for bench in all_benchmarks() {
+        let name = bench.meta().name;
+        let mut legs = Vec::new();
+        for predecode in [true, false] {
+            let sink = RingBufferSink::new(4_000_000);
+            let mut tel = Telemetry::enabled();
+            tel.add_sink(Box::new(sink.clone()));
+            let report = run_benchmark_report(
+                bench.as_ref(),
+                Scale::Tiny,
+                Dataset::Eval,
+                &cfg,
+                options(predecode),
+                tel,
+            )
+            .unwrap_or_else(|e| panic!("{name} (predecode={predecode}): {e}"));
+            assert_eq!(sink.dropped(), 0, "{name}: event stream truncated");
+            let events: Vec<String> = sink.events().iter().map(event_to_json).collect();
+            legs.push((report, events));
+        }
+        let (fast, legacy) = (&legs[0], &legs[1]);
+        assert_eq!(
+            fast.0.result.baseline_stats, legacy.0.result.baseline_stats,
+            "{name}: baseline stats diverge"
+        );
+        assert_eq!(
+            fast.0.result.memo_stats, legacy.0.result.memo_stats,
+            "{name}: memoized stats diverge"
+        );
+        assert_eq!(
+            fast.0.result.error.output_error, legacy.0.result.error.output_error,
+            "{name}: output error diverges"
+        );
+        assert_eq!(
+            fast.0.result.hit_rate, legacy.0.result.hit_rate,
+            "{name}: hit rate diverges"
+        );
+        assert_eq!(
+            fast.0.to_json(),
+            legacy.0.to_json(),
+            "{name}: report JSON diverges"
+        );
+        assert_eq!(fast.1.len(), legacy.1.len(), "{name}: event counts diverge");
+        for (i, (f, l)) in fast.1.iter().zip(&legacy.1).enumerate() {
+            assert_eq!(f, l, "{name}: event {i} diverges");
+        }
+    }
+}
+
+/// The reduced fault sweep — fault injection, retries, shared baselines
+/// and all — renders a byte-identical JSON report with the predecoded
+/// interpreter and with the legacy loop (the in-tree version of the CI
+/// `fault_sweep --no-predecode` golden diff).
+#[test]
+fn reduced_fault_sweep_golden_diff_across_interpreters() {
+    let benches = vec!["blackscholes".to_string(), "fft".to_string()];
+    let (matrix, metas) = sweep::matrix(7, &benches);
+    let render = |predecode: bool| -> String {
+        let outcomes = Orchestrator::new(Scale::Tiny)
+            .jobs(1)
+            .predecode(predecode)
+            .run(&matrix);
+        sweep::table(Scale::Tiny, 7, &metas, &outcomes).render(ReportMode::Json)
+    };
+    assert_eq!(
+        render(true),
+        render(false),
+        "fault-sweep report must not depend on the interpreter"
+    );
+}

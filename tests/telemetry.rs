@@ -4,7 +4,7 @@
 
 use axmemo_core::config::MemoConfig;
 use axmemo_telemetry::{JsonlSink, RingBufferSink, Telemetry};
-use axmemo_workloads::runner::run_benchmark_report;
+use axmemo_workloads::runner::{run_benchmark_report, RunOptions};
 use axmemo_workloads::{benchmark_by_name, Dataset, Scale};
 
 /// Every `TwoLevelLut` probe emits exactly one `lut.hit` or `lut.miss`
@@ -17,8 +17,15 @@ fn lut_events_reconcile_with_benchmark_hit_rate() {
     let mut tel = Telemetry::enabled();
     tel.add_sink(Box::new(sink.clone()));
     let cfg = MemoConfig::l1_l2(4 * 1024, 64 * 1024);
-    let report = run_benchmark_report(bench.as_ref(), Scale::Tiny, Dataset::Eval, &cfg, false, tel)
-        .expect("run succeeds");
+    let report = run_benchmark_report(
+        bench.as_ref(),
+        Scale::Tiny,
+        Dataset::Eval,
+        &cfg,
+        RunOptions::default(),
+        tel,
+    )
+    .expect("run succeeds");
 
     assert_eq!(sink.dropped(), 0, "ring buffer must not have evicted");
     let hits = sink.count_kind("lut.hit") as u64;
@@ -56,8 +63,15 @@ fn run_report_carries_span_and_counters() {
     let bench = benchmark_by_name("fft").expect("fft registered");
     let tel = Telemetry::enabled();
     let cfg = MemoConfig::l1_only(4 * 1024);
-    let report = run_benchmark_report(bench.as_ref(), Scale::Tiny, Dataset::Eval, &cfg, false, tel)
-        .expect("run succeeds");
+    let report = run_benchmark_report(
+        bench.as_ref(),
+        Scale::Tiny,
+        Dataset::Eval,
+        &cfg,
+        RunOptions::default(),
+        tel,
+    )
+    .expect("run succeeds");
     let tel = &report.telemetry;
     let spans = tel.spans();
     assert_eq!(spans.len(), 1, "one span per benchmark run");
@@ -81,8 +95,15 @@ fn jsonl_trace_is_valid_per_line() {
         JsonlSink::create(&path).expect("trace file creatable"),
     ));
     let cfg = MemoConfig::l1_only(4 * 1024);
-    run_benchmark_report(bench.as_ref(), Scale::Tiny, Dataset::Eval, &cfg, false, tel)
-        .expect("run succeeds");
+    run_benchmark_report(
+        bench.as_ref(),
+        Scale::Tiny,
+        Dataset::Eval,
+        &cfg,
+        RunOptions::default(),
+        tel,
+    )
+    .expect("run succeeds");
 
     let contents = std::fs::read_to_string(&path).expect("trace readable");
     std::fs::remove_file(&path).ok();
