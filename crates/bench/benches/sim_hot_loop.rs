@@ -16,18 +16,34 @@ use axmemo_core::config::MemoConfig;
 use axmemo_sim::cpu::{SimConfig, Simulator};
 use axmemo_sim::DecodedProgram;
 use axmemo_sim::Program;
+use axmemo_telemetry::Telemetry;
 use axmemo_workloads::{benchmark_by_name, Benchmark, Dataset, Scale};
 use std::hint::black_box;
 
 /// Measure one (config, program) pair; returns MIPS and prints it
 /// alongside the per-iteration time. Predecoded configs go through
 /// `run_prepared` with a program decoded once up front — the shape the
-/// benchmark runner and sweep orchestrator use in production.
-fn measure(name: &str, cfg: &SimConfig, bench_def: &dyn Benchmark, program: &Program) -> f64 {
+/// benchmark runner and sweep orchestrator use in production. With
+/// `profile` on, a cycle-attribution profiler rides an otherwise
+/// disabled telemetry handle — exactly the `--profile-out`
+/// configuration — so the delta against the unprofiled leg is the
+/// profiling overhead EXPERIMENTS.md documents.
+fn measure(
+    name: &str,
+    cfg: &SimConfig,
+    bench_def: &dyn Benchmark,
+    program: &Program,
+    profile: bool,
+) -> f64 {
     let decoded = cfg
         .predecode
         .then(|| DecodedProgram::compile(program, &cfg.latency));
     let mut sim = Simulator::new(cfg.clone()).unwrap();
+    if profile {
+        let mut tel = Telemetry::off();
+        tel.profiler_mut().enable();
+        sim.set_telemetry(tel);
+    }
     let mut machine = bench_def.setup(Scale::Tiny, Dataset::Eval);
     let run = |sim: &mut Simulator, machine: &mut _| {
         sim.reset();
@@ -88,13 +104,38 @@ fn main() {
 
     println!("sim_hot_loop_blackscholes_tiny");
     let b = bench_def.as_ref();
-    let legacy = measure("hot/baseline/legacy", &base_legacy, b, &program);
-    let fast = measure("hot/baseline/predecoded", &base_fast, b, &program);
-    let legacy_m = measure("hot/memoized/legacy", &memo_legacy, b, &memoized);
-    let fast_m = measure("hot/memoized/predecoded", &memo_fast, b, &memoized);
+    let legacy = measure("hot/baseline/legacy", &base_legacy, b, &program, false);
+    let fast = measure("hot/baseline/predecoded", &base_fast, b, &program, false);
+    let legacy_m = measure("hot/memoized/legacy", &memo_legacy, b, &memoized, false);
+    let fast_m = measure("hot/memoized/predecoded", &memo_fast, b, &memoized, false);
     println!(
         "predecode speedup: baseline {:.2}x, memoized {:.2}x",
         fast / legacy,
         fast_m / legacy_m
+    );
+
+    // The profiled legs: same simulations with the cycle-attribution
+    // profiler enabled (phase leaves + per-block attribution). The
+    // overhead target is ≤10% MIPS regression; profiling-off is 0% by
+    // construction (the legs above never construct a profiler).
+    let fast_p = measure(
+        "hot/baseline/predecoded+prof",
+        &base_fast,
+        b,
+        &program,
+        true,
+    );
+    let fast_mp = measure(
+        "hot/memoized/predecoded+prof",
+        &memo_fast,
+        b,
+        &memoized,
+        true,
+    );
+    println!(
+        "profiling overhead: baseline {:.1}% ({fast:.1} -> {fast_p:.1} MIPS), \
+         memoized {:.1}% ({fast_m:.1} -> {fast_mp:.1} MIPS)",
+        (1.0 - fast_p / fast) * 100.0,
+        (1.0 - fast_mp / fast_m) * 100.0,
     );
 }

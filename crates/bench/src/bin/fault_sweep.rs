@@ -25,7 +25,7 @@
 //! one-baseline-per-job behaviour; the report is byte-identical either
 //! way.
 
-use axmemo_bench::orchestrator::Orchestrator;
+use axmemo_bench::orchestrator::{merge_profiles, Orchestrator};
 use axmemo_bench::{scale_from_env, sweep, BenchArgs, ReportMode};
 use axmemo_workloads::all_benchmarks;
 
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!(
             "usage: fault_sweep [--benches a,b,c] [--trace-out <path>] \
              [--report text|json] [--seed <n>] [--jobs <n>] [--no-baseline-cache] \
-             [--no-predecode]"
+             [--no-predecode] [--profile-out <path>] [--profile folded|json|text]"
         );
         std::process::exit(2);
     });
@@ -70,8 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .progress(true)
         .baseline_cache(!args.no_baseline_cache)
         .predecode(!args.no_predecode)
+        .profile(args.profiling())
         .run_with_telemetry(&matrix, &mut tel);
     let table = sweep::table(scale, args.seed, &metas, &outcomes);
+    if let Some(profile) = merge_profiles(&outcomes) {
+        args.write_profile(&profile)?;
+    }
 
     println!("{}", table.render(args.report));
     tel.flush();

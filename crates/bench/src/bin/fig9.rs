@@ -61,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     );
     println!("{}", table.render(args.report));
+    if let Some(profile) = tel.take_profile() {
+        args.write_profile(&profile)?;
+    }
     tel.flush();
     if tel.is_enabled() && args.report == ReportMode::Text {
         println!("{}", tel.text_report());

@@ -28,7 +28,7 @@ use axmemo_core::config::MemoConfig;
 use axmemo_core::unit::LookupEvent;
 use axmemo_sim::cpu::{SimConfig, Simulator};
 use axmemo_sim::stats::RunStats;
-use axmemo_telemetry::{escape_json, JsonlSink, Telemetry};
+use axmemo_telemetry::{escape_json, JsonlSink, Profile, Telemetry};
 pub use axmemo_workloads::runner::RunOptions;
 use axmemo_workloads::runner::{run_benchmark_report, run_benchmark_report_cached, RunReport};
 use axmemo_workloads::{run_benchmark, Benchmark, BenchmarkResult, Dataset, Scale};
@@ -45,10 +45,33 @@ pub enum ReportMode {
     Json,
 }
 
+/// Output format for `--profile` (the rendering of the aggregated
+/// cycle-attribution profile written to `--profile-out`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// Inferno-compatible folded stacks, one `path value` line per
+    /// phase (the default — pipe through `inferno-flamegraph` or any
+    /// `flamegraph.pl`-style tool).
+    #[default]
+    Folded,
+    /// One JSON object (machine-readable; `Profile::from_json`
+    /// round-trips it, which is how `all_experiments` merges its
+    /// children's part-files).
+    Json,
+    /// Human-readable phase tree plus hot-block tables.
+    Text,
+}
+
 /// Command-line options shared by every figure/table binary.
 ///
 /// * `--trace-out <path>` — write the telemetry event stream (LUT
 ///   probes, quality decisions, spans, …) to `path` as JSON Lines.
+/// * `--profile-out <path>` — collect a cycle-attribution profile
+///   (phase tree + hot basic blocks) over every simulated run and
+///   write the deterministic aggregate to `path`. Default-off; the
+///   off path is byte-identical to a build without the profiler.
+/// * `--profile folded|json|text` — profile rendering (default
+///   `folded`).
 /// * `--report text|json` — output format (default `text`).
 /// * `--seed <n>` — seed for binaries with stochastic models (e.g.
 ///   `fault_sweep`'s injection streams); default 0.
@@ -80,6 +103,11 @@ pub struct BenchArgs {
     /// Disable the predecoded fast-path interpreter (`--no-predecode`):
     /// every leg runs on the legacy loop instead.
     pub no_predecode: bool,
+    /// Cycle-attribution profile destination (`--profile-out`); `None`
+    /// keeps profiling fully off.
+    pub profile_out: Option<String>,
+    /// Profile rendering selected with `--profile` (default folded).
+    pub profile_mode: ProfileMode,
 }
 
 impl BenchArgs {
@@ -91,7 +119,8 @@ impl BenchArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: <bin> [--trace-out <path>] [--report text|json] [--seed <n>] \
-                     [--jobs <n>] [--no-baseline-cache] [--no-predecode]"
+                     [--jobs <n>] [--no-baseline-cache] [--no-predecode] \
+                     [--profile-out <path>] [--profile folded|json|text]"
                 );
                 std::process::exit(2);
             }
@@ -129,6 +158,19 @@ impl BenchArgs {
                 }
                 "--no-baseline-cache" => out.no_baseline_cache = true,
                 "--no-predecode" => out.no_predecode = true,
+                "--profile-out" => {
+                    out.profile_out =
+                        Some(it.next().ok_or("--profile-out requires a path argument")?);
+                }
+                "--profile" => match it.next().as_deref() {
+                    Some("folded") => out.profile_mode = ProfileMode::Folded,
+                    Some("json") => out.profile_mode = ProfileMode::Json,
+                    Some("text") => out.profile_mode = ProfileMode::Text,
+                    Some(other) => {
+                        return Err(format!("--profile must be folded|json|text, got {other}"))
+                    }
+                    None => return Err("--profile requires folded|json|text".to_string()),
+                },
                 "--report" => match it.next().as_deref() {
                     Some("text") => out.report = ReportMode::Text,
                     Some("json") => out.report = ReportMode::Json,
@@ -174,23 +216,58 @@ impl BenchArgs {
 
     /// Build the telemetry handle the flags ask for: enabled with a
     /// JSONL sink when `--trace-out` was given, otherwise disabled
-    /// (zero hot-path cost).
+    /// (zero hot-path cost). `--profile-out` additionally enables the
+    /// cycle-attribution profiler, which rides the handle independently
+    /// of its enabled/disabled state — so profiling alone leaves the
+    /// event stream, counters, and spans exactly as they are today.
     ///
     /// # Errors
     ///
     /// Propagates trace-file creation failure.
     pub fn telemetry(&self) -> std::io::Result<Telemetry> {
-        match &self.trace_out {
+        let mut tel = match &self.trace_out {
             Some(path) => {
                 let mut tel = Telemetry::enabled();
                 let sink = JsonlSink::create(path).map_err(|e| {
                     std::io::Error::new(e.kind(), format!("--trace-out {path}: {e}"))
                 })?;
                 tel.add_sink(Box::new(sink));
-                Ok(tel)
+                tel
             }
-            None => Ok(Telemetry::off()),
+            None => Telemetry::off(),
+        };
+        if self.profiling() {
+            tel.profiler_mut().enable();
         }
+        Ok(tel)
+    }
+
+    /// Whether `--profile-out` asked for a cycle-attribution profile.
+    pub fn profiling(&self) -> bool {
+        self.profile_out.is_some()
+    }
+
+    /// Render `profile` in the `--profile` format and write it to the
+    /// `--profile-out` path. A no-op when profiling was not requested.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile-file creation/write failure.
+    pub fn write_profile(&self, profile: &Profile) -> std::io::Result<()> {
+        let Some(path) = &self.profile_out else {
+            return Ok(());
+        };
+        let rendered = match self.profile_mode {
+            ProfileMode::Folded => profile.render_folded(),
+            ProfileMode::Json => {
+                let mut s = profile.to_json();
+                s.push('\n');
+                s
+            }
+            ProfileMode::Text => profile.render_text(),
+        };
+        std::fs::write(path, rendered)
+            .map_err(|e| std::io::Error::new(e.kind(), format!("--profile-out {path}: {e}")))
     }
 }
 
@@ -692,6 +769,35 @@ mod tests {
         assert!(off.no_predecode);
         assert!(!off.run_options().predecode);
         assert!(!off.run_options().zero_trunc, "orthogonal switch untouched");
+    }
+
+    #[test]
+    fn bench_args_parse_profile_flags() {
+        let default = BenchArgs::try_from_iter(std::iter::empty()).unwrap();
+        assert!(default.profile_out.is_none(), "profiling is off by default");
+        assert!(!default.profiling());
+        assert_eq!(default.profile_mode, ProfileMode::Folded);
+        assert!(
+            default.write_profile(&Profile::default()).is_ok(),
+            "no-op without --profile-out"
+        );
+        let args = BenchArgs::try_from_iter(
+            ["--profile-out", "/tmp/p.folded", "--profile", "json"]
+                .iter()
+                .map(|s| (*s).to_string()),
+        )
+        .unwrap();
+        assert_eq!(args.profile_out.as_deref(), Some("/tmp/p.folded"));
+        assert!(args.profiling());
+        assert_eq!(args.profile_mode, ProfileMode::Json);
+        assert!(args.telemetry().unwrap().profiler().is_enabled());
+        assert!(!args.telemetry().unwrap().is_enabled(), "events stay off");
+        assert!(BenchArgs::try_from_iter(["--profile-out".to_string()]).is_err());
+        assert!(BenchArgs::try_from_iter(["--profile".to_string()]).is_err());
+        assert!(
+            BenchArgs::try_from_iter(["--profile", "xml"].iter().map(|s| (*s).to_string()))
+                .is_err()
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use axmemo_core::config::MemoConfig;
-use axmemo_telemetry::Telemetry;
+use axmemo_telemetry::{Profile, Telemetry};
 use axmemo_workloads::runner::{
     BaselineCache, BudgetPolicy, RunFailure, RunOptions, SupervisedRun,
 };
@@ -178,6 +178,12 @@ pub struct JobOutcome {
     /// The paper metrics, or a structured failure that names the final
     /// attempt's failure class.
     pub result: Result<runner::BenchmarkResult, RunFailure>,
+    /// Cycle-attribution profile of the successful run, when the
+    /// orchestrator ran with [`Orchestrator::profile`] on. Always
+    /// `None` on failure and when profiling is off. Merge outcomes in
+    /// index order ([`merge_profiles`]) for the deterministic sweep
+    /// aggregate.
+    pub profile: Option<Profile>,
 }
 
 impl JobOutcome {
@@ -212,6 +218,7 @@ pub struct Orchestrator {
     progress: bool,
     baseline_cache: bool,
     predecode: bool,
+    profile: bool,
 }
 
 impl Orchestrator {
@@ -227,6 +234,7 @@ impl Orchestrator {
             progress: false,
             baseline_cache: true,
             predecode: true,
+            profile: false,
         }
     }
 
@@ -277,6 +285,18 @@ impl Orchestrator {
     /// byte-identical report (the CI golden diff pins exactly that).
     pub fn predecode(mut self, on: bool) -> Self {
         self.predecode = on;
+        self
+    }
+
+    /// Collect a cycle-attribution profile for every job (default:
+    /// off). Each job records into its own profiler — failed attempts
+    /// are discarded by the budgeted runner — so the per-job profiles,
+    /// and any index-order merge of them, are identical for every
+    /// worker count. Profiling rides an otherwise-disabled telemetry
+    /// handle: the job's event streams, counters, and report bytes are
+    /// unchanged.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 
@@ -372,13 +392,21 @@ impl Orchestrator {
                 sim_cycles: 0,
                 wall_ms: started.elapsed().as_millis() as u64,
                 result: Err(failure),
+                profile: None,
             };
         };
         let opts = RunOptions {
             predecode: self.predecode,
             ..RunOptions::default()
         };
-        match runner::run_budgeted_cached(
+        // Per-job telemetry: a disabled handle (events/counters/spans
+        // off, exactly as before) that carries the profiler when
+        // profiling is requested.
+        let mut tel = Telemetry::off();
+        if self.profile {
+            tel.profiler_mut().enable();
+        }
+        match runner::run_budgeted_cached_tel(
             bench.as_ref(),
             self.scale,
             self.dataset,
@@ -386,6 +414,7 @@ impl Orchestrator {
             &self.budget,
             cache,
             opts,
+            &mut tel,
         ) {
             Ok(SupervisedRun {
                 result,
@@ -399,6 +428,7 @@ impl Orchestrator {
                 wall_ms: started.elapsed().as_millis() as u64,
                 result: Ok(result),
                 spec,
+                profile: tel.take_profile(),
             },
             Err(failure) => JobOutcome {
                 index,
@@ -408,9 +438,32 @@ impl Orchestrator {
                 wall_ms: started.elapsed().as_millis() as u64,
                 result: Err(failure),
                 spec,
+                profile: None,
             },
         }
     }
+}
+
+/// Merge per-job profiles into the sweep aggregate, **in job-index
+/// order** (outcomes come back index-ordered from the orchestrator, so
+/// iterating them as returned is exactly that). Profile merging is
+/// element-wise addition keyed by phase path — associative and
+/// commutative — so the aggregate is byte-identical for any worker
+/// count; the fixed order makes the block-table tie-breaking
+/// deterministic too. Returns `None` when no job produced a profile
+/// (profiling off, or every job failed).
+pub fn merge_profiles(outcomes: &[JobOutcome]) -> Option<Profile> {
+    let mut merged: Option<Profile> = None;
+    for outcome in outcomes {
+        let Some(profile) = &outcome.profile else {
+            continue;
+        };
+        match &mut merged {
+            Some(m) => m.merge(profile),
+            None => merged = Some(profile.clone()),
+        }
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -458,6 +511,50 @@ mod tests {
         );
         assert_eq!(m.len(), 4);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn profiles_merge_identically_for_any_worker_count() {
+        let mut m = JobMatrix::new();
+        m.product(
+            &["blackscholes", "fft"],
+            &[
+                ("L1 4K".to_string(), MemoConfig::l1_only(4096)),
+                ("L1+L2".to_string(), MemoConfig::l1_l2(4096, 64 * 1024)),
+            ],
+        );
+        let run = |jobs: usize| {
+            let outcomes = Orchestrator::new(Scale::Tiny)
+                .jobs(jobs)
+                .profile(true)
+                .run(&m);
+            assert!(outcomes.iter().all(|o| o.result.is_ok()));
+            assert!(outcomes.iter().all(|o| o.profile.is_some()));
+            merge_profiles(&outcomes).expect("profiles collected")
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        // Merge is associative and element-wise, and failed attempts
+        // are discarded per-job, so the aggregate is byte-identical
+        // regardless of scheduling.
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.render_folded(), parallel.render_folded());
+        // The memoized path is broken into the attribution phases.
+        let folded = serial.render_folded();
+        for phase in [
+            "run;dispatch ",
+            "run;dispatch;crc.beat ",
+            "run;dispatch;lut.l1.search ",
+            "run;dispatch;lut.l2.probe ",
+            "run;dispatch;lut.update ",
+            "run;dispatch;quality.monitor ",
+        ] {
+            assert!(folded.contains(phase), "missing {phase:?} in:\n{folded}");
+        }
+        // Profiling off yields no profile at all.
+        let off = Orchestrator::new(Scale::Tiny).jobs(1).run(&m);
+        assert!(off.iter().all(|o| o.profile.is_none()));
+        assert!(merge_profiles(&off).is_none());
     }
 
     #[test]

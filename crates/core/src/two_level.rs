@@ -11,7 +11,7 @@ use crate::config::MemoConfig;
 use crate::faults::{FaultInjector, FaultStats};
 use crate::ids::LutId;
 use crate::lut::{LookupOutcome, LutArray, LutStats};
-use axmemo_telemetry::{Telemetry, Value};
+use axmemo_telemetry::{PhaseId, Telemetry, Value};
 
 /// Which level served a hit — the levels have different access latencies
 /// (2 cycles for L1, 13 for L2; Table 4).
@@ -163,10 +163,12 @@ impl TwoLevelLut {
                 // inclusion. (It is usually already present.)
                 if let Some(victim) = self.l1.insert(lut_id, crc, d) {
                     tel.count("lut.l1.evictions", 1);
+                    tel.profiler_mut().leaf(PhaseId::LutEvict, 0);
                     // Last-level eviction from L2 is a plain invalidation;
                     // nothing propagates to memory.
                     if l2.insert(victim.lut_id, victim.crc, victim.data).is_some() {
                         tel.count("lut.l2.evictions", 1);
+                        tel.profiler_mut().leaf(PhaseId::LutEvict, 0);
                         tel.event("lut.evict", &[("level", Value::Str("L2".into()))]);
                     }
                 }
@@ -199,12 +201,14 @@ impl TwoLevelLut {
         let victim = self.l1.insert(lut_id, crc, data);
         if victim.is_some() {
             tel.count("lut.l1.evictions", 1);
+            tel.profiler_mut().leaf(PhaseId::LutEvict, 0);
         }
         match self.l2.as_mut() {
             Some(l2) => {
                 // Inclusive L2 also receives the new entry.
                 if l2.insert(lut_id, crc, data).is_some() {
                     tel.count("lut.l2.evictions", 1);
+                    tel.profiler_mut().leaf(PhaseId::LutEvict, 0);
                     tel.event("lut.evict", &[("level", Value::Str("L2".into()))]);
                 }
                 // L1 victims spill to L2 ("evicted to L2 LUT ... using the
@@ -212,6 +216,7 @@ impl TwoLevelLut {
                 if let Some(v) = victim {
                     if l2.insert(v.lut_id, v.crc, v.data).is_some() {
                         tel.count("lut.l2.evictions", 1);
+                        tel.profiler_mut().leaf(PhaseId::LutEvict, 0);
                         tel.event("lut.evict", &[("level", Value::Str("L2".into()))]);
                     }
                 }

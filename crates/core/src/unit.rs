@@ -27,7 +27,7 @@ use crate::quality::{
 };
 use crate::truncate::{InputValue, TruncatedBytes};
 use crate::two_level::{HitLevel, TwoLevelLut, TwoLevelOutcome};
-use axmemo_telemetry::{Telemetry, Value};
+use axmemo_telemetry::{PhaseId, Telemetry, Value};
 
 /// What `lookup` reports back to the CPU (sets the condition code).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -325,7 +325,9 @@ impl MemoizationUnit {
         }
         self.stats.input_bytes += len as u64;
         tel.count("unit.input_bytes", len as u64);
-        self.timing.cycles_per_input_byte * len as u64
+        let cycles = self.timing.cycles_per_input_byte * len as u64;
+        tel.profiler_mut().leaf(PhaseId::CrcBeat, cycles);
+        cycles
     }
 
     /// Raw-byte variant of [`Self::feed`] for callers that already hold a
@@ -365,16 +367,18 @@ impl MemoizationUnit {
                     "quality.reenable_probe",
                     &[("probes", Value::U64(self.quality.probes()))],
                 );
+                tel.profiler_mut().leaf(PhaseId::Quality, 0);
             } else {
                 // Memoization disabled: recompute; no updates stored.
                 self.pending[slot] = None;
                 self.staged_bytes[slot].clear();
                 tel.count("quality.disabled_lookups", 1);
+                self.charge_lookup(&LookupResult::Disabled, tel);
                 return LookupResult::Disabled;
             }
         }
 
-        match self.lut.lookup_tel(lut, crc, tel) {
+        let result = match self.lut.lookup_tel(lut, crc, tel) {
             TwoLevelOutcome::Hit(level, data) => {
                 if self.config.quality_monitoring && self.quality.should_sample_hit() {
                     self.stats.sampled_misses += 1;
@@ -420,6 +424,54 @@ impl MemoizationUnit {
                 });
                 LookupResult::Miss
             }
+        };
+        self.charge_lookup(&result, tel);
+        result
+    }
+
+    /// Attribute the cycle cost of one lookup outcome to its profiler
+    /// phases. The charges partition [`Self::lookup_cycles`] exactly:
+    /// every probe pays the L1 set search; outcomes that reached the L2
+    /// (an L2 hit, or any miss when an L2 exists) additionally pay the
+    /// L2 probe (the L2 latency beyond the L1 search, plus the ECC
+    /// check that rides the completing access). Quality-governed
+    /// outcomes (sampling, disabled) charge the quality-monitor phase.
+    fn charge_lookup(&self, result: &LookupResult, tel: &mut Telemetry) {
+        let prof = tel.profiler_mut();
+        if !prof.is_enabled() {
+            return;
+        }
+        let ecc = self.ecc_cycles();
+        let l1 = self.timing.lookup_l1;
+        let l2_extra = (self.timing.lookup_l2 + ecc).saturating_sub(l1);
+        match result {
+            LookupResult::Hit {
+                level: HitLevel::L1,
+                ..
+            } => prof.leaf(PhaseId::LutL1Search, l1 + ecc),
+            LookupResult::Hit {
+                level: HitLevel::L2,
+                ..
+            } => {
+                prof.leaf(PhaseId::LutL1Search, l1);
+                prof.leaf(PhaseId::LutL2Probe, l2_extra);
+            }
+            LookupResult::Miss | LookupResult::SampledMiss { .. } => {
+                if self.lut.has_l2() {
+                    prof.leaf(PhaseId::LutL1Search, l1);
+                    prof.leaf(PhaseId::LutL2Probe, l2_extra);
+                } else {
+                    prof.leaf(PhaseId::LutL1Search, l1 + ecc);
+                }
+                if matches!(result, LookupResult::SampledMiss { .. }) {
+                    // The sampling decision itself: counted, no
+                    // modelled hardware cycles of its own.
+                    prof.leaf(PhaseId::Quality, 0);
+                }
+            }
+            // Disabled lookups never touch the arrays; the residual L1
+            // check is quality-monitor overhead.
+            LookupResult::Disabled => prof.leaf(PhaseId::Quality, l1),
         }
     }
 
@@ -468,6 +520,8 @@ impl MemoizationUnit {
         let Some(p) = self.pending[slot].take() else {
             // update without a preceding missed lookup: ignore (program
             // bug or disabled memoization); costs the same.
+            tel.profiler_mut()
+                .leaf(PhaseId::LutUpdate, self.timing.update);
             return self.timing.update;
         };
         // A dropped-update fault loses the LUT write (the interface
@@ -483,6 +537,7 @@ impl MemoizationUnit {
             let approx = value_for_quality(lut_data);
             let err = relative_error(exact, approx);
             tel.count("quality.comparisons", 1);
+            tel.profiler_mut().leaf(PhaseId::Quality, 0);
             tel.event(
                 "quality.compare",
                 &[
@@ -518,7 +573,9 @@ impl MemoizationUnit {
             log[ev].data = Some(data);
         }
         self.stats.updates += 1;
-        self.timing.update + self.ecc_cycles()
+        let cycles = self.timing.update + self.ecc_cycles();
+        tel.profiler_mut().leaf(PhaseId::LutUpdate, cycles);
+        cycles
     }
 
     /// Apply a degradation-ladder transition. Returns `true` when the
@@ -585,7 +642,9 @@ impl MemoizationUnit {
             "lut.invalidate",
             &[("lut", Value::U64(u64::from(lut.raw())))],
         );
-        self.timing.invalidate_per_way * self.config.data_width.ways() as u64
+        let cycles = self.timing.invalidate_per_way * self.config.data_width.ways() as u64;
+        tel.profiler_mut().leaf(PhaseId::LutInvalidate, cycles);
+        cycles
     }
 
     /// Snapshot LUT occupancy gauges/histograms into `tel` (cheap to

@@ -19,7 +19,7 @@ use axmemo_core::faults::{FaultInjector, Protection};
 use axmemo_core::ids::{ThreadId, MAX_LUTS};
 use axmemo_core::truncate::InputValue;
 use axmemo_core::unit::{LookupResult, MemoizationUnit};
-use axmemo_telemetry::Telemetry;
+use axmemo_telemetry::{PhaseId, Telemetry};
 use core::fmt;
 
 /// Architectural machine state: 32 × 64-bit registers plus a flat,
@@ -464,6 +464,11 @@ impl Simulator {
             .map(|m| m.input_queue_depth as u64 * 8)
             .unwrap_or(0);
         let mut pc = 0usize;
+        // Interpreter dispatch phase: exclusive cycles are whatever the
+        // LUT leaves (CRC beats, lookups, updates) don't claim. Early
+        // error returns leave the frame open; the runner's recovery path
+        // (`close_open_spans`) drains it.
+        self.telemetry.profiler_mut().enter(PhaseId::Dispatch);
 
         loop {
             let inst = *program.insts.get(pc).ok_or(SimError::PcOutOfRange { pc })?;
@@ -784,6 +789,7 @@ impl Simulator {
         }
 
         stats.cycles = pipe.drain();
+        self.telemetry.profiler_mut().exit_cycles(stats.cycles);
         if let Some(unit) = self.memo.as_ref() {
             stats.energy.quality_compares = unit.stats().sampled_misses;
         }
@@ -836,6 +842,17 @@ impl Simulator {
         let taken_bubble = lat.taken_branch_bubble;
         let mut dyn_insts = 0u64;
         let mut pc = 0usize;
+        // Profiler plumbing, hoisted so the profiling-off hot path pays
+        // a single never-taken branch per block. With profiling on we
+        // attribute cycles/instructions to basic blocks by deltas of the
+        // pipeline clock and the dynamic-instruction counter around each
+        // block body.
+        let prof_on = self.telemetry.profiler().is_enabled();
+        if prof_on {
+            let ranges: Vec<(u32, u32)> = dp.blocks.iter().map(|b| (b.start, b.end)).collect();
+            self.telemetry.profiler_mut().begin_blocks(&ranges);
+        }
+        self.telemetry.profiler_mut().enter(PhaseId::Dispatch);
 
         'run: loop {
             let Some(&block_idx) = dp.block_of.get(pc) else {
@@ -848,6 +865,11 @@ impl Simulator {
             );
             let end = block.end as usize;
             let mut next_pc = end;
+            let (blk_cycle0, blk_inst0) = if prof_on {
+                (pipe.now(), dyn_insts)
+            } else {
+                (0, 0)
+            };
             // Iterating the block as a slice gives the compiler the trip
             // count: no per-instruction bounds check on the fetch.
             for (k, inst) in dp.insts[pc..end].iter().enumerate() {
@@ -869,6 +891,13 @@ impl Simulator {
                     DecodedInst::Halt => {
                         dyn_insts += 1;
                         apply_block(&mut stats, &mut classes, &block.counts);
+                        if prof_on {
+                            self.telemetry.profiler_mut().block_retire(
+                                block_idx as usize,
+                                pipe.now().saturating_sub(blk_cycle0),
+                                dyn_insts - blk_inst0,
+                            );
+                        }
                         break 'run;
                     }
                     DecodedInst::IAluRR {
@@ -1139,12 +1168,20 @@ impl Simulator {
                 dyn_insts += 1;
             }
             apply_block(&mut stats, &mut classes, &block.counts);
+            if prof_on {
+                self.telemetry.profiler_mut().block_retire(
+                    block_idx as usize,
+                    pipe.now().saturating_sub(blk_cycle0),
+                    dyn_insts - blk_inst0,
+                );
+            }
             pc = next_pc;
         }
 
         stats.dynamic_insts = dyn_insts;
         stats.energy.instructions = dyn_insts;
         stats.cycles = pipe.drain();
+        self.telemetry.profiler_mut().exit_cycles(stats.cycles);
         if let Some(unit) = self.memo.as_ref() {
             stats.energy.quality_compares = unit.stats().sampled_misses;
         }

@@ -33,12 +33,14 @@
 
 pub mod event;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod sink;
 pub mod span;
 
 pub use event::{escape_json, event_to_json, Event, Value};
 pub use metrics::{Histogram, Registry, DEFAULT_BUCKETS};
+pub use profile::{folded_escape, BlockStat, PhaseId, Profile, Profiler};
 pub use sink::{EventSink, JsonlSink, RingBufferSink};
 pub use span::{SpanRecord, SpanTracker};
 
@@ -55,6 +57,7 @@ pub struct Telemetry {
     registry: Registry,
     spans: SpanTracker,
     sinks: Vec<Box<dyn EventSink>>,
+    profiler: Profiler,
 }
 
 impl Telemetry {
@@ -214,6 +217,55 @@ impl Telemetry {
         self.spans.completed()
     }
 
+    /// The phase profiler riding this handle. Independent of
+    /// [`Telemetry::is_enabled`]: a disabled handle with an enabled
+    /// profiler collects cycle attribution while keeping every counter,
+    /// span and event stream byte-identical to a profiling-off run —
+    /// the bench layer's `--profile-out` uses exactly that combination.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Mutable access to the profiler (enter/exit/leaf charges).
+    #[inline]
+    pub fn profiler_mut(&mut self) -> &mut Profiler {
+        &mut self.profiler
+    }
+
+    /// Snapshot the profiler into a mergeable [`Profile`], or `None`
+    /// when profiling is disabled.
+    pub fn take_profile(&self) -> Option<Profile> {
+        self.profiler.is_enabled().then(|| self.profiler.snapshot())
+    }
+
+    /// Close every span (and profiler frame) still open — the recovery
+    /// path after a caught panic or a mid-run simulator error, which
+    /// would otherwise leave the stack unbalanced for the next run
+    /// sharing this handle. Each drained span closes at
+    /// `max(current cycle, its start)` and emits the usual `span.exit`
+    /// event tagged `recovered`. Returns how many spans were open.
+    pub fn close_open_spans(&mut self) -> usize {
+        self.profiler.close_open();
+        if !self.enabled {
+            return 0;
+        }
+        let recs = self.spans.close_open(self.cycle);
+        for rec in &recs {
+            let ev = Event {
+                cycle: rec.end_cycle,
+                kind: "span.exit",
+                span: rec.path.clone(),
+                fields: vec![
+                    ("start_cycle", Value::U64(rec.start_cycle)),
+                    ("cycles", Value::U64(rec.cycles())),
+                    ("recovered", Value::Bool(true)),
+                ],
+            };
+            self.emit_raw(ev);
+        }
+        recs.len()
+    }
+
     /// Flush every attached sink.
     pub fn flush(&mut self) {
         for sink in &mut self.sinks {
@@ -233,6 +285,7 @@ impl std::fmt::Debug for Telemetry {
             .field("enabled", &self.enabled)
             .field("cycle", &self.cycle)
             .field("sinks", &self.sinks.len())
+            .field("profiling", &self.profiler.is_enabled())
             .finish()
     }
 }
@@ -320,5 +373,55 @@ mod tests {
     fn event_without_sinks_is_cheap_noop() {
         let mut tel = Telemetry::enabled();
         tel.event("k", &[("x", Value::U64(1))]); // must not panic
+    }
+
+    #[test]
+    fn close_open_spans_recovers_unbalanced_stack() {
+        let sink = RingBufferSink::new(8);
+        let mut tel = Telemetry::enabled();
+        tel.add_sink(Box::new(sink.clone()));
+        tel.set_cycle(10);
+        tel.span_enter("run:doomed");
+        tel.span_enter("region:inner");
+        tel.set_cycle(40);
+        // Simulates a caught panic: nobody called span_exit.
+        assert_eq!(tel.close_open_spans(), 2);
+        assert_eq!(tel.spans().len(), 2);
+        assert_eq!(tel.spans()[0].path, "run:doomed/region:inner");
+        assert_eq!(tel.spans()[1].end_cycle, 40);
+        let exits = sink.events();
+        let recovered = exits
+            .iter()
+            .filter(|e| e.kind == "span.exit" && e.field("recovered").is_some())
+            .count();
+        assert_eq!(recovered, 2);
+        // The next run records a clean tree at depth zero.
+        tel.span_enter("run:healthy");
+        tel.set_cycle(50);
+        tel.span_exit();
+        assert_eq!(tel.spans()[2].path, "run:healthy");
+        assert_eq!(tel.spans()[2].depth, 0);
+        assert_eq!(tel.close_open_spans(), 0);
+    }
+
+    #[test]
+    fn profiler_rides_a_disabled_handle() {
+        let mut tel = Telemetry::off();
+        assert!(tel.take_profile().is_none());
+        tel.profiler_mut().enable();
+        tel.profiler_mut().enter(PhaseId::Run);
+        tel.profiler_mut().leaf(PhaseId::CrcBeat, 4);
+        tel.profiler_mut().exit_cycles(10);
+        // Handle stays disabled: no counters, spans, or events.
+        tel.count("c", 1);
+        assert_eq!(tel.registry().counter("c"), 0);
+        assert!(!tel.is_enabled());
+        let profile = tel.take_profile().expect("profiling on");
+        assert_eq!(profile.phases["run"].total, 10);
+        // close_open_spans also drains profiler frames.
+        tel.profiler_mut().enter(PhaseId::Run);
+        tel.close_open_spans();
+        tel.profiler_mut().enter(PhaseId::Run);
+        tel.profiler_mut().exit_cycles(5); // nests at top level again
     }
 }

@@ -45,6 +45,23 @@ pub fn render_text(tel: &Telemetry) -> String {
                 h.p90(),
                 h.p99()
             );
+            // Bucket occupancy (only the populated buckets — the
+            // default layout has 15 and most stay empty). The registry
+            // is BTreeMap-backed, so the whole report, including this
+            // line, is deterministic for a given set of observations.
+            let counts = h.bucket_counts();
+            let populated: Vec<String> = counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| match h.bounds().get(i) {
+                    Some(bound) => format!("le{bound}={c}"),
+                    None => format!("inf={c}"),
+                })
+                .collect();
+            if !populated.is_empty() {
+                let _ = writeln!(out, "  {:<width$}  buckets: {}", "", populated.join(" "));
+            }
         }
     }
 
@@ -97,5 +114,36 @@ mod tests {
         assert!(text.contains("== spans =="), "{text}");
         assert!(text.contains("run:fft"), "{text}");
         assert!(text.contains("80 cycles"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_render_deterministically() {
+        // Build the same observations twice in different orders: the
+        // report must be byte-identical (names are BTreeMap-sorted and
+        // bucket lines depend only on the multiset of observations).
+        let mut a = Telemetry::enabled();
+        a.observe("lat", 1.0);
+        a.observe("lat", 3.0);
+        a.observe("lat", 3.0);
+        a.observe("lat", 1e9); // overflow bucket
+        a.count("z.last", 1);
+        a.count("a.first", 1);
+        let mut b = Telemetry::enabled();
+        b.count("a.first", 1);
+        b.observe("lat", 1e9);
+        b.observe("lat", 3.0);
+        b.observe("lat", 1.0);
+        b.observe("lat", 3.0);
+        b.count("z.last", 1);
+        assert_eq!(render_text(&a), render_text(&b));
+
+        // Pin the bucket line format: populated buckets only, labelled
+        // by their inclusive upper bound, overflow labelled `inf`.
+        let text = render_text(&a);
+        assert!(text.contains("buckets: le1=1 le4=2 inf=1"), "{text}");
+        // Counter section is name-sorted.
+        let first = text.find("a.first").unwrap();
+        let last = text.find("z.last").unwrap();
+        assert!(first < last, "{text}");
     }
 }

@@ -74,6 +74,19 @@ impl SpanTracker {
         rec
     }
 
+    /// Close every open span, innermost first, at `cycle` — clamped so
+    /// a span that opened *after* `cycle` still closes at its own start
+    /// (zero length) instead of panicking. This is the recovery path
+    /// for runs torn down mid-flight (caught panic, watchdog trip);
+    /// the drained records are returned in close order.
+    pub fn close_open(&mut self, cycle: u64) -> Vec<SpanRecord> {
+        let mut drained = Vec::with_capacity(self.open.len());
+        while let Some(&(_, start)) = self.open.last() {
+            drained.push(self.exit(cycle.max(start)));
+        }
+        drained
+    }
+
     /// Path of the innermost open span, if any.
     pub fn current_path(&self) -> Option<&str> {
         self.open.last().map(|(p, _)| p.as_str())
@@ -131,6 +144,27 @@ mod tests {
         let mut t = SpanTracker::new();
         t.enter("a", 100);
         t.exit(50);
+    }
+
+    #[test]
+    fn close_open_drains_innermost_first_and_clamps() {
+        let mut t = SpanTracker::new();
+        t.enter("run:a", 10);
+        t.enter("region:x", 500); // opened after the recovery cycle
+        let drained = t.close_open(100);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].path, "run:a/region:x");
+        // Clamped: closes at its own start, not before it.
+        assert_eq!(drained[0].end_cycle, 500);
+        assert_eq!(drained[0].cycles(), 0);
+        assert_eq!(drained[1].path, "run:a");
+        assert_eq!(drained[1].end_cycle, 100);
+        assert_eq!(t.open_count(), 0);
+        assert!(t.close_open(0).is_empty());
+        // The tracker is reusable afterwards: balanced spans nest from
+        // the top level again.
+        assert_eq!(t.enter("run:b", 0), "run:b");
+        t.exit(5);
     }
 
     #[test]

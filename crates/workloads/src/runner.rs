@@ -18,7 +18,7 @@ use axmemo_sim::energy::EnergyModel;
 use axmemo_sim::pipeline::LatencyModel;
 use axmemo_sim::stats::RunStats;
 use axmemo_sim::Program;
-use axmemo_telemetry::{escape_json, Telemetry};
+use axmemo_telemetry::{escape_json, PhaseId, Telemetry};
 
 /// Per-element relative errors (for the Fig. 10b CDF) plus aggregates.
 #[derive(Debug, Clone, Default)]
@@ -244,9 +244,21 @@ pub fn run_benchmark_report(
     dataset: Dataset,
     memo: &MemoConfig,
     opts: RunOptions,
-    tel: Telemetry,
+    mut tel: Telemetry,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
-    run_benchmark_inner(bench, scale, dataset, memo, opts, tel, u64::MAX, None, None)
+    let mut report = run_benchmark_inner(
+        bench,
+        scale,
+        dataset,
+        memo,
+        opts,
+        &mut tel,
+        u64::MAX,
+        None,
+        None,
+    )?;
+    report.telemetry = tel;
+    Ok(report)
 }
 
 /// Like [`run_benchmark_report`], reusing a [`BaselineCache`] so the
@@ -267,7 +279,7 @@ pub fn run_benchmark_report_cached(
     dataset: Dataset,
     memo: &MemoConfig,
     opts: RunOptions,
-    tel: Telemetry,
+    mut tel: Telemetry,
     cache: Option<&BaselineCache>,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
     let (baseline, prepared) = match cache {
@@ -278,17 +290,19 @@ pub fn run_benchmark_report_cached(
         }
         None => (None, None),
     };
-    run_benchmark_inner(
+    let mut report = run_benchmark_inner(
         bench,
         scale,
         dataset,
         memo,
         opts,
-        tel,
+        &mut tel,
         u64::MAX,
         baseline.as_deref(),
         prepared.as_deref(),
-    )
+    )?;
+    report.telemetry = tel;
+    Ok(report)
 }
 
 /// The fault-free reference leg of a benchmark run: the baseline
@@ -588,6 +602,13 @@ impl BaselineCache {
 /// compiled-and-predecoded programs; it is only consumed when the
 /// options allow (predecode on, default truncation) — otherwise the
 /// programs are built inline.
+/// The telemetry handle is borrowed so it *survives* the error path:
+/// the sim-side spans and phase frames a failed run leaves open are
+/// drained via [`Telemetry::close_open_spans`] before returning, and
+/// the caller (budgeted retry loops, sweep jobs) keeps its registry,
+/// sinks, and profiler across attempts. The returned [`RunReport`]
+/// carries a disabled placeholder handle; the by-value wrappers move
+/// the real one back in.
 #[allow(clippy::too_many_arguments)]
 fn run_benchmark_inner(
     bench: &dyn Benchmark,
@@ -595,7 +616,7 @@ fn run_benchmark_inner(
     dataset: Dataset,
     memo: &MemoConfig,
     opts: RunOptions,
-    mut tel: Telemetry,
+    tel: &mut Telemetry,
     max_cycles: u64,
     baseline: Option<&BaselineRun>,
     prepared: Option<&PreparedProgram>,
@@ -658,15 +679,29 @@ fn run_benchmark_inner(
     let mut memo_machine = bench.setup(scale, dataset);
     tel.set_cycle(0);
     tel.span_enter(&format!("run:{}", bench.meta().name));
-    memo_sim.set_telemetry(tel);
+    tel.profiler_mut().set_label(bench.meta().name);
+    tel.profiler_mut().enter(PhaseId::Run);
+    memo_sim.set_telemetry(std::mem::take(tel));
     memo_sim.reset();
     let memo_stats = match prepared {
-        Some(p) => memo_sim.run_prepared(&p.decoded_memo, &mut memo_machine)?,
-        None => memo_sim.run(memo_program, &mut memo_machine)?,
+        Some(p) => memo_sim.run_prepared(&p.decoded_memo, &mut memo_machine),
+        None => memo_sim.run(memo_program, &mut memo_machine),
     };
-    let mut tel = memo_sim.take_telemetry();
+    *tel = memo_sim.take_telemetry();
+    let memo_stats = match memo_stats {
+        Ok(stats) => stats,
+        Err(e) => {
+            // Watchdog trips and sim errors abandon the run mid-span;
+            // drain the open span/phase stacks so the handle stays
+            // balanced for the caller's next attempt.
+            tel.close_open_spans();
+            tel.flush();
+            return Err(e.into());
+        }
+    };
     tel.set_cycle(memo_stats.cycles);
     tel.span_exit();
+    tel.profiler_mut().exit_cycles(memo_stats.cycles);
     tel.flush();
     let approx = bench.outputs(&memo_machine, scale);
 
@@ -701,7 +736,7 @@ fn run_benchmark_inner(
         unit_stats,
         l1_lut,
         l2_lut,
-        telemetry: tel,
+        telemetry: Telemetry::off(),
     })
 }
 
@@ -947,7 +982,50 @@ pub fn run_budgeted_cached(
     cache: Option<&BaselineCache>,
     opts: RunOptions,
 ) -> Result<SupervisedRun, RunFailure> {
+    let mut tel = Telemetry::off();
+    run_budgeted_cached_tel(bench, scale, dataset, memo, policy, cache, opts, &mut tel)
+}
+
+/// [`run_budgeted_cached`] with a caller-owned telemetry handle that
+/// survives every attempt — panics and watchdog trips included. This is
+/// the sweep-orchestration entry point for profiling: install an
+/// enabled profiler on `tel` (typically on an otherwise-disabled handle
+/// so event streams stay byte-identical) and read
+/// [`Telemetry::take_profile`] after a successful return.
+///
+/// Recovery semantics:
+///
+/// - After any failed attempt the span and phase stacks are drained
+///   ([`Telemetry::close_open_spans`]), so a panicking benchmark
+///   followed by a healthy one yields a balanced span tree.
+/// - If a panic fires while the handle is installed in the simulator,
+///   the handle itself is forfeited with the unwound stack; an enabled
+///   replacement is restored (accumulated sinks are lost — they
+///   unwound with the attempt) and the profiler is re-enabled.
+/// - Profile data from failed attempts is discarded
+///   ([`axmemo_telemetry::Profiler::clear`]), so the profile of a
+///   successful return describes exactly one successful run — making
+///   aggregated sweep profiles independent of the attempt schedule and
+///   therefore of worker count and wall-clock caps.
+///
+/// # Errors
+///
+/// Returns a [`RunFailure`] describing the final failed attempt, with
+/// the attempt count and whether the wall-clock budget expired.
+#[allow(clippy::too_many_arguments)]
+pub fn run_budgeted_cached_tel(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    memo: &MemoConfig,
+    policy: &BudgetPolicy,
+    cache: Option<&BaselineCache>,
+    opts: RunOptions,
+    tel: &mut Telemetry,
+) -> Result<SupervisedRun, RunFailure> {
     let name = bench.meta().name.to_string();
+    let was_enabled = tel.is_enabled();
+    let was_profiling = tel.profiler().is_enabled();
     let started = std::time::Instant::now();
     let baseline =
         cache.map(|c| c.get_or_compute(bench, scale, dataset, policy.max_cycles, opts.predecode));
@@ -967,34 +1045,48 @@ pub fn run_budgeted_cached(
                 .wall_clock_cap_ms
                 .is_some_and(|cap| started.elapsed().as_millis() as u64 >= cap)
     };
-    let attempt = |cfg: &MemoConfig| -> Result<BenchmarkResult, (FailureKind, String)> {
-        let shared = match &baseline {
-            Some(Ok(run)) => Some(run.as_ref()),
-            // The deterministic baseline failed once; every inline
-            // retry would reproduce it exactly.
-            Some(Err(fail)) => return Err((fail.kind, fail.message.clone())),
-            None => None,
+    let attempt =
+        |cfg: &MemoConfig, tel: &mut Telemetry| -> Result<BenchmarkResult, (FailureKind, String)> {
+            let shared = match &baseline {
+                Some(Ok(run)) => Some(run.as_ref()),
+                // The deterministic baseline failed once; every inline
+                // retry would reproduce it exactly.
+                Some(Err(fail)) => return Err((fail.kind, fail.message.clone())),
+                None => None,
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_benchmark_inner(
+                    bench,
+                    scale,
+                    dataset,
+                    cfg,
+                    opts,
+                    tel,
+                    memo_max_cycles,
+                    shared,
+                    prepared.as_deref(),
+                )
+                .map(|report| report.result)
+            }));
+            let failure = match outcome {
+                Ok(Ok(result)) => return Ok(result),
+                Ok(Err(e)) => (classify_error(e.as_ref()), e.to_string()),
+                Err(payload) => (FailureKind::Panic, panic_message(payload.as_ref())),
+            };
+            // Failed-attempt hygiene: drain whatever the abandoned run
+            // left open, restore the handle if the panic forfeited it
+            // mid-simulation, and drop the attempt's profile data so a
+            // later success profiles exactly one run.
+            tel.close_open_spans();
+            if was_enabled && !tel.is_enabled() {
+                *tel = Telemetry::enabled();
+            }
+            if was_profiling && !tel.profiler().is_enabled() {
+                tel.profiler_mut().enable();
+            }
+            tel.profiler_mut().clear();
+            Err(failure)
         };
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_benchmark_inner(
-                bench,
-                scale,
-                dataset,
-                cfg,
-                opts,
-                Telemetry::off(),
-                memo_max_cycles,
-                shared,
-                prepared.as_deref(),
-            )
-            .map(|report| report.result)
-        }));
-        match outcome {
-            Ok(Ok(result)) => Ok(result),
-            Ok(Err(e)) => Err((classify_error(e.as_ref()), e.to_string())),
-            Err(payload) => Err((FailureKind::Panic, panic_message(payload.as_ref()))),
-        }
-    };
 
     let max_attempts = policy.max_attempts.max(1);
     let mut attempts = 0u32;
@@ -1012,7 +1104,7 @@ pub fn run_budgeted_cached(
             }
         }
         attempts += 1;
-        match attempt(memo) {
+        match attempt(memo, tel) {
             Ok(result) => {
                 return Ok(SupervisedRun {
                     result,
@@ -1031,7 +1123,7 @@ pub fn run_budgeted_cached(
             ..memo.clone()
         };
         attempts += 1;
-        match attempt(&degraded) {
+        match attempt(&degraded, tel) {
             Ok(result) => {
                 return Ok(SupervisedRun {
                     result,
@@ -1353,5 +1445,109 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(fail.kind, FailureKind::Watchdog);
+    }
+
+    #[test]
+    fn panicking_benchmark_leaves_shared_handle_clean() {
+        // Satellite regression: a caught panic must not leave the
+        // caller's telemetry handle with unbalanced open spans — the
+        // next (healthy) benchmark through the same handle must record
+        // a clean span tree and a one-run profile.
+        let mut tel = Telemetry::enabled();
+        tel.profiler_mut().enable();
+        let policy = BudgetPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0,
+            ..BudgetPolicy::default()
+        };
+        let fail = run_budgeted_cached_tel(
+            &PanickyBench,
+            crate::Scale::Tiny,
+            crate::Dataset::Eval,
+            &MemoConfig::l1_only(4096),
+            &policy,
+            None,
+            RunOptions::default(),
+            &mut tel,
+        )
+        .unwrap_err();
+        assert_eq!(fail.kind, FailureKind::Panic);
+        // The handle survived the panic, balanced and still profiling.
+        assert!(tel.is_enabled());
+        assert!(tel.profiler().is_enabled());
+        assert_eq!(tel.close_open_spans(), 0, "no spans left open");
+
+        let bench = crate::benchmark_by_name("blackscholes").unwrap();
+        run_budgeted_cached_tel(
+            bench.as_ref(),
+            crate::Scale::Tiny,
+            crate::Dataset::Eval,
+            &MemoConfig::l1_only(4096),
+            &policy,
+            None,
+            RunOptions::default(),
+            &mut tel,
+        )
+        .expect("healthy benchmark after a panic");
+        assert_eq!(tel.close_open_spans(), 0, "span tree balanced");
+        let runs: Vec<_> = tel
+            .spans()
+            .iter()
+            .filter(|s| s.path.starts_with("run:"))
+            .collect();
+        assert_eq!(runs.len(), 1, "exactly one completed run span");
+        assert_eq!(runs[0].path, "run:blackscholes");
+        assert_eq!(runs[0].depth, 0);
+        let profile = tel.take_profile().expect("profiler enabled");
+        let run = &profile.phases["run"];
+        assert_eq!(run.count, 1, "profile describes exactly one run");
+        assert!(run.total > 0);
+    }
+
+    #[test]
+    fn watchdog_failure_recovers_span_stack() {
+        // A watchdog trip abandons the run mid-span (inside the
+        // simulator); the budgeted runner must drain the open stack so
+        // the handle stays balanced, then a degraded-config success
+        // must profile exactly one run.
+        use axmemo_core::faults::FaultConfig;
+        let bench = crate::benchmark_by_name("blackscholes").unwrap();
+        let memo = MemoConfig {
+            faults: FaultConfig {
+                seed: 3,
+                latency_spike_ppm: axmemo_core::faults::PPM,
+                latency_spike_cycles: 100_000,
+                ..FaultConfig::default()
+            },
+            ..MemoConfig::l1_only(4096)
+        };
+        let policy = BudgetPolicy {
+            max_cycles: 2_000_000,
+            derived: None,
+            max_attempts: 1,
+            backoff_base_ms: 0,
+            retry_without_faults: true,
+            ..BudgetPolicy::default()
+        };
+        let mut tel = Telemetry::enabled();
+        tel.profiler_mut().enable();
+        let run = run_budgeted_cached_tel(
+            bench.as_ref(),
+            crate::Scale::Tiny,
+            crate::Dataset::Eval,
+            &memo,
+            &policy,
+            None,
+            RunOptions::default(),
+            &mut tel,
+        )
+        .expect("degraded retry must succeed");
+        assert!(run.faults_cleared);
+        assert_eq!(run.attempts, 2);
+        assert_eq!(tel.close_open_spans(), 0, "span tree balanced");
+        // The failed fault-injected attempt's profile was discarded:
+        // only the successful run remains.
+        let profile = tel.take_profile().expect("profiler enabled");
+        assert_eq!(profile.phases["run"].count, 1);
     }
 }
