@@ -47,8 +47,17 @@ fn main() {
         "ablation_branch_predictor",
         "fault_sweep",
     ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("error: cannot locate the all_experiments executable (needed to find its sibling binaries): {e}");
+        std::process::exit(1);
+    });
+    let dir = exe.parent().unwrap_or_else(|| {
+        eprintln!(
+            "error: executable path {} has no parent directory to find sibling binaries in",
+            exe.display()
+        );
+        std::process::exit(1);
+    });
     let mut forwarded = vec!["--seed".to_string(), args.seed.to_string()];
     if args.report == ReportMode::Json {
         forwarded.extend(["--report".to_string(), "json".to_string()]);

@@ -3,7 +3,7 @@
 //! contender, all normalised to the non-memoized baseline.
 
 use axmemo_bench::{
-    collect_events_cached, geomean, paper_configs, run_cell_report_cached, scale_from_env,
+    collect_events_cached, geomean, paper_configs, run_cell_report_snap, scale_from_env,
     software_lut_outcome, BenchArgs, ReportMode, Table,
 };
 use axmemo_workloads::all_benchmarks;
@@ -32,17 +32,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for bench in all_benchmarks() {
         let name = bench.meta().name.to_string();
+        // Warm persistence (--snapshot-out / --restore-from) is
+        // per-benchmark; the empty default plan leaves this loop
+        // byte-identical to the cached path.
+        let plan = args.snapshot_plan_for(&name);
         let mut speed_cells = vec![name.clone(), "speedup".to_string()];
         let mut energy_cells = vec![name, "energy".to_string()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let report = run_cell_report_cached(
+            let report = run_cell_report_snap(
                 bench.as_ref(),
                 scale,
                 cfg,
                 tel,
                 cache.as_ref(),
                 args.run_options(),
-            )?;
+                &plan,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
             tel = report.telemetry;
             let r = &report.result;
             speed_cells.push(format!("{:.2}x", r.speedup));

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Use kmeans: its per-pixel kernel shards trivially and its LUT
     // contents (pixel -> cluster) are identical across shards, so the
     // duplicate-warm-up cost of private LUTs is visible.
-    let bench = benchmark_by_name("kmeans").expect("kmeans registered");
+    let bench = benchmark_by_name("kmeans").ok_or(
+        "benchmark \"kmeans\" is not registered in this build; \
+         the multi-core study requires it",
+    )?;
     let (program, specs) = bench.program(match scale {
         Scale::Full => Scale::Small, // keep the 4-core case tractable
         s => s,

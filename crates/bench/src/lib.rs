@@ -30,7 +30,10 @@ use axmemo_sim::cpu::{SimConfig, Simulator};
 use axmemo_sim::stats::RunStats;
 use axmemo_telemetry::{escape_json, JsonlSink, Profile, Telemetry};
 pub use axmemo_workloads::runner::RunOptions;
-use axmemo_workloads::runner::{run_benchmark_report, run_benchmark_report_cached, RunReport};
+pub use axmemo_workloads::runner::SnapshotPlan;
+use axmemo_workloads::runner::{
+    run_benchmark_report, run_benchmark_report_cached, run_benchmark_report_snap, RunReport,
+};
 use axmemo_workloads::{run_benchmark, Benchmark, BenchmarkResult, Dataset, Scale};
 
 pub use axmemo_workloads::BaselineCache;
@@ -87,6 +90,14 @@ pub enum ProfileMode {
 ///   path. Results are bit-identical (pinned by the decode-equivalence
 ///   tests and the CI golden diff); the flag exists as the reference
 ///   side of those diffs and as an escape hatch.
+/// * `--snapshot-out <dir>` — after each benchmark's memoized run,
+///   write its warm LUT image atomically to `<dir>/<bench>.axmsnap`.
+/// * `--restore-from <dir>` — warm-start each benchmark from
+///   `<dir>/<bench>.axmsnap` (written by a previous `--snapshot-out`
+///   run). Corrupt or torn files degrade to a reported cold start.
+///   Both snapshot flags are default-off with the same discipline as
+///   `--no-predecode`: unused, the output is byte-identical to a build
+///   without the feature.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// JSONL event-trace destination, when requested.
@@ -108,6 +119,12 @@ pub struct BenchArgs {
     pub profile_out: Option<String>,
     /// Profile rendering selected with `--profile` (default folded).
     pub profile_mode: ProfileMode,
+    /// Directory to write per-benchmark warm snapshots into
+    /// (`--snapshot-out`); `None` keeps persistence fully off.
+    pub snapshot_out: Option<String>,
+    /// Directory to warm-start per-benchmark runs from
+    /// (`--restore-from`); `None` runs cold.
+    pub restore_from: Option<String>,
 }
 
 impl BenchArgs {
@@ -120,7 +137,8 @@ impl BenchArgs {
                 eprintln!(
                     "usage: <bin> [--trace-out <path>] [--report text|json] [--seed <n>] \
                      [--jobs <n>] [--no-baseline-cache] [--no-predecode] \
-                     [--profile-out <path>] [--profile folded|json|text]"
+                     [--profile-out <path>] [--profile folded|json|text] \
+                     [--snapshot-out <dir>] [--restore-from <dir>]"
                 );
                 std::process::exit(2);
             }
@@ -161,6 +179,18 @@ impl BenchArgs {
                 "--profile-out" => {
                     out.profile_out =
                         Some(it.next().ok_or("--profile-out requires a path argument")?);
+                }
+                "--snapshot-out" => {
+                    out.snapshot_out = Some(
+                        it.next()
+                            .ok_or("--snapshot-out requires a directory argument")?,
+                    );
+                }
+                "--restore-from" => {
+                    out.restore_from = Some(
+                        it.next()
+                            .ok_or("--restore-from requires a directory argument")?,
+                    );
                 }
                 "--profile" => match it.next().as_deref() {
                     Some("folded") => out.profile_mode = ProfileMode::Folded,
@@ -245,6 +275,26 @@ impl BenchArgs {
     /// Whether `--profile-out` asked for a cycle-attribution profile.
     pub fn profiling(&self) -> bool {
         self.profile_out.is_some()
+    }
+
+    /// The [`SnapshotPlan`] the flags ask for, specialised to one
+    /// benchmark: `--snapshot-out <dir>` / `--restore-from <dir>` hold
+    /// one `<bench>.axmsnap` file per benchmark, so a multi-benchmark
+    /// binary never mixes warm images across workloads. With neither
+    /// flag given this is the empty plan, and runs are byte-identical
+    /// to the pre-snapshot path.
+    pub fn snapshot_plan_for(&self, bench: &str) -> SnapshotPlan {
+        let file = format!("{bench}.axmsnap");
+        SnapshotPlan {
+            restore_from: self
+                .restore_from
+                .as_ref()
+                .map(|dir| std::path::Path::new(dir).join(&file)),
+            snapshot_out: self
+                .snapshot_out
+                .as_ref()
+                .map(|dir| std::path::Path::new(dir).join(&file)),
+        }
     }
 
     /// Render `profile` in the `--profile` format and write it to the
@@ -505,6 +555,37 @@ pub fn run_cell_report_cached(
     opts: RunOptions,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
     run_benchmark_report_cached(bench, scale, Dataset::Eval, memo, opts, tel, cache)
+}
+
+/// [`run_cell_report_cached`] with a [`SnapshotPlan`] (from
+/// [`BenchArgs::snapshot_plan_for`]): warm-start from
+/// `plan.restore_from`, write the end-of-run image to
+/// `plan.snapshot_out` (creating its parent directory). The empty plan
+/// reproduces [`run_cell_report_cached`] byte-for-byte.
+///
+/// # Errors
+///
+/// Propagates simulator/codegen failures, cached baseline failures, and
+/// snapshot I/O failures (which name the offending path). A corrupt
+/// snapshot file is not an error; it degrades to a reported cold start.
+pub fn run_cell_report_snap(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    memo: &MemoConfig,
+    tel: Telemetry,
+    cache: Option<&BaselineCache>,
+    opts: RunOptions,
+    plan: &SnapshotPlan,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    if let Some(parent) = plan.snapshot_out.as_deref().and_then(|p| p.parent()) {
+        std::fs::create_dir_all(parent).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("--snapshot-out {}: {e}", parent.display()),
+            )
+        })?;
+    }
+    run_benchmark_report_snap(bench, scale, Dataset::Eval, memo, opts, tel, cache, plan)
 }
 
 /// Everything the software contenders need: the recorded lookup-event
@@ -798,6 +879,41 @@ mod tests {
             BenchArgs::try_from_iter(["--profile", "xml"].iter().map(|s| (*s).to_string()))
                 .is_err()
         );
+    }
+
+    #[test]
+    fn bench_args_parse_snapshot_flags() {
+        let default = BenchArgs::try_from_iter(std::iter::empty()).unwrap();
+        assert!(default.snapshot_out.is_none(), "persistence off by default");
+        assert!(default.restore_from.is_none());
+        assert!(
+            default.snapshot_plan_for("fft").is_empty(),
+            "default plan does nothing"
+        );
+        let args = BenchArgs::try_from_iter(
+            ["--snapshot-out", "/tmp/warm", "--restore-from", "/tmp/prev"]
+                .iter()
+                .map(|s| (*s).to_string()),
+        )
+        .unwrap();
+        let plan = args.snapshot_plan_for("fft");
+        assert!(!plan.is_empty());
+        assert!(plan.warm());
+        assert_eq!(
+            plan.snapshot_out.as_deref(),
+            Some(std::path::Path::new("/tmp/warm/fft.axmsnap"))
+        );
+        assert_eq!(
+            plan.restore_from.as_deref(),
+            Some(std::path::Path::new("/tmp/prev/fft.axmsnap"))
+        );
+        assert_ne!(
+            plan.snapshot_out,
+            args.snapshot_plan_for("kmeans").snapshot_out,
+            "per-benchmark files never mix warm images"
+        );
+        assert!(BenchArgs::try_from_iter(["--snapshot-out".to_string()]).is_err());
+        assert!(BenchArgs::try_from_iter(["--restore-from".to_string()]).is_err());
     }
 
     #[test]

@@ -61,6 +61,27 @@ pub enum Phase {
     Profiling,
 }
 
+/// Serializable controller state, captured by [`crate::snapshot`] so a
+/// restarted service resumes at the truncation level the controller had
+/// converged to instead of re-learning it from `initial_bits`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveState {
+    /// Controller configuration at capture time.
+    pub config: AdaptiveConfig,
+    /// Truncation bits in effect.
+    pub bits: u32,
+    /// Whether the controller was inside a profiling window.
+    pub profiling: bool,
+    /// Invocations left in the current window.
+    pub remaining: u64,
+    /// Error accumulator of the in-flight profiling window.
+    pub err_sum: f64,
+    /// Samples in the in-flight profiling window.
+    pub err_count: u64,
+    /// Completed windows as `(bits, mean_error)`.
+    pub history: Vec<(u32, f64)>,
+}
+
 /// The runtime truncation controller.
 ///
 /// # Examples
@@ -118,6 +139,47 @@ impl AdaptiveTruncation {
     /// Completed profiling windows as (bits, mean error).
     pub fn history(&self) -> &[(u32, f64)] {
         &self.history
+    }
+
+    /// Capture the controller's full state for persistence.
+    pub fn export_state(&self) -> AdaptiveState {
+        AdaptiveState {
+            config: self.config,
+            bits: self.bits,
+            profiling: self.phase == Phase::Profiling,
+            remaining: self.remaining,
+            err_sum: self.err_sum,
+            err_count: self.err_count,
+            history: self.history.clone(),
+        }
+    }
+
+    /// Rebuild a controller from a captured state, sanitizing fields
+    /// that a decoded snapshot cannot be trusted to keep in range:
+    /// `bits` is clamped to the configured bounds, `remaining` to the
+    /// longest window, and a non-finite error accumulator is discarded
+    /// (the in-flight window restarts).
+    pub fn from_state(state: AdaptiveState) -> Self {
+        let config = state.config;
+        let max_window = config.normal_window.max(config.profile_window).max(1);
+        let (err_sum, err_count) = if state.err_sum.is_finite() {
+            (state.err_sum, state.err_count)
+        } else {
+            (0.0, 0)
+        };
+        Self {
+            bits: state.bits.clamp(config.min_bits, config.max_bits),
+            phase: if state.profiling {
+                Phase::Profiling
+            } else {
+                Phase::Normal
+            },
+            remaining: state.remaining.min(max_window),
+            err_sum,
+            err_count,
+            config,
+            history: state.history,
+        }
     }
 
     /// Call once per kernel invocation *before* the lookup; returns the
@@ -275,6 +337,43 @@ mod tests {
         ctl.record_comparison(1.0, 100.0);
         assert!(ctl.history().is_empty());
         assert_eq!(ctl.current_bits(), 8);
+    }
+
+    #[test]
+    fn export_state_roundtrips_and_resumes() {
+        let mut ctl = AdaptiveTruncation::new(AdaptiveConfig::default(), 4);
+        drive(&mut ctl, 12_345, |_| (2.0, 2.0));
+        let state = ctl.export_state();
+        let mut restored = AdaptiveTruncation::from_state(state.clone());
+        assert_eq!(restored.export_state(), state);
+        // Both copies continue identically from the restored point.
+        drive(&mut ctl, 5_000, |_| (2.0, 2.0));
+        drive(&mut restored, 5_000, |_| (2.0, 2.0));
+        assert_eq!(restored.current_bits(), ctl.current_bits());
+        assert_eq!(restored.history(), ctl.history());
+    }
+
+    #[test]
+    fn from_state_sanitizes_out_of_range_fields() {
+        let cfg = AdaptiveConfig {
+            min_bits: 4,
+            max_bits: 8,
+            ..AdaptiveConfig::default()
+        };
+        let state = AdaptiveState {
+            config: cfg,
+            bits: 31,
+            profiling: false,
+            remaining: u64::MAX,
+            err_sum: f64::NAN,
+            err_count: 9,
+            history: Vec::new(),
+        };
+        let ctl = AdaptiveTruncation::from_state(state);
+        assert_eq!(ctl.current_bits(), 8);
+        let s = ctl.export_state();
+        assert!(s.remaining <= cfg.normal_window.max(cfg.profile_window));
+        assert_eq!((s.err_sum, s.err_count), (0.0, 0));
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod hvr_rename;
 pub mod ids;
 pub mod lut;
 pub mod quality;
+pub mod snapshot;
 pub mod truncate;
 pub mod two_level;
 pub mod unit;
@@ -76,5 +77,8 @@ pub mod unit;
 pub use config::MemoConfig;
 pub use faults::{FaultConfig, FaultInjector, FaultStats, Protection};
 pub use ids::{LutId, ThreadId};
+pub use snapshot::{
+    CrashMode, CrashPoint, MemoSnapshot, RecoveryOutcome, RecoveryReport, SnapshotError,
+};
 pub use truncate::InputValue;
 pub use unit::{LookupResult, MemoizationUnit};

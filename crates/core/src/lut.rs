@@ -125,6 +125,21 @@ pub struct Evicted {
     pub data: u64,
 }
 
+/// A snapshot of one valid entry, exported for persistence
+/// ([`crate::snapshot`]). The full CRC is reconstructed from tag + set
+/// index, so an exported entry is position-independent: it can be
+/// restored into an array of any geometry (the set index is recomputed
+/// from the CRC's low bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExportedEntry {
+    /// Logical LUT the entry belongs to.
+    pub lut_id: LutId,
+    /// Full CRC value (tag + set index recombined).
+    pub crc: u64,
+    /// The entry's output data.
+    pub data: u64,
+}
+
 /// Per-array access statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LutStats {
@@ -413,6 +428,86 @@ impl LutArray {
         false
     }
 
+    /// Export every valid entry in LRU order (least recently used
+    /// first), reconstructing each entry's full CRC from tag + set
+    /// index. Restoring the entries in this order through
+    /// [`Self::restore_entry`] reproduces the relative recency of the
+    /// source array.
+    pub fn export_entries(&self) -> Vec<ExportedEntry> {
+        let ways = self.geometry.ways;
+        let mut out: Vec<(u64, ExportedEntry)> = Vec::with_capacity(self.occupancy());
+        for (i, e) in self.sets.iter().enumerate() {
+            if !e.valid {
+                continue;
+            }
+            let set = i / ways;
+            out.push((
+                e.last_use,
+                ExportedEntry {
+                    lut_id: LutId::new(e.lut_id).expect("stored lut_id is valid"),
+                    crc: self.crc_of(e.tag, set),
+                    data: e.data,
+                },
+            ));
+        }
+        out.sort_by_key(|(last_use, _)| *last_use);
+        out.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Reinstall a previously-exported entry without touching the access
+    /// statistics or the fault stream: a restored entry must not count
+    /// as an insert (it was already counted in the run that produced the
+    /// snapshot — see `tests/snapshot_recovery.rs` for the pin) and the
+    /// restore path must be deterministic regardless of fault
+    /// configuration.
+    ///
+    /// Returns `false` when LRU replacement displaced a valid
+    /// (previously restored) entry to make room — the caller counts the
+    /// displaced entry as dropped.
+    pub fn restore_entry(&mut self, lut_id: LutId, crc: u64, data: u64) -> bool {
+        let set = self.set_index(crc);
+        let tag = self.tag_of(crc);
+        self.clock += 1;
+        let clock = self.clock;
+        for e in self.ways_of(set) {
+            if e.valid && e.lut_id == lut_id.raw() && e.tag == tag {
+                e.data = data;
+                e.last_use = clock;
+                return true;
+            }
+        }
+        if let Some(e) = self.ways_of(set).iter_mut().find(|e| !e.valid) {
+            *e = Entry {
+                valid: true,
+                lut_id: lut_id.raw(),
+                tag,
+                data,
+                last_use: clock,
+            };
+            return true;
+        }
+        // Set is full (restore target smaller than the source): displace
+        // the least recently restored entry, which is the oldest one.
+        let victim_way = {
+            let ways = self.ways_of(set);
+            let mut best = 0;
+            for (i, e) in ways.iter().enumerate() {
+                if e.last_use < ways[best].last_use {
+                    best = i;
+                }
+            }
+            best
+        };
+        self.ways_of(set)[victim_way] = Entry {
+            valid: true,
+            lut_id: lut_id.raw(),
+            tag,
+            data,
+            last_use: clock,
+        };
+        false
+    }
+
     /// Count of currently-valid entries.
     pub fn occupancy(&self) -> usize {
         self.sets.iter().filter(|e| e.valid).count()
@@ -612,6 +707,68 @@ mod tests {
         let fs = lut.fault_stats();
         assert_eq!(fs.parity_escapes, 0);
         assert!(fs.parity_detected + fs.secded_corrected > 0);
+    }
+
+    #[test]
+    fn export_restore_roundtrip_preserves_entries_and_lru() {
+        let mut src = LutArray::new(LutGeometry::from_capacity(256, DataWidth::W4));
+        for i in 0..12u64 {
+            src.insert(id((i % 3) as u8), i * 37, i);
+        }
+        src.lookup(id(0), 0); // refresh entry 0: it must survive a later evict
+        let exported = src.export_entries();
+        assert_eq!(exported.len(), src.occupancy());
+
+        let mut dst = LutArray::new(src.geometry());
+        for e in &exported {
+            assert!(dst.restore_entry(e.lut_id, e.crc, e.data));
+        }
+        assert_eq!(dst.occupancy(), src.occupancy());
+        for e in &exported {
+            assert_eq!(dst.peek(e.lut_id, e.crc), Some(e.data));
+        }
+        // Stats stay untouched: restores are not inserts (double-count pin).
+        assert_eq!(dst.stats(), LutStats::default());
+        // LRU order carried over: exported order is oldest-first.
+        let re = dst.export_entries();
+        assert_eq!(re, exported);
+    }
+
+    #[test]
+    fn restore_into_smaller_array_drops_oldest() {
+        // Source: 2 sets; destination: 1 set of 8 ways. 9 entries land
+        // in the single set; the oldest is displaced.
+        let mut src = LutArray::new(LutGeometry::from_capacity(128, DataWidth::W4));
+        for i in 0..9u64 {
+            src.insert(id(0), i, i * 10);
+        }
+        let exported = src.export_entries();
+        assert_eq!(exported.len(), 9);
+        let mut dst = LutArray::new(LutGeometry::from_capacity(64, DataWidth::W4));
+        let kept = exported
+            .iter()
+            .filter(|e| dst.restore_entry(e.lut_id, e.crc, e.data))
+            .count();
+        assert_eq!(kept, 8);
+        assert_eq!(dst.occupancy(), 8);
+        // The newest entry always survives.
+        let newest = exported.last().unwrap();
+        assert_eq!(dst.peek(newest.lut_id, newest.crc), Some(newest.data));
+    }
+
+    #[test]
+    fn restore_bypasses_fault_injection() {
+        use crate::faults::{FaultConfig, FaultInjector, Protection};
+        let cfg = FaultConfig::uniform(11, crate::faults::PPM, Protection::Unprotected);
+        let mut lut = LutArray::new(LutGeometry::from_capacity(1024, DataWidth::W4));
+        lut.set_fault_injector(FaultInjector::for_l1(&cfg));
+        for i in 0..32u64 {
+            assert!(lut.restore_entry(id(0), i, i));
+        }
+        assert_eq!(lut.fault_stats(), FaultStats::default());
+        for i in 0..32u64 {
+            assert_eq!(lut.peek(id(0), i), Some(i));
+        }
     }
 
     #[test]

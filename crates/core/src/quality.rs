@@ -133,6 +133,35 @@ pub enum QualityAction {
     },
 }
 
+/// Serializable monitor state, captured by [`crate::snapshot`]. A
+/// monitor restored mid-`ReducedTruncation` resumes its clean-window
+/// recovery (stage + `clean_windows` survive) instead of restarting
+/// `Healthy` — restarting would forget that the workload recently
+/// degraded and skip the remaining de-escalation discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityState {
+    /// Ladder rung at capture time.
+    pub stage: DegradationStage,
+    /// Hits seen since the last sample (sampling phase).
+    pub hits_seen: u64,
+    /// Consecutive clean windows at the current stage.
+    pub clean_windows: u32,
+    /// Disabled lookups since entering `Disabled`.
+    pub probe_wait: u64,
+    /// Current probe back-off period.
+    pub probe_period: u64,
+    /// Total comparisons performed.
+    pub comparisons: u64,
+    /// Comparisons exceeding [`ERROR_THRESHOLD`].
+    pub large_errors: u64,
+    /// Ladder escalations so far.
+    pub escalations: u64,
+    /// Re-enable probes fired so far.
+    pub probes: u64,
+    /// The in-flight comparison window's errors.
+    pub window: Vec<f64>,
+}
+
 /// The quality-monitoring unit attached to a memoization unit.
 ///
 /// # Examples
@@ -185,6 +214,50 @@ impl QualityMonitor {
             large_errors: 0,
             escalations: 0,
             probes: 0,
+        }
+    }
+
+    /// Capture the monitor's full state for persistence.
+    pub fn export_state(&self) -> QualityState {
+        QualityState {
+            stage: self.stage,
+            hits_seen: self.hits_seen,
+            clean_windows: self.clean_windows,
+            probe_wait: self.probe_wait,
+            probe_period: self.probe_period,
+            comparisons: self.comparisons,
+            large_errors: self.large_errors,
+            escalations: self.escalations,
+            probes: self.probes,
+            window: self.window.clone(),
+        }
+    }
+
+    /// Rebuild a monitor from a captured state, sanitizing fields a
+    /// decoded snapshot cannot be trusted to keep in range: the window
+    /// is truncated below [`WINDOW`] (a full window would have been
+    /// evaluated before capture), non-finite errors are clamped to
+    /// `f64::MAX` (the convention of [`relative_error`]), the probe
+    /// period to `1..=`[`PROBE_PERIOD_MAX`], and `clean_windows` below
+    /// [`RECOVER_WINDOWS`].
+    pub fn from_state(state: QualityState) -> Self {
+        let mut window: Vec<f64> = state
+            .window
+            .into_iter()
+            .map(|e| if e.is_finite() { e } else { f64::MAX })
+            .collect();
+        window.truncate(WINDOW - 1);
+        Self {
+            hits_seen: state.hits_seen,
+            window,
+            stage: state.stage,
+            clean_windows: state.clean_windows.min(RECOVER_WINDOWS - 1),
+            probe_wait: state.probe_wait,
+            probe_period: state.probe_period.clamp(1, PROBE_PERIOD_MAX),
+            comparisons: state.comparisons,
+            large_errors: state.large_errors,
+            escalations: state.escalations,
+            probes: state.probes,
         }
     }
 
@@ -430,6 +503,61 @@ mod tests {
         }
         assert!(qm.note_disabled_lookup());
         assert_eq!(qm.probes(), 2);
+    }
+
+    #[test]
+    fn export_state_roundtrips() {
+        let mut qm = QualityMonitor::new();
+        push_window(&mut qm, 20);
+        for _ in 0..37 {
+            qm.record_comparison(1.0, 1.0);
+        }
+        let state = qm.export_state();
+        let restored = QualityMonitor::from_state(state.clone());
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.stage(), DegradationStage::ReducedTruncation);
+    }
+
+    #[test]
+    fn restored_ladder_resumes_clean_window_recovery() {
+        // Degrade to ReducedTruncation, then complete one of the two
+        // clean windows required to climb back.
+        let mut qm = QualityMonitor::new();
+        push_window(&mut qm, 20);
+        assert_eq!(push_window(&mut qm, 0), QualityAction::None);
+
+        // Snapshot / restore mid-recovery: one more clean window must
+        // finish the climb. A monitor that restarted Healthy (or lost
+        // clean_windows) would behave differently.
+        let mut restored = QualityMonitor::from_state(qm.export_state());
+        assert_eq!(restored.stage(), DegradationStage::ReducedTruncation);
+        assert_eq!(
+            push_window(&mut restored, 0),
+            QualityAction::Recover { flush: true }
+        );
+        assert_eq!(restored.stage(), DegradationStage::Healthy);
+    }
+
+    #[test]
+    fn from_state_sanitizes_window_and_probe_period() {
+        let state = QualityState {
+            stage: DegradationStage::Disabled,
+            hits_seen: 5,
+            clean_windows: 99,
+            probe_wait: 3,
+            probe_period: 0,
+            comparisons: 1,
+            large_errors: 1,
+            escalations: 3,
+            probes: 0,
+            window: vec![f64::NAN; WINDOW * 2],
+        };
+        let qm = QualityMonitor::from_state(state);
+        let s = qm.export_state();
+        assert!(s.window.len() < WINDOW);
+        assert!(s.window.iter().all(|e| *e == f64::MAX));
+        assert!(s.probe_period >= 1);
+        assert!(s.clean_windows < RECOVER_WINDOWS);
     }
 
     #[test]

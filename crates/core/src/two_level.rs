@@ -10,7 +10,7 @@
 use crate::config::MemoConfig;
 use crate::faults::{FaultInjector, FaultStats};
 use crate::ids::LutId;
-use crate::lut::{LookupOutcome, LutArray, LutStats};
+use crate::lut::{ExportedEntry, LookupOutcome, LutArray, LutStats};
 use axmemo_telemetry::{PhaseId, Telemetry, Value};
 
 /// Which level served a hit — the levels have different access latencies
@@ -304,6 +304,52 @@ impl TwoLevelLut {
         }
     }
 
+    /// Export the L1's valid entries in LRU order (oldest first) for
+    /// persistence ([`crate::snapshot`]).
+    pub fn export_l1_entries(&self) -> Vec<ExportedEntry> {
+        self.l1.export_entries()
+    }
+
+    /// Export the L2's valid entries in LRU order; empty when no L2 is
+    /// configured.
+    pub fn export_l2_entries(&self) -> Vec<ExportedEntry> {
+        self.l2
+            .as_ref()
+            .map(|l2| l2.export_entries())
+            .unwrap_or_default()
+    }
+
+    /// Restore previously-exported entries into the L1, in order
+    /// (oldest first, so relative recency survives). Restores are
+    /// stats-neutral and fault-free (see [`LutArray::restore_entry`]).
+    /// Returns `(restored, dropped)` where `dropped` counts entries
+    /// displaced because the target L1 is smaller than the source.
+    pub fn restore_l1_entries(&mut self, entries: &[ExportedEntry]) -> (u64, u64) {
+        let mut dropped = 0u64;
+        for e in entries {
+            if !self.l1.restore_entry(e.lut_id, e.crc, e.data) {
+                dropped += 1;
+            }
+        }
+        (entries.len() as u64 - dropped, dropped)
+    }
+
+    /// Restore previously-exported entries into the L2. When no L2 is
+    /// configured every entry is dropped (returns `(0, len)`): the L1
+    /// section alone still warm-starts the hierarchy.
+    pub fn restore_l2_entries(&mut self, entries: &[ExportedEntry]) -> (u64, u64) {
+        let Some(l2) = self.l2.as_mut() else {
+            return (0, entries.len() as u64);
+        };
+        let mut dropped = 0u64;
+        for e in entries {
+            if !l2.restore_entry(e.lut_id, e.crc, e.data) {
+                dropped += 1;
+            }
+        }
+        (entries.len() as u64 - dropped, dropped)
+    }
+
     /// Direct read access to the L1 array (ablation experiments).
     pub fn l1(&self) -> &LutArray {
         &self.l1
@@ -397,6 +443,46 @@ mod tests {
         let n = lut.invalidate(id(0));
         assert!(n >= 16, "cleared {n}");
         assert_eq!(lut.lookup(id(0), 3), TwoLevelOutcome::Miss);
+    }
+
+    #[test]
+    fn export_restore_spans_levels_and_stays_stats_neutral() {
+        let mut src = tiny_two_level();
+        for i in 0..16u64 {
+            src.update(id(0), i, i * 3);
+        }
+        let l1e = src.export_l1_entries();
+        let l2e = src.export_l2_entries();
+        assert!(!l1e.is_empty());
+        assert!(!l2e.is_empty());
+
+        let cfg = MemoConfig {
+            l1_bytes: 64,
+            l2_bytes: Some(1024),
+            ..MemoConfig::default()
+        };
+        let mut dst = TwoLevelLut::new(&cfg);
+        let (r1, d1) = dst.restore_l1_entries(&l1e);
+        let (r2, _) = dst.restore_l2_entries(&l2e);
+        assert_eq!(r1 + d1, l1e.len() as u64);
+        assert!(r2 > 0);
+        // Restored state serves hits without any prior lookups/inserts
+        // being counted (the double-count pin).
+        assert_eq!(dst.l1_stats().inserts, 0);
+        assert_eq!(dst.l1_stats().lookups(), 0);
+        assert!(dst.lookup(id(0), 15).is_hit());
+        assert!((dst.total_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restore_l2_without_l2_drops_everything() {
+        let mut src = tiny_two_level();
+        for i in 0..16u64 {
+            src.update(id(0), i, i);
+        }
+        let l2e = src.export_l2_entries();
+        let mut dst = TwoLevelLut::new(&MemoConfig::l1_only(64));
+        assert_eq!(dst.restore_l2_entries(&l2e), (0, l2e.len() as u64));
     }
 
     #[test]

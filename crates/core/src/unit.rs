@@ -198,6 +198,11 @@ pub struct MemoizationUnit {
     /// benchmarks such as jpeg expose two logical LUTs whose hit rates
     /// differ.
     per_lut: [(u64, u64); crate::ids::MAX_LUTS],
+    /// Capture a warm image at the first end-of-program `invalidate`
+    /// (see [`Self::arm_warm_capture`]).
+    capture_armed: bool,
+    /// The captured warm image awaiting [`Self::take_warm_image`].
+    warm_image: Option<crate::snapshot::MemoSnapshot>,
 }
 
 impl MemoizationUnit {
@@ -229,6 +234,8 @@ impl MemoizationUnit {
             event_log: None,
             staged_bytes: vec![Vec::new(); crate::ids::MAX_LUTS * config_threads],
             per_lut: [(0, 0); crate::ids::MAX_LUTS],
+            capture_armed: false,
+            warm_image: None,
         })
     }
 
@@ -635,6 +642,19 @@ impl MemoizationUnit {
         // region end, so this is the last point the gauges are
         // meaningful.
         self.lut.record_occupancy(tel);
+        // Same reasoning for the persistent warm image: compiled
+        // programs emit `invalidate` for every LUT right before `halt`,
+        // so an armed capture must grab the contents here, before the
+        // wipe. Only the first invalidate captures — subsequent ones
+        // (multi-LUT programs) see a partially-wiped array.
+        if self.capture_armed && self.warm_image.is_none() {
+            self.warm_image = Some(crate::snapshot::MemoSnapshot::capture(
+                &self.lut,
+                None,
+                Some(&self.quality),
+            ));
+            tel.count("snapshot.captures", 1);
+        }
         self.lut.invalidate(lut);
         self.stats.invalidates += 1;
         tel.count("lut.invalidations", 1);
@@ -675,6 +695,64 @@ impl MemoizationUnit {
         }
         self.per_lut = [(0, 0); crate::ids::MAX_LUTS];
         self.stats = UnitStats::default();
+        self.capture_armed = false;
+        self.warm_image = None;
+    }
+
+    /// Arm end-of-run warm-image capture. Compiled programs invalidate
+    /// every LUT just before halting (§4's end-of-program `invalidate`),
+    /// so a snapshot taken *after* the run would always see an empty
+    /// array; arming instead captures the contents at the first
+    /// `invalidate`, immediately before the wipe.
+    pub fn arm_warm_capture(&mut self) {
+        self.capture_armed = true;
+        self.warm_image = None;
+    }
+
+    /// Take the warm image captured since [`Self::arm_warm_capture`].
+    /// If the program never invalidated (no capture fired), the current
+    /// LUT contents are captured instead, so an armed unit always
+    /// yields an image. Returns `None` when capture was never armed.
+    pub fn take_warm_image(&mut self) -> Option<crate::snapshot::MemoSnapshot> {
+        if !self.capture_armed {
+            return None;
+        }
+        self.capture_armed = false;
+        self.warm_image.take().or_else(|| {
+            Some(crate::snapshot::MemoSnapshot::capture(
+                &self.lut,
+                None,
+                Some(&self.quality),
+            ))
+        })
+    }
+
+    /// Warm-start the unit from a recovered snapshot: reinstall the LUT
+    /// entries (stats-neutral and fault-free — restored entries never
+    /// count as this run's inserts, lookups or hits) and resume the
+    /// quality-monitor ladder where the donor left it. Run statistics
+    /// and pending state are untouched; call [`Self::reset`] first for
+    /// a clean run.
+    pub fn restore_warm(
+        &mut self,
+        snapshot: &crate::snapshot::MemoSnapshot,
+    ) -> crate::snapshot::RestoreSummary {
+        let (l1_restored, l1_dropped) = self.lut.restore_l1_entries(&snapshot.l1_entries);
+        let (l2_restored, l2_dropped) = self.lut.restore_l2_entries(&snapshot.l2_entries);
+        let quality_restored = match &snapshot.quality {
+            Some(q) if self.config.quality_monitoring => {
+                self.quality = QualityMonitor::from_state(q.clone());
+                true
+            }
+            _ => false,
+        };
+        crate::snapshot::RestoreSummary {
+            l1_restored,
+            l1_dropped,
+            l2_restored,
+            l2_dropped,
+            quality_restored,
+        }
     }
 
     /// Per-logical-LUT statistics: `(lookups, reported hits)` for each
@@ -1040,6 +1118,76 @@ mod tests {
         assert_eq!(per[0], (2, 1));
         assert_eq!(per[1], (1, 0));
         assert_eq!(per[2], (0, 0));
+    }
+
+    #[test]
+    fn armed_capture_grabs_contents_before_invalidate() {
+        let mut u = unit();
+        let (lut, tid) = ids();
+        u.arm_warm_capture();
+        u.feed(lut, tid, InputValue::I32(7), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, 99);
+        // End-of-program invalidate: the LUT empties, but the armed
+        // capture saw the warm contents first.
+        u.invalidate(lut);
+        assert_eq!(u.lut().l1().occupancy(), 0);
+        let image = u.take_warm_image().expect("armed unit yields image");
+        assert_eq!(image.l1_entries.len(), 1);
+        assert_eq!(image.l1_entries[0].data, 99);
+        // Taking the image disarms.
+        assert!(u.take_warm_image().is_none());
+    }
+
+    #[test]
+    fn armed_capture_without_invalidate_captures_at_take() {
+        let mut u = unit();
+        let (lut, tid) = ids();
+        u.arm_warm_capture();
+        u.feed(lut, tid, InputValue::I32(7), 0);
+        assert_eq!(u.lookup(lut, tid), LookupResult::Miss);
+        u.update(lut, tid, 5);
+        let image = u.take_warm_image().expect("falls back to live contents");
+        assert_eq!(image.l1_entries.len(), 1);
+    }
+
+    #[test]
+    fn restore_warm_serves_hits_without_counting_donor_activity() {
+        let mut donor = unit();
+        let (lut, tid) = ids();
+        donor.arm_warm_capture();
+        for i in 0..50i32 {
+            donor.feed(lut, tid, InputValue::I32(i), 0);
+            if donor.lookup(lut, tid) == LookupResult::Miss {
+                donor.update(lut, tid, i as u64);
+            }
+        }
+        donor.invalidate(lut);
+        let image = donor.take_warm_image().unwrap();
+
+        let mut fresh = unit();
+        let summary = fresh.restore_warm(&image);
+        assert_eq!(summary.l1_restored, 50);
+        assert_eq!(summary.l1_dropped, 0);
+        assert!(summary.quality_restored);
+        // Restored entries are not this run's activity (double-count
+        // pin): all counters start at zero...
+        assert_eq!(fresh.stats(), UnitStats::default());
+        assert_eq!(fresh.lut().l1_stats().inserts, 0);
+        assert_eq!(fresh.lut().l1_stats().lookups(), 0);
+        // ...and the very first lookup is a warm hit, so the observed
+        // hit rate reflects only post-restore traffic.
+        fresh.feed(lut, tid, InputValue::I32(17), 0);
+        assert!(fresh.lookup(lut, tid).skips_computation());
+        assert!((fresh.stats().hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_disarms_capture() {
+        let mut u = unit();
+        u.arm_warm_capture();
+        u.reset();
+        assert!(u.take_warm_image().is_none());
     }
 
     #[test]

@@ -36,10 +36,10 @@ pub mod runner;
 
 pub use meta::{Metric, WorkloadMeta};
 pub use runner::{
-    run_baseline, run_benchmark, run_benchmark_opts, run_budgeted, run_budgeted_cached,
-    run_supervised, BaselineCache, BaselineFailure, BaselineRun, BenchmarkResult, BudgetPolicy,
-    DerivedBudget, FailureKind, PreparedProgram, RunFailure, RunOptions, SupervisedRun,
-    SupervisorConfig,
+    run_baseline, run_benchmark, run_benchmark_opts, run_benchmark_report_snap, run_budgeted,
+    run_budgeted_cached, run_supervised, BaselineCache, BaselineFailure, BaselineRun,
+    BenchmarkResult, BudgetPolicy, DerivedBudget, FailureKind, PreparedProgram, RunFailure,
+    RunOptions, SnapshotPlan, SupervisedRun, SupervisorConfig,
 };
 
 use axmemo_compiler::RegionSpec;

@@ -3,6 +3,7 @@
 //! energy reduction, dynamic-instruction ratio, hit rate, output error).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -11,6 +12,7 @@ use crate::{Benchmark, Dataset, Scale};
 use axmemo_compiler::codegen::memoize;
 use axmemo_core::config::MemoConfig;
 use axmemo_core::lut::LutStats;
+use axmemo_core::snapshot::{MemoSnapshot, RecoveryOutcome, RecoveryReport};
 use axmemo_core::unit::UnitStats;
 use axmemo_sim::cpu::{SimConfig, SimError, Simulator};
 use axmemo_sim::decoded::DecodedProgram;
@@ -77,6 +79,10 @@ pub struct RunReport {
     /// The telemetry handle after the run. Disabled (and empty) when
     /// the caller passed a disabled handle.
     pub telemetry: Telemetry,
+    /// Recovery account when the run warm-started from a snapshot
+    /// (`None` for ordinary cold runs — the default-off path is
+    /// byte-identical, including in [`Self::to_json`]).
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl RunReport {
@@ -116,6 +122,18 @@ impl RunReport {
                 l.hits, l.misses, l.inserts, l.evictions
             ));
         }
+        if let Some(rec) = &self.recovery {
+            s.push_str(&format!(
+                "\"recovery\":{{\"outcome\":\"{}\",\"entries_restored\":{},\"entries_discarded\":{},\"torn_tail\":{}}},",
+                match rec.outcome {
+                    RecoveryOutcome::Restored => "restored",
+                    RecoveryOutcome::ColdStart => "cold_start",
+                },
+                rec.entries_restored(),
+                rec.entries_discarded(),
+                rec.torn_tail
+            ));
+        }
         s.push_str(&format!(
             "\"metrics\":{}",
             self.telemetry.registry().to_json()
@@ -148,6 +166,39 @@ impl Default for RunOptions {
             zero_trunc: false,
             predecode: true,
         }
+    }
+}
+
+/// Persistence plan for one run: where to restore warm LUT state from
+/// before executing and where to write the end-of-run snapshot.
+///
+/// Kept separate from [`RunOptions`] (which stays `Copy` and keys the
+/// baseline/program caches) because paths are per-cell, not per-sweep.
+/// The empty plan is the default and reproduces a plain run
+/// byte-for-byte — persistence is an escape hatch with the same
+/// default-off discipline as `--no-predecode`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotPlan {
+    /// Snapshot file to warm-start from, if any. The file is recovered
+    /// with the total [`MemoSnapshot::recover`] path: a corrupt or torn
+    /// file degrades to a reported cold start, never an error — only
+    /// I/O failures (missing file, permissions) abort the run.
+    pub restore_from: Option<PathBuf>,
+    /// Path to atomically write the end-of-run warm image to, if any.
+    pub snapshot_out: Option<PathBuf>,
+}
+
+impl SnapshotPlan {
+    /// `true` when the plan does nothing (the byte-identical default).
+    pub fn is_empty(&self) -> bool {
+        self.restore_from.is_none() && self.snapshot_out.is_none()
+    }
+
+    /// `true` when the run warm-starts from a snapshot — the property
+    /// that must reach the [`BaselineCache`] keys so warm cells never
+    /// share compiled programs or baselines with cold ones.
+    pub fn warm(&self) -> bool {
+        self.restore_from.is_some()
     }
 }
 
@@ -256,6 +307,7 @@ pub fn run_benchmark_report(
         u64::MAX,
         None,
         None,
+        None,
     )?;
     report.telemetry = tel;
     Ok(report)
@@ -300,6 +352,68 @@ pub fn run_benchmark_report_cached(
         u64::MAX,
         baseline.as_deref(),
         prepared.as_deref(),
+        None,
+    )?;
+    report.telemetry = tel;
+    Ok(report)
+}
+
+/// Like [`run_benchmark_report_cached`], with a [`SnapshotPlan`]: the
+/// memoization unit is warm-started from `plan.restore_from` (if set)
+/// before the run and its end-of-run warm image is written atomically
+/// to `plan.snapshot_out` (if set). An empty plan reproduces
+/// [`run_benchmark_report_cached`] byte-for-byte.
+///
+/// Warm-started runs use restore-keyed [`BaselineCache`] slots
+/// (`warm = true`), so their baselines and compiled programs never mix
+/// with cold cells sharing the same cache.
+///
+/// # Errors
+///
+/// Propagates simulator faults, codegen failures, cached
+/// [`BaselineFailure`]s, and snapshot *I/O* failures
+/// ([`axmemo_core::snapshot::SnapshotError`], which names the offending
+/// path) as a boxed error. A corrupt or torn snapshot file is **not**
+/// an error: recovery degrades to a cold start recorded in
+/// [`RunReport::recovery`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_benchmark_report_snap(
+    bench: &dyn Benchmark,
+    scale: Scale,
+    dataset: Dataset,
+    memo: &MemoConfig,
+    opts: RunOptions,
+    mut tel: Telemetry,
+    cache: Option<&BaselineCache>,
+    plan: &SnapshotPlan,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let warm = plan.warm();
+    let (baseline, prepared) = match cache {
+        Some(cache) => {
+            let prepared = cache.prepared_for_keyed(bench, scale, opts, warm);
+            let baseline = cache.get_or_compute_keyed(
+                bench,
+                scale,
+                dataset,
+                u64::MAX,
+                opts.predecode,
+                warm,
+            )?;
+            (Some(baseline), prepared)
+        }
+        None => (None, None),
+    };
+    let mut report = run_benchmark_inner(
+        bench,
+        scale,
+        dataset,
+        memo,
+        opts,
+        &mut tel,
+        u64::MAX,
+        baseline.as_deref(),
+        prepared.as_deref(),
+        Some(plan),
     )?;
     report.telemetry = tel;
     Ok(report)
@@ -398,6 +512,8 @@ fn classify_error(e: &(dyn std::error::Error + 'static)) -> FailureKind {
 
 type BaselineSlot = Arc<OnceLock<Result<Arc<BaselineRun>, BaselineFailure>>>;
 type PreparedSlot = Arc<OnceLock<Option<Arc<PreparedProgram>>>>;
+/// Baseline slot key: `(benchmark, scale, dataset, predecode, warm)`.
+type BaselineKey = (String, Scale, Dataset, bool, bool);
 
 /// Thread-safe once-per-key map of shared baseline runs, keyed by
 /// `(benchmark, scale, dataset, predecode)`.
@@ -421,10 +537,17 @@ type PreparedSlot = Arc<OnceLock<Option<Arc<PreparedProgram>>>>;
 /// one [`PreparedProgram`] per `(benchmark, scale)` and every predecoded
 /// run executes it via [`Simulator::run_prepared`] instead of
 /// recompiling per attempt.
+///
+/// Both maps carry a `warm` flag in their keys: a cell warm-started
+/// from a snapshot ([`SnapshotPlan::warm`]) keys separate slots, so a
+/// restore can never poison the shared baselines or compiled programs
+/// that cold cells normalise against (today the baseline core never
+/// sees the restored LUT, but the key keeps that an invariant of the
+/// cache rather than a property callers must re-verify).
 #[derive(Debug, Default)]
 pub struct BaselineCache {
-    slots: Mutex<HashMap<(String, Scale, Dataset, bool), BaselineSlot>>,
-    programs: Mutex<HashMap<(String, Scale), PreparedSlot>>,
+    slots: Mutex<HashMap<BaselineKey, BaselineSlot>>,
+    programs: Mutex<HashMap<(String, Scale, bool), PreparedSlot>>,
     computed: AtomicU64,
     reused: AtomicU64,
     programs_compiled: AtomicU64,
@@ -458,7 +581,33 @@ impl BaselineCache {
         max_cycles: u64,
         predecode: bool,
     ) -> Result<Arc<BaselineRun>, BaselineFailure> {
-        let key = (bench.meta().name.to_string(), scale, dataset, predecode);
+        self.get_or_compute_keyed(bench, scale, dataset, max_cycles, predecode, false)
+    }
+
+    /// [`Self::get_or_compute`] with the warm-start flag in the key:
+    /// cells restoring from a snapshot get their own slots (see the
+    /// type-level docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the (possibly cached) [`BaselineFailure`] when the
+    /// baseline simulation failed.
+    pub fn get_or_compute_keyed(
+        &self,
+        bench: &dyn Benchmark,
+        scale: Scale,
+        dataset: Dataset,
+        max_cycles: u64,
+        predecode: bool,
+        warm: bool,
+    ) -> Result<Arc<BaselineRun>, BaselineFailure> {
+        let key = (
+            bench.meta().name.to_string(),
+            scale,
+            dataset,
+            predecode,
+            warm,
+        );
         let slot = {
             let mut slots = self.slots.lock().expect("baseline cache poisoned");
             Arc::clone(slots.entry(key).or_default())
@@ -470,7 +619,7 @@ impl BaselineCache {
             // when available; a `None` (codegen failed) falls through to
             // the inline path so the error is reproduced and classified.
             let prepared = if predecode {
-                self.prepared(bench, scale)
+                self.prepared_keyed(bench, scale, warm)
             } else {
                 None
             };
@@ -512,7 +661,17 @@ impl BaselineCache {
     /// error or panic); callers then fall back to inline compilation,
     /// which reproduces the failure with full context.
     pub fn prepared(&self, bench: &dyn Benchmark, scale: Scale) -> Option<Arc<PreparedProgram>> {
-        let key = (bench.meta().name.to_string(), scale);
+        self.prepared_keyed(bench, scale, false)
+    }
+
+    /// [`Self::prepared`] with the warm-start flag in the key.
+    fn prepared_keyed(
+        &self,
+        bench: &dyn Benchmark,
+        scale: Scale,
+        warm: bool,
+    ) -> Option<Arc<PreparedProgram>> {
+        let key = (bench.meta().name.to_string(), scale, warm);
         let slot = {
             let mut programs = self.programs.lock().expect("program cache poisoned");
             Arc::clone(programs.entry(key).or_default())
@@ -545,8 +704,19 @@ impl BaselineCache {
         scale: Scale,
         opts: RunOptions,
     ) -> Option<Arc<PreparedProgram>> {
+        self.prepared_for_keyed(bench, scale, opts, false)
+    }
+
+    /// [`Self::prepared_for`] with the warm-start flag in the key.
+    fn prepared_for_keyed(
+        &self,
+        bench: &dyn Benchmark,
+        scale: Scale,
+        opts: RunOptions,
+        warm: bool,
+    ) -> Option<Arc<PreparedProgram>> {
         if opts.predecode && !opts.zero_trunc {
-            self.prepared(bench, scale)
+            self.prepared_keyed(bench, scale, warm)
         } else {
             None
         }
@@ -580,7 +750,7 @@ impl BaselineCache {
         let slots = self.slots.lock().expect("baseline cache poisoned");
         let mut rows: Vec<(String, u64)> = slots
             .iter()
-            .filter_map(|((name, _, _, _), slot)| {
+            .filter_map(|((name, _, _, _, _), slot)| {
                 let run = slot.get()?.as_ref().ok()?;
                 Some((name.clone(), run.stats.cycles))
             })
@@ -609,6 +779,10 @@ impl BaselineCache {
 /// sinks, and profiler across attempts. The returned [`RunReport`]
 /// carries a disabled placeholder handle; the by-value wrappers move
 /// the real one back in.
+/// `plan` optionally adds snapshot persistence: restore the warm image
+/// before the memoized run, arm the end-of-run capture, and write the
+/// image atomically after the metrics are collected. `None` (and the
+/// empty plan) leave the run byte-identical to the plain path.
 #[allow(clippy::too_many_arguments)]
 fn run_benchmark_inner(
     bench: &dyn Benchmark,
@@ -620,8 +794,22 @@ fn run_benchmark_inner(
     max_cycles: u64,
     baseline: Option<&BaselineRun>,
     prepared: Option<&PreparedProgram>,
+    plan: Option<&SnapshotPlan>,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
     let prepared = prepared.filter(|_| opts.predecode && !opts.zero_trunc);
+    // Load and recover the warm image first, while the telemetry handle
+    // is still in hand (it moves into the simulator below): recovery
+    // decisions land in the same registry/sinks as the run itself.
+    // Only I/O failures abort; corrupt bytes degrade to a reported cold
+    // start.
+    let plan = plan.filter(|p| !p.is_empty());
+    let mut recovery: Option<RecoveryReport> = None;
+    let mut warm_image: Option<MemoSnapshot> = None;
+    if let Some(path) = plan.and_then(|p| p.restore_from.as_deref()) {
+        let (snap, report) = MemoSnapshot::load_tel(path, tel)?;
+        warm_image = snap;
+        recovery = Some(report);
+    }
     let inline_built;
     let (program, memo_program): (&Program, &Program) = match prepared {
         Some(p) => (&p.program, &p.memo_program),
@@ -683,6 +871,23 @@ fn run_benchmark_inner(
     tel.profiler_mut().enter(PhaseId::Run);
     memo_sim.set_telemetry(std::mem::take(tel));
     memo_sim.reset();
+    // Warm-start after reset (reset wipes the unit) and arm the
+    // end-of-run capture: compiled programs invalidate every LUT before
+    // halting, so the warm image is grabbed at the first invalidate,
+    // not after the wipe.
+    if let Some(plan) = plan {
+        if let Some(unit) = memo_sim.memo_unit_mut() {
+            if let Some(image) = &warm_image {
+                let summary = unit.restore_warm(image);
+                if let Some(rec) = recovery.as_mut() {
+                    rec.applied = Some(summary);
+                }
+            }
+            if plan.snapshot_out.is_some() {
+                unit.arm_warm_capture();
+            }
+        }
+    }
     let memo_stats = match prepared {
         Some(p) => memo_sim.run_prepared(&p.decoded_memo, &mut memo_machine),
         None => memo_sim.run(memo_program, &mut memo_machine),
@@ -731,12 +936,23 @@ fn run_benchmark_inner(
         Some(u) => (u.stats(), u.lut().l1_stats(), u.lut().l2_stats()),
         None => Default::default(),
     };
+    // Persist the end-of-run warm image last, so a snapshot only ever
+    // describes a run that completed (a failed run returns above and
+    // leaves any prior snapshot file untouched).
+    if let Some(path) = plan.and_then(|p| p.snapshot_out.as_deref()) {
+        let image = memo_sim
+            .memo_unit_mut()
+            .and_then(|u| u.take_warm_image())
+            .unwrap_or_default();
+        image.write_atomic_tel(path, tel)?;
+    }
     Ok(RunReport {
         result,
         unit_stats,
         l1_lut,
         l2_lut,
         telemetry: Telemetry::off(),
+        recovery,
     })
 }
 
@@ -1065,6 +1281,7 @@ pub fn run_budgeted_cached_tel(
                     memo_max_cycles,
                     shared,
                     prepared.as_deref(),
+                    None,
                 )
                 .map(|report| report.result)
             }));
