@@ -1,33 +1,33 @@
 //! Interpreter hot-loop throughput: dynamic instructions per second on
 //! a representative kernel (blackscholes tiny), baseline and memoized,
-//! on both the legacy per-instruction loop (`--no-predecode` path) and
-//! the predecoded fast path. The timed region is `reset` + `run` only:
-//! blackscholes initialises every register before reading it and only
-//! writes recomputed values to its output buffer, so re-running on the
-//! same machine is bit-identical and no per-iteration state restore
-//! (a ~6 MB memcpy that would swamp the interpreter) is needed. That
-//! idempotence is asserted before timing starts.
+//! across all three execution tiers (`--dispatch legacy|predecode|
+//! threaded`). The timed region is `reset` + `run` only: blackscholes
+//! initialises every register before reading it and only writes
+//! recomputed values to its output buffer, so re-running on the same
+//! machine is bit-identical and no per-iteration state restore (a ~6 MB
+//! memcpy that would swamp the interpreter) is needed. That idempotence
+//! is asserted before timing starts.
 //! Uses the in-tree harness (`axmemo_bench::timing`); prints MIPS so
 //! perf PRs have a stable before/after number to cite (EXPERIMENTS.md).
 
 use axmemo_bench::timing::bench;
 use axmemo_compiler::codegen::memoize;
 use axmemo_core::config::MemoConfig;
-use axmemo_sim::cpu::{SimConfig, Simulator};
-use axmemo_sim::DecodedProgram;
+use axmemo_sim::cpu::{DispatchTier, SimConfig, Simulator};
 use axmemo_sim::Program;
+use axmemo_sim::{DecodedProgram, ThreadedProgram};
 use axmemo_telemetry::Telemetry;
 use axmemo_workloads::{benchmark_by_name, Benchmark, Dataset, Scale};
 use std::hint::black_box;
 
 /// Measure one (config, program) pair; returns MIPS and prints it
-/// alongside the per-iteration time. Predecoded configs go through
-/// `run_prepared` with a program decoded once up front — the shape the
-/// benchmark runner and sweep orchestrator use in production. With
-/// `profile` on, a cycle-attribution profiler rides an otherwise
-/// disabled telemetry handle — exactly the `--profile-out`
-/// configuration — so the delta against the unprofiled leg is the
-/// profiling overhead EXPERIMENTS.md documents.
+/// alongside the per-iteration time. Fast-path configs go through
+/// `run_prepared`/`run_prepared_threaded` with a program lowered once
+/// up front — the shape the benchmark runner and sweep orchestrator use
+/// in production. With `profile` on, a cycle-attribution profiler rides
+/// an otherwise disabled telemetry handle — exactly the
+/// `--profile-out` configuration — so the delta against the unprofiled
+/// leg is the profiling overhead EXPERIMENTS.md documents.
 fn measure(
     name: &str,
     cfg: &SimConfig,
@@ -35,9 +35,10 @@ fn measure(
     program: &Program,
     profile: bool,
 ) -> f64 {
-    let decoded = cfg
-        .predecode
+    let decoded = (cfg.dispatch != DispatchTier::Legacy)
         .then(|| DecodedProgram::compile(program, &cfg.latency));
+    let threaded = (cfg.dispatch == DispatchTier::Threaded)
+        .then(|| ThreadedProgram::compile(decoded.as_ref().unwrap()));
     let mut sim = Simulator::new(cfg.clone()).unwrap();
     if profile {
         let mut tel = Telemetry::off();
@@ -47,9 +48,10 @@ fn measure(
     let mut machine = bench_def.setup(Scale::Tiny, Dataset::Eval);
     let run = |sim: &mut Simulator, machine: &mut _| {
         sim.reset();
-        match &decoded {
-            Some(d) => sim.run_prepared(d, machine),
-            None => sim.run(program, machine),
+        match (&threaded, &decoded) {
+            (Some(t), _) => sim.run_prepared_threaded(t, machine),
+            (None, Some(d)) => sim.run_prepared(d, machine),
+            (None, None) => sim.run(program, machine),
         }
         .unwrap()
     };
@@ -91,51 +93,65 @@ fn main() {
         ..MemoConfig::l1_l2(8 * 1024, 256 * 1024)
     };
 
-    let base_fast = SimConfig::baseline();
-    let base_legacy = SimConfig {
-        predecode: false,
+    let base_cfg = |dispatch| SimConfig {
+        dispatch,
         ..SimConfig::baseline()
     };
-    let memo_fast = SimConfig::with_memo(memo_cfg.clone());
-    let memo_legacy = SimConfig {
-        predecode: false,
-        ..SimConfig::with_memo(memo_cfg)
+    let memo_cfg_for = |dispatch| SimConfig {
+        dispatch,
+        ..SimConfig::with_memo(memo_cfg.clone())
     };
 
     println!("sim_hot_loop_blackscholes_tiny");
     let b = bench_def.as_ref();
-    let legacy = measure("hot/baseline/legacy", &base_legacy, b, &program, false);
-    let fast = measure("hot/baseline/predecoded", &base_fast, b, &program, false);
-    let legacy_m = measure("hot/memoized/legacy", &memo_legacy, b, &memoized, false);
-    let fast_m = measure("hot/memoized/predecoded", &memo_fast, b, &memoized, false);
+    let mut base = [0.0f64; 3];
+    let mut memo = [0.0f64; 3];
+    for (i, tier) in DispatchTier::ALL.into_iter().enumerate() {
+        base[i] = measure(
+            &format!("hot/baseline/{}", tier.name()),
+            &base_cfg(tier),
+            b,
+            &program,
+            false,
+        );
+        memo[i] = measure(
+            &format!("hot/memoized/{}", tier.name()),
+            &memo_cfg_for(tier),
+            b,
+            &memoized,
+            false,
+        );
+    }
+    let [legacy, predecode, threaded] = base;
+    let [legacy_m, predecode_m, threaded_m] = memo;
     println!(
-        "predecode speedup: baseline {:.2}x, memoized {:.2}x",
-        fast / legacy,
-        fast_m / legacy_m
+        "predecode speedup over legacy: baseline {:.2}x, memoized {:.2}x",
+        predecode / legacy,
+        predecode_m / legacy_m
+    );
+    println!(
+        "threaded speedup over predecode: baseline {:.2}x, memoized {:.2}x",
+        threaded / predecode,
+        threaded_m / predecode_m
+    );
+    println!(
+        "threaded speedup over legacy: baseline {:.2}x, memoized {:.2}x",
+        threaded / legacy,
+        threaded_m / legacy_m
     );
 
     // The profiled legs: same simulations with the cycle-attribution
     // profiler enabled (phase leaves + per-block attribution). The
     // overhead target is ≤10% MIPS regression; profiling-off is 0% by
     // construction (the legs above never construct a profiler).
-    let fast_p = measure(
-        "hot/baseline/predecoded+prof",
-        &base_fast,
-        b,
-        &program,
-        true,
-    );
-    let fast_mp = measure(
-        "hot/memoized/predecoded+prof",
-        &memo_fast,
-        b,
-        &memoized,
-        true,
-    );
+    let cfg = base_cfg(DispatchTier::Threaded);
+    let threaded_p = measure("hot/baseline/threaded+prof", &cfg, b, &program, true);
+    let cfg = memo_cfg_for(DispatchTier::Threaded);
+    let threaded_mp = measure("hot/memoized/threaded+prof", &cfg, b, &memoized, true);
     println!(
-        "profiling overhead: baseline {:.1}% ({fast:.1} -> {fast_p:.1} MIPS), \
-         memoized {:.1}% ({fast_m:.1} -> {fast_mp:.1} MIPS)",
-        (1.0 - fast_p / fast) * 100.0,
-        (1.0 - fast_mp / fast_m) * 100.0,
+        "profiling overhead: baseline {:.1}% ({threaded:.1} -> {threaded_p:.1} MIPS), \
+         memoized {:.1}% ({threaded_m:.1} -> {threaded_mp:.1} MIPS)",
+        (1.0 - threaded_p / threaded) * 100.0,
+        (1.0 - threaded_mp / threaded_m) * 100.0,
     );
 }

@@ -51,7 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!(
             "usage: fault_sweep [--benches a,b,c] [--trace-out <path>] \
              [--report text|json] [--seed <n>] [--jobs <n>] [--no-baseline-cache] \
-             [--no-predecode] [--profile-out <path>] [--profile folded|json|text]"
+             [--dispatch legacy|predecode|threaded] [--profile-out <path>] \
+             [--profile folded|json|text]"
         );
         std::process::exit(2);
     });
@@ -69,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .jobs(args.effective_jobs())
         .progress(true)
         .baseline_cache(!args.no_baseline_cache)
-        .predecode(!args.no_predecode)
+        .dispatch(args.dispatch)
         .profile(args.profiling())
         .run_with_telemetry(&matrix, &mut tel);
     let table = sweep::table(scale, args.seed, &metas, &outcomes);

@@ -40,7 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!(
             "usage: warm_start [--state-dir <dir>] [--generations <n>] [--benches a,b,c] \
              [--trace-out <path>] [--report text|json] [--seed <n>] [--jobs <n>] \
-             [--no-baseline-cache] [--no-predecode] [--profile-out <path>] \
+             [--no-baseline-cache] [--dispatch legacy|predecode|threaded] \
+             [--profile-out <path>] \
              [--profile folded|json|text]"
         );
         std::process::exit(2);

@@ -26,6 +26,7 @@ use axmemo_baselines::{AtmModel, ContenderOutcome, SoftwareLut};
 use axmemo_compiler::codegen::memoize;
 use axmemo_core::config::MemoConfig;
 use axmemo_core::unit::LookupEvent;
+pub use axmemo_sim::cpu::DispatchTier;
 use axmemo_sim::cpu::{SimConfig, Simulator};
 use axmemo_sim::stats::RunStats;
 use axmemo_telemetry::{escape_json, JsonlSink, Profile, Telemetry};
@@ -85,19 +86,21 @@ pub enum ProfileMode {
 ///   inside every cell instead of sharing one run per distinct
 ///   `(benchmark, scale, dataset)` (the escape hatch; output is
 ///   byte-identical either way because the baseline is deterministic).
-/// * `--no-predecode` — run every simulation on the legacy
-///   instruction-at-a-time interpreter instead of the predecoded fast
-///   path. Results are bit-identical (pinned by the decode-equivalence
-///   tests and the CI golden diff); the flag exists as the reference
-///   side of those diffs and as an escape hatch.
+/// * `--dispatch legacy|predecode|threaded` — execution tier for every
+///   simulation (default `threaded`, the fused-superblock interpreter).
+///   Results are bit-identical across tiers (pinned by the
+///   decode-equivalence tests and the CI golden diffs); the slower
+///   tiers exist as the reference sides of those diffs and as escape
+///   hatches. `--no-predecode` is kept as an alias for
+///   `--dispatch legacy`.
 /// * `--snapshot-out <dir>` — after each benchmark's memoized run,
 ///   write its warm LUT image atomically to `<dir>/<bench>.axmsnap`.
 /// * `--restore-from <dir>` — warm-start each benchmark from
 ///   `<dir>/<bench>.axmsnap` (written by a previous `--snapshot-out`
 ///   run). Corrupt or torn files degrade to a reported cold start.
 ///   Both snapshot flags are default-off with the same discipline as
-///   `--no-predecode`: unused, the output is byte-identical to a build
-///   without the feature.
+///   the dispatch escape hatches: unused, the output is byte-identical
+///   to a build without the feature.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// JSONL event-trace destination, when requested.
@@ -111,9 +114,10 @@ pub struct BenchArgs {
     /// Disable baseline sharing (`--no-baseline-cache`): every cell
     /// re-runs its own baseline, reproducing the pre-cache behaviour.
     pub no_baseline_cache: bool,
-    /// Disable the predecoded fast-path interpreter (`--no-predecode`):
-    /// every leg runs on the legacy loop instead.
-    pub no_predecode: bool,
+    /// Execution tier selected with `--dispatch` (default
+    /// [`DispatchTier::Threaded`]); `--no-predecode` is an alias for
+    /// `--dispatch legacy`.
+    pub dispatch: DispatchTier,
     /// Cycle-attribution profile destination (`--profile-out`); `None`
     /// keeps profiling fully off.
     pub profile_out: Option<String>,
@@ -136,7 +140,8 @@ impl BenchArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: <bin> [--trace-out <path>] [--report text|json] [--seed <n>] \
-                     [--jobs <n>] [--no-baseline-cache] [--no-predecode] \
+                     [--jobs <n>] [--no-baseline-cache] \
+                     [--dispatch legacy|predecode|threaded] \
                      [--profile-out <path>] [--profile folded|json|text] \
                      [--snapshot-out <dir>] [--restore-from <dir>]"
                 );
@@ -175,7 +180,15 @@ impl BenchArgs {
                     }
                 }
                 "--no-baseline-cache" => out.no_baseline_cache = true,
-                "--no-predecode" => out.no_predecode = true,
+                "--no-predecode" => out.dispatch = DispatchTier::Legacy,
+                "--dispatch" => match it.next().as_deref() {
+                    Some(tier) => {
+                        out.dispatch = DispatchTier::parse(tier).ok_or_else(|| {
+                            format!("--dispatch must be legacy|predecode|threaded, got {tier}")
+                        })?;
+                    }
+                    None => return Err("--dispatch requires legacy|predecode|threaded".to_string()),
+                },
                 "--profile-out" => {
                     out.profile_out =
                         Some(it.next().ok_or("--profile-out requires a path argument")?);
@@ -235,11 +248,11 @@ impl BenchArgs {
         (!self.no_baseline_cache).then(BaselineCache::new)
     }
 
-    /// The per-run switches the flags ask for: default options with the
-    /// predecoded interpreter disabled when `--no-predecode` was given.
+    /// The per-run switches the flags ask for: default options on the
+    /// `--dispatch` execution tier.
     pub fn run_options(&self) -> RunOptions {
         RunOptions {
-            predecode: !self.no_predecode,
+            dispatch: self.dispatch,
             ..RunOptions::default()
         }
     }
@@ -637,7 +650,13 @@ pub fn collect_events_cached(
     let baseline = match cache {
         Some(cache) => {
             cache
-                .get_or_compute(bench, scale, Dataset::Eval, u64::MAX, true)?
+                .get_or_compute(
+                    bench,
+                    scale,
+                    Dataset::Eval,
+                    u64::MAX,
+                    DispatchTier::default(),
+                )?
                 .stats
         }
         None => {
@@ -842,13 +861,30 @@ mod tests {
     }
 
     #[test]
-    fn bench_args_parse_no_predecode() {
+    fn bench_args_parse_dispatch() {
         let default = BenchArgs::try_from_iter(std::iter::empty()).unwrap();
-        assert!(!default.no_predecode, "fast path is on by default");
-        assert!(default.run_options().predecode);
+        assert_eq!(
+            default.dispatch,
+            DispatchTier::Threaded,
+            "threaded tier is the default"
+        );
+        assert_eq!(default.run_options().dispatch, DispatchTier::Threaded);
+        for (flag, tier) in [
+            ("legacy", DispatchTier::Legacy),
+            ("predecode", DispatchTier::Predecode),
+            ("predecoded", DispatchTier::Predecode),
+            ("threaded", DispatchTier::Threaded),
+        ] {
+            let args =
+                BenchArgs::try_from_iter(["--dispatch".to_string(), flag.to_string()]).unwrap();
+            assert_eq!(args.dispatch, tier, "--dispatch {flag}");
+            assert_eq!(args.run_options().dispatch, tier);
+        }
+        assert!(BenchArgs::try_from_iter(["--dispatch".to_string(), "warp".to_string()]).is_err());
+        assert!(BenchArgs::try_from_iter(["--dispatch".to_string()]).is_err());
+        // Back-compat alias: `--no-predecode` means the legacy loop.
         let off = BenchArgs::try_from_iter(["--no-predecode".to_string()]).unwrap();
-        assert!(off.no_predecode);
-        assert!(!off.run_options().predecode);
+        assert_eq!(off.dispatch, DispatchTier::Legacy);
         assert!(!off.run_options().zero_trunc, "orthogonal switch untouched");
     }
 

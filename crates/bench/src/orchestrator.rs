@@ -38,6 +38,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use axmemo_core::config::MemoConfig;
+use axmemo_sim::cpu::DispatchTier;
 use axmemo_telemetry::{Profile, Telemetry};
 use axmemo_workloads::runner::{
     BaselineCache, BudgetPolicy, RunFailure, RunOptions, SupervisedRun,
@@ -217,7 +218,7 @@ pub struct Orchestrator {
     budget: BudgetPolicy,
     progress: bool,
     baseline_cache: bool,
-    predecode: bool,
+    dispatch: DispatchTier,
     profile: bool,
 }
 
@@ -233,7 +234,7 @@ impl Orchestrator {
             budget: BudgetPolicy::default(),
             progress: false,
             baseline_cache: true,
-            predecode: true,
+            dispatch: DispatchTier::default(),
             profile: false,
         }
     }
@@ -279,12 +280,13 @@ impl Orchestrator {
         self
     }
 
-    /// Run every simulation on the predecoded fast-path interpreter
-    /// (default: on). `false` is the `--no-predecode` escape hatch: the
-    /// legacy instruction-at-a-time loop runs instead, producing a
-    /// byte-identical report (the CI golden diff pins exactly that).
-    pub fn predecode(mut self, on: bool) -> Self {
-        self.predecode = on;
+    /// Select the execution tier for every simulation (default:
+    /// [`DispatchTier::Threaded`], the fused-superblock interpreter).
+    /// The slower tiers are the `--dispatch predecode|legacy` escape
+    /// hatches and produce byte-identical reports (the CI golden diffs
+    /// pin exactly that).
+    pub fn dispatch(mut self, tier: DispatchTier) -> Self {
+        self.dispatch = tier;
         self
     }
 
@@ -396,7 +398,7 @@ impl Orchestrator {
             };
         };
         let opts = RunOptions {
-            predecode: self.predecode,
+            dispatch: self.dispatch,
             ..RunOptions::default()
         };
         // Per-job telemetry: a disabled handle (events/counters/spans

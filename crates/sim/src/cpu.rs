@@ -9,11 +9,12 @@
 //! §3.3 describes).
 
 use crate::cache::{CacheConfig, CacheHierarchy, CacheStats, ServedBy};
-use crate::decoded::{BlockCounts, DecodedInst, DecodedProgram};
+use crate::decoded::{DecodedInst, DecodedProgram};
 use crate::ir::{Cond, FBinOp, FUnOp, IAluOp, Inst, MemWidth, Operand, Program, NUM_REGS};
 use crate::pipeline::{FuClass, LatencyModel, Pipeline};
 use crate::predictor::{BranchPredictor, PredictorConfig, PredictorStats};
-use crate::stats::RunStats;
+use crate::stats::{InstClassCounts, RunStats};
+use crate::threaded::ThreadedProgram;
 use axmemo_core::config::MemoConfig;
 use axmemo_core::faults::{FaultInjector, Protection};
 use axmemo_core::ids::{ThreadId, MAX_LUTS};
@@ -196,6 +197,59 @@ pub trait TraceSink {
     fn record(&mut self, pc: usize, inst: &Inst, wrote: Option<(u8, u64)>, addr: Option<u64>);
 }
 
+/// Which interpreter executes a program. All three tiers are
+/// observably identical — `RunStats`, machine state, error values,
+/// fault-injector draws, and telemetry event streams match bit for bit
+/// (pinned by `tests/decode_equivalence.rs`); they differ only in host
+/// speed and profiler attribution granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum DispatchTier {
+    /// Instruction-at-a-time reference loop: re-derives operands and
+    /// latencies per dynamic instruction. The only tier supporting a
+    /// [`TraceSink`], and the semantic baseline every fast path is
+    /// checked against.
+    Legacy,
+    /// Embra-style predecoded loop over [`DecodedProgram`]: operands,
+    /// latencies, and FU classes resolved once; per-basic-block batched
+    /// counters.
+    Predecode,
+    /// Threaded-code dispatch over fused superblocks (the default):
+    /// straight-line chains of basic blocks — loop back-edges unrolled,
+    /// biased conditional edges fused — executed as one flat run of
+    /// pre-bound ops, with side exits back to the outer loop when a
+    /// branch disagrees with its static prediction.
+    #[default]
+    Threaded,
+}
+
+impl DispatchTier {
+    /// All tiers, in escape-hatch order (reference first).
+    pub const ALL: [DispatchTier; 3] = [
+        DispatchTier::Legacy,
+        DispatchTier::Predecode,
+        DispatchTier::Threaded,
+    ];
+
+    /// The flag-facing name (`legacy` | `predecode` | `threaded`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchTier::Legacy => "legacy",
+            DispatchTier::Predecode => "predecode",
+            DispatchTier::Threaded => "threaded",
+        }
+    }
+
+    /// Parse a flag value as accepted by `--dispatch`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "legacy" => Some(DispatchTier::Legacy),
+            "predecode" | "predecoded" => Some(DispatchTier::Predecode),
+            "threaded" => Some(DispatchTier::Threaded),
+            _ => None,
+        }
+    }
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -216,11 +270,11 @@ pub struct SimConfig {
     /// bound. The supervised benchmark runner uses it as a watchdog
     /// against non-terminating or pathologically slow programs.
     pub max_cycles: u64,
-    /// Use the predecoded fast-path interpreter (default). Disabling it
-    /// falls back to the legacy instruction-at-a-time loop; results are
-    /// bit-identical either way (pinned by tests), so this exists only
-    /// as an escape hatch and as the reference for equivalence checks.
-    pub predecode: bool,
+    /// Which interpreter runs the program (default
+    /// [`DispatchTier::Threaded`]). Results are bit-identical across
+    /// tiers (pinned by tests), so the slower tiers exist only as
+    /// escape hatches and as references for equivalence checks.
+    pub dispatch: DispatchTier,
 }
 
 impl Default for SimConfig {
@@ -232,7 +286,7 @@ impl Default for SimConfig {
             predictor: None,
             max_insts: 2_000_000_000,
             max_cycles: u64::MAX,
-            predecode: true,
+            dispatch: DispatchTier::default(),
         }
     }
 }
@@ -271,28 +325,13 @@ impl SimConfig {
 /// unless [`Self::reset`] is called.
 #[derive(Debug)]
 pub struct Simulator {
-    config: SimConfig,
-    cache: CacheHierarchy,
-    memo: Option<MemoizationUnit>,
+    pub(crate) config: SimConfig,
+    pub(crate) cache: CacheHierarchy,
+    pub(crate) memo: Option<MemoizationUnit>,
     /// Memory-model fault injector (latency spikes on cache accesses),
     /// seeded from the memoization config's fault settings.
-    mem_faults: Option<FaultInjector>,
-    telemetry: Telemetry,
-}
-
-/// Dynamic instruction counts by class, flushed to telemetry at the end
-/// of a run (locals in the hot loop; no registry lookups per commit).
-#[derive(Debug, Clone, Copy, Default)]
-struct InstClassCounts {
-    ialu: u64,
-    fbin: u64,
-    fun: u64,
-    load: u64,
-    store: u64,
-    mov: u64,
-    branch: u64,
-    jump: u64,
-    memo: u64,
+    pub(crate) mem_faults: Option<FaultInjector>,
+    pub(crate) telemetry: Telemetry,
 }
 
 impl Simulator {
@@ -375,23 +414,28 @@ impl Simulator {
         }
     }
 
-    /// Execute `program` to `Halt`.
-    ///
-    /// With [`SimConfig::predecode`] set (the default) the program is
-    /// lowered once via [`DecodedProgram::compile`] and run on the
-    /// fast-path interpreter; otherwise the legacy per-instruction loop
-    /// runs. Results are bit-identical either way.
+    /// Execute `program` to `Halt` on the configured
+    /// [`SimConfig::dispatch`] tier. The faster tiers lower the program
+    /// once per call ([`DecodedProgram::compile`], then
+    /// [`ThreadedProgram::compile`] for the threaded tier); results are
+    /// bit-identical across tiers.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] on the first fault (out-of-bounds access,
     /// division by zero, runaway loop, missing memoization unit).
     pub fn run(&mut self, program: &Program, machine: &mut Machine) -> Result<RunStats, SimError> {
-        if self.config.predecode {
-            let decoded = DecodedProgram::compile(program, &self.config.latency);
-            self.run_decoded(&decoded, machine)
-        } else {
-            self.run_legacy(program, machine, None)
+        match self.config.dispatch {
+            DispatchTier::Legacy => self.run_legacy(program, machine, None),
+            DispatchTier::Predecode => {
+                let decoded = DecodedProgram::compile(program, &self.config.latency);
+                self.run_decoded(&decoded, machine)
+            }
+            DispatchTier::Threaded => {
+                let decoded = DecodedProgram::compile(program, &self.config.latency);
+                let threaded = ThreadedProgram::compile(&decoded);
+                self.run_threaded(&threaded, machine)
+            }
         }
     }
 
@@ -418,6 +462,32 @@ impl Simulator {
             "DecodedProgram latency model does not match the simulator config"
         );
         self.run_decoded(decoded, machine)
+    }
+
+    /// Execute an already-lowered threaded program (see
+    /// [`ThreadedProgram`]), skipping both the decode and the
+    /// superblock-lowering steps. Sweep cells share one
+    /// `Arc<ThreadedProgram>` the same way they share decoded programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threaded` was lowered against a different
+    /// [`LatencyModel`] than this simulator's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on the first fault, exactly as [`Self::run`].
+    pub fn run_prepared_threaded(
+        &mut self,
+        threaded: &ThreadedProgram,
+        machine: &mut Machine,
+    ) -> Result<RunStats, SimError> {
+        assert_eq!(
+            *threaded.latency(),
+            self.config.latency,
+            "ThreadedProgram latency model does not match the simulator config"
+        );
+        self.run_threaded(threaded, machine)
     }
 
     /// Like [`Self::run`] with an optional trace sink receiving every
@@ -890,7 +960,7 @@ impl Simulator {
                     }
                     DecodedInst::Halt => {
                         dyn_insts += 1;
-                        apply_block(&mut stats, &mut classes, &block.counts);
+                        stats.apply_block(&mut classes, &block.counts);
                         if prof_on {
                             self.telemetry.profiler_mut().block_retire(
                                 block_idx as usize,
@@ -1167,7 +1237,7 @@ impl Simulator {
                 }
                 dyn_insts += 1;
             }
-            apply_block(&mut stats, &mut classes, &block.counts);
+            stats.apply_block(&mut classes, &block.counts);
             if prof_on {
                 self.telemetry.profiler_mut().block_retire(
                     block_idx as usize,
@@ -1194,7 +1264,7 @@ impl Simulator {
     /// classes and stalls accumulate in locals during the run; cache
     /// statistics are counted as deltas against the run-start snapshot
     /// (the hierarchy's counters persist across runs).
-    fn flush_run_telemetry(
+    pub(crate) fn flush_run_telemetry(
         &mut self,
         stats: &RunStats,
         classes: &InstClassCounts,
@@ -1264,7 +1334,7 @@ fn width_mask(w: MemWidth) -> u64 {
     }
 }
 
-fn input_value(width: MemWidth, raw: u64) -> InputValue {
+pub(crate) fn input_value(width: MemWidth, raw: u64) -> InputValue {
     match width {
         MemWidth::B1 => InputValue::U8(raw as u8),
         MemWidth::B4 => InputValue::I32(raw as u32 as i32),
@@ -1274,7 +1344,7 @@ fn input_value(width: MemWidth, raw: u64) -> InputValue {
 
 /// Extra memory latency from an injected spike fault (0 when no injector
 /// is installed or this access drew no fault).
-fn spike_cycles(faults: &mut Option<FaultInjector>) -> u64 {
+pub(crate) fn spike_cycles(faults: &mut Option<FaultInjector>) -> u64 {
     faults.as_mut().and_then(|f| f.latency_spike()).unwrap_or(0)
 }
 
@@ -1284,9 +1354,9 @@ fn charge_mem(stats: &mut RunStats, served: ServedBy) {
 }
 
 /// The runtime-dependent half of [`charge_mem`]: which level served the
-/// access. The fast path batches the (static) `l1d_accesses` count per
-/// basic block and charges only this part per instruction.
-fn charge_mem_levels(stats: &mut RunStats, served: ServedBy) {
+/// access. The fast paths batch the (static) `l1d_accesses` count per
+/// basic block and charge only this part per instruction.
+pub(crate) fn charge_mem_levels(stats: &mut RunStats, served: ServedBy) {
     match served {
         ServedBy::L1 => {}
         ServedBy::L2 => stats.energy.l2_accesses += 1,
@@ -1297,32 +1367,7 @@ fn charge_mem_levels(stats: &mut RunStats, served: ServedBy) {
     }
 }
 
-/// Add one retired basic block's input-independent counts (see
-/// [`BlockCounts`]) into the run's statistics.
-fn apply_block(stats: &mut RunStats, classes: &mut InstClassCounts, c: &BlockCounts) {
-    classes.ialu += c.ialu;
-    classes.fbin += c.fbin;
-    classes.fun += c.fun;
-    classes.load += c.load;
-    classes.store += c.store;
-    classes.mov += c.mov;
-    classes.branch += c.branch;
-    classes.jump += c.jump;
-    classes.memo += c.memo;
-    stats.memo_insts += c.memo_insts;
-    stats.energy.int_alu_ops += c.int_alu_ops;
-    stats.energy.int_mul_ops += c.int_mul_ops;
-    stats.energy.int_div_ops += c.int_div_ops;
-    stats.energy.fp_ops += c.fp_ops;
-    stats.energy.fp_div_ops += c.fp_div_ops;
-    stats.energy.fp_libm_ops += c.fp_libm_ops;
-    stats.energy.l1d_accesses += c.l1d_accesses;
-    stats.energy.crc_beats += c.crc_beats;
-    stats.energy.hvr_accesses += c.hvr_accesses;
-    stats.energy.l1_lut_accesses += c.l1_lut_accesses;
-}
-
-fn ialu(op: IAluOp, a: u64, b: u64) -> Option<u64> {
+pub(crate) fn ialu(op: IAluOp, a: u64, b: u64) -> Option<u64> {
     Some(match op {
         IAluOp::Add => a.wrapping_add(b),
         IAluOp::Sub => a.wrapping_sub(b),
@@ -1351,7 +1396,30 @@ fn ialu(op: IAluOp, a: u64, b: u64) -> Option<u64> {
     })
 }
 
-fn fbin(op: FBinOp, a: f32, b: f32) -> f32 {
+/// [`ialu`] restricted to the simple ops [`FuClass::IntAlu`] carries
+/// (no multiply, no divide): infallible, so the threaded tier's fused
+/// ALU handlers have no error branch.
+#[inline(always)]
+pub(crate) fn ialu_simple(op: IAluOp, a: u64, b: u64) -> u64 {
+    match op {
+        IAluOp::Add => a.wrapping_add(b),
+        IAluOp::Sub => a.wrapping_sub(b),
+        IAluOp::And => a & b,
+        IAluOp::Or => a | b,
+        IAluOp::Xor => a ^ b,
+        IAluOp::Shl => a.wrapping_shl(b as u32),
+        IAluOp::Shr => a.wrapping_shr(b as u32),
+        IAluOp::Sar => ((a as i64).wrapping_shr(b as u32)) as u64,
+        IAluOp::SltS => u64::from((a as i64) < (b as i64)),
+        IAluOp::SltU => u64::from(a < b),
+        IAluOp::PackLo32 => (b << 32) | (a & 0xFFFF_FFFF),
+        IAluOp::Mul | IAluOp::Div | IAluOp::Rem => {
+            unreachable!("lowered to dedicated Mul/Div fused ops")
+        }
+    }
+}
+
+pub(crate) fn fbin(op: FBinOp, a: f32, b: f32) -> f32 {
     match op {
         FBinOp::Add => a + b,
         FBinOp::Sub => a - b,
@@ -1369,7 +1437,7 @@ fn fbin(op: FBinOp, a: f32, b: f32) -> f32 {
     }
 }
 
-fn funop(op: FUnOp, raw: u64) -> u64 {
+pub(crate) fn funop(op: FUnOp, raw: u64) -> u64 {
     let a = f32::from_bits(raw as u32);
     match op {
         FUnOp::Sqrt => u64::from(a.sqrt().to_bits()),
@@ -1393,7 +1461,7 @@ fn branch_taken(cond: Cond, machine: &Machine, ra: u8, rb: Operand) -> bool {
 }
 
 /// Branch condition over pre-resolved operand values.
-fn cond_taken(cond: Cond, a: u64, b: u64) -> bool {
+pub(crate) fn cond_taken(cond: Cond, a: u64, b: u64) -> bool {
     match cond {
         Cond::Eq => a == b,
         Cond::Ne => a != b,
@@ -1614,15 +1682,15 @@ mod tests {
                 width: MemWidth::B8
             })
         );
-        // Same through the interpreter (both paths).
-        for predecode in [true, false] {
+        // Same through the interpreter (all tiers).
+        for dispatch in DispatchTier::ALL {
             let mut b = ProgramBuilder::new();
             b.movi(1, u64::MAX - 1);
             b.ld(MemWidth::B8, 2, 1, 0);
             b.halt();
             let p = b.build().unwrap();
             let cfg = SimConfig {
-                predecode,
+                dispatch,
                 ..SimConfig::baseline()
             };
             let mut sim = Simulator::new(cfg).unwrap();
@@ -1638,11 +1706,11 @@ mod tests {
     }
 
     #[test]
-    fn predecoded_and_legacy_paths_agree_exactly() {
+    fn all_dispatch_tiers_agree_exactly() {
         let p = memo_square_program();
-        let run = |predecode: bool| {
+        let run = |dispatch: DispatchTier| {
             let cfg = SimConfig {
-                predecode,
+                dispatch,
                 ..SimConfig::with_memo(MemoConfig::l1_only(4096))
             };
             let mut sim = Simulator::new(cfg).unwrap();
@@ -1653,7 +1721,99 @@ mod tests {
             let stats = sim.run(&p, &mut m).unwrap();
             (stats, m.regs, m.mem)
         };
-        assert_eq!(run(true), run(false));
+        let reference = run(DispatchTier::Legacy);
+        assert_eq!(run(DispatchTier::Predecode), reference);
+        assert_eq!(run(DispatchTier::Threaded), reference);
+    }
+
+    #[test]
+    fn run_prepared_threaded_matches_run() {
+        use crate::decoded::DecodedProgram;
+        let p = memo_square_program();
+        let cfg = SimConfig::with_memo(MemoConfig::l1_only(4096));
+        let decoded = DecodedProgram::compile(&p, &cfg.latency);
+        let threaded = ThreadedProgram::compile(&decoded);
+        let setup = || {
+            let mut m = Machine::new(64 * 1024);
+            for i in 0..256 {
+                m.store_f32(0x1000 + 4 * i, (i % 8) as f32 + 1.0);
+            }
+            m
+        };
+        let mut sim = Simulator::new(cfg.clone()).unwrap();
+        let mut m1 = setup();
+        let direct = sim.run(&p, &mut m1).unwrap();
+        let mut sim = Simulator::new(cfg).unwrap();
+        let mut m2 = setup();
+        let prepared = sim.run_prepared_threaded(&threaded, &mut m2).unwrap();
+        assert_eq!(direct, prepared);
+        assert_eq!(m1.mem, m2.mem);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency model")]
+    fn run_prepared_threaded_rejects_mismatched_latency_model() {
+        use crate::decoded::DecodedProgram;
+        use crate::pipeline::LatencyModel;
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let other = LatencyModel {
+            int_div: 99,
+            ..LatencyModel::default()
+        };
+        let threaded = ThreadedProgram::compile(&DecodedProgram::compile(&p, &other));
+        let mut sim = Simulator::new(SimConfig::baseline()).unwrap();
+        let mut m = Machine::new(64);
+        let _ = sim.run_prepared_threaded(&threaded, &mut m);
+    }
+
+    #[test]
+    fn watchdog_trip_points_identical_across_tiers() {
+        // Sweep max_insts and max_cycles over ranges that trip mid-loop,
+        // at a superblock boundary, and mid-superblock: every tier must
+        // return the identical Result at every point.
+        let p = memo_square_program();
+        let run = |dispatch: DispatchTier, max_insts: u64, max_cycles: u64| {
+            let cfg = SimConfig {
+                dispatch,
+                max_insts,
+                max_cycles,
+                ..SimConfig::with_memo(MemoConfig::l1_only(4096))
+            };
+            let mut sim = Simulator::new(cfg).unwrap();
+            let mut m = Machine::new(64 * 1024);
+            for i in 0..256 {
+                m.store_f32(0x1000 + 4 * i, (i % 8) as f32 + 1.0);
+            }
+            sim.run(&p, &mut m)
+        };
+        for max_insts in [1, 7, 50, 333, 1000, 2500] {
+            let reference = run(DispatchTier::Legacy, max_insts, u64::MAX);
+            assert_eq!(
+                run(DispatchTier::Predecode, max_insts, u64::MAX),
+                reference,
+                "max_insts {max_insts}"
+            );
+            assert_eq!(
+                run(DispatchTier::Threaded, max_insts, u64::MAX),
+                reference,
+                "max_insts {max_insts}"
+            );
+        }
+        for max_cycles in [0, 13, 97, 800, 4000] {
+            let reference = run(DispatchTier::Legacy, u64::MAX, max_cycles);
+            assert_eq!(
+                run(DispatchTier::Predecode, u64::MAX, max_cycles),
+                reference,
+                "max_cycles {max_cycles}"
+            );
+            assert_eq!(
+                run(DispatchTier::Threaded, u64::MAX, max_cycles),
+                reference,
+                "max_cycles {max_cycles}"
+            );
+        }
     }
 
     #[test]

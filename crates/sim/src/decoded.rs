@@ -177,6 +177,31 @@ pub(crate) struct BlockCounts {
 }
 
 impl BlockCounts {
+    /// Accumulate another block's counts (used to build the cumulative
+    /// exit tables of the threaded tier's superblocks).
+    pub(crate) fn absorb(&mut self, o: &BlockCounts) {
+        self.ialu += o.ialu;
+        self.fbin += o.fbin;
+        self.fun += o.fun;
+        self.load += o.load;
+        self.store += o.store;
+        self.mov += o.mov;
+        self.branch += o.branch;
+        self.jump += o.jump;
+        self.memo += o.memo;
+        self.int_alu_ops += o.int_alu_ops;
+        self.int_mul_ops += o.int_mul_ops;
+        self.int_div_ops += o.int_div_ops;
+        self.fp_ops += o.fp_ops;
+        self.fp_div_ops += o.fp_div_ops;
+        self.fp_libm_ops += o.fp_libm_ops;
+        self.l1d_accesses += o.l1d_accesses;
+        self.crc_beats += o.crc_beats;
+        self.hvr_accesses += o.hvr_accesses;
+        self.l1_lut_accesses += o.l1_lut_accesses;
+        self.memo_insts += o.memo_insts;
+    }
+
     /// Accumulate one instruction's static contribution, mirroring the
     /// per-arm increments of the legacy interpreter exactly.
     fn add(&mut self, inst: &Inst) {
@@ -404,6 +429,161 @@ impl DecodedProgram {
     /// Whether the program is empty.
     pub fn is_empty(&self) -> bool {
         self.insts.is_empty()
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block a fused chain continues into after `blk`, under static
+    /// prediction, or `None` if the chain must stop there:
+    ///
+    /// - unconditional jump → the target block (stop if the target is
+    ///   out of range — the runtime reports `PcOutOfRange`);
+    /// - conditional branch → the statically predicted direction: a
+    ///   backward in-range target (`target <= pc` — a loop back-edge)
+    ///   is predicted **taken** and the chain follows it; anything else
+    ///   is predicted not-taken and the chain falls through;
+    /// - `branch_memo_hit` → predicted **hit** (taken), following the
+    ///   in-range target; an out-of-range target is predicted not-hit
+    ///   and the chain falls through;
+    /// - plain fall-through into the next leader → the next block;
+    /// - `halt` (or falling off the end of the program) → stop.
+    fn fused_successor(&self, blk: &Block) -> Option<usize> {
+        let n = self.insts.len();
+        let last = blk.end as usize - 1;
+        let fallthrough = |end: usize| (end < n).then(|| self.block_of[end] as usize);
+        match self.insts[last] {
+            DecodedInst::Jump { target } => (target < n).then(|| self.block_of[target] as usize),
+            DecodedInst::BranchRR { target, .. } | DecodedInst::BranchRI { target, .. } => {
+                if target <= last && target < n {
+                    Some(self.block_of[target] as usize)
+                } else {
+                    fallthrough(blk.end as usize)
+                }
+            }
+            DecodedInst::BranchMemoHit { target } => {
+                if target < n {
+                    Some(self.block_of[target] as usize)
+                } else {
+                    fallthrough(blk.end as usize)
+                }
+            }
+            DecodedInst::Halt => None,
+            _ => fallthrough(blk.end as usize),
+        }
+    }
+
+    /// Build one [`Superblock`] per basic block: the straight-line
+    /// chain of blocks execution follows from that leader under static
+    /// branch prediction (see `fused_successor` for the edge
+    /// rules). Revisits are allowed — a tiny loop's back-edge is fused
+    /// over and over, unrolling many iterations into one superblock —
+    /// and chains terminate purely on the [`MAX_SUPERBLOCK_BLOCKS`] and
+    /// [`MAX_SUPERBLOCK_OPS`] caps (or a `halt` / chain-ending edge).
+    ///
+    /// ```
+    /// use axmemo_sim::pipeline::LatencyModel;
+    /// use axmemo_sim::ir::{Cond, IAluOp, Operand};
+    /// use axmemo_sim::{DecodedProgram, ProgramBuilder};
+    ///
+    /// let mut b = ProgramBuilder::new();
+    /// b.movi(1, 0).movi(2, 100);
+    /// let top = b.label("top");
+    /// b.bind(top);
+    /// b.alu(IAluOp::Add, 1, 1, Operand::Imm(1));
+    /// b.branch(Cond::LtS, 1, Operand::Reg(2), top);
+    /// b.halt();
+    /// let program = b.build().unwrap();
+    ///
+    /// let decoded = DecodedProgram::compile(&program, &LatencyModel::default());
+    /// let chains = decoded.superblocks();
+    /// // One superblock per basic-block leader…
+    /// assert_eq!(chains.len(), decoded.block_count());
+    /// // …and the loop body's chain fuses its own backward edge many
+    /// // times over, unrolling iterations of the two-instruction body
+    /// // into a single superblock.
+    /// let body = chains.iter().find(|sb| sb.entry_pc() == 2).unwrap();
+    /// assert!(body.len() > 8);
+    /// ```
+    pub fn superblocks(&self) -> Vec<Superblock> {
+        (0..self.blocks.len())
+            .map(|head| {
+                let mut blocks = Vec::new();
+                let mut ops = 0usize;
+                let mut cur = head;
+                loop {
+                    let blk = &self.blocks[cur];
+                    let len = (blk.end - blk.start) as usize;
+                    // The head block is always included, even if it
+                    // alone exceeds the op cap — it cannot be split.
+                    if !blocks.is_empty()
+                        && (blocks.len() >= MAX_SUPERBLOCK_BLOCKS || ops + len > MAX_SUPERBLOCK_OPS)
+                    {
+                        break;
+                    }
+                    blocks.push(cur as u32);
+                    ops += len;
+                    match self.fused_successor(blk) {
+                        Some(next) => cur = next,
+                        None => break,
+                    }
+                }
+                Superblock {
+                    blocks,
+                    entry_pc: self.blocks[head].start,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Fusion cap: a superblock chains at most this many basic blocks.
+/// Together with [`MAX_SUPERBLOCK_OPS`] this bounds unrolling — chains
+/// may revisit blocks (loop back-edges fuse into straight-line unrolled
+/// iterations), so the caps are the only termination condition.
+pub const MAX_SUPERBLOCK_BLOCKS: usize = 32;
+
+/// Fusion cap: a superblock carries at most this many decoded
+/// instructions (region markers included), except that a single head
+/// block larger than the cap still forms a one-block superblock.
+pub const MAX_SUPERBLOCK_OPS: usize = 256;
+
+/// A straight-line chain of basic blocks fused under static branch
+/// prediction, built by [`DecodedProgram::superblocks`]. The threaded
+/// tier lowers each superblock into a flat run of fused ops executed
+/// with one dispatch per superblock; conditional edges inside the chain
+/// become side exits that fall back to the outer loop when the runtime
+/// direction disagrees with the prediction.
+#[derive(Debug, Clone)]
+pub struct Superblock {
+    /// Indices into `DecodedProgram::blocks`, in execution order.
+    /// Repeats are expected (unrolled loop iterations).
+    blocks: Vec<u32>,
+    /// The leader pc of the head block — the only valid entry point.
+    entry_pc: u32,
+}
+
+impl Superblock {
+    /// The leader pc of the head block (the chain's only entry point).
+    pub fn entry_pc(&self) -> usize {
+        self.entry_pc as usize
+    }
+
+    /// Number of chained basic blocks (repeats counted).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the chain is empty (never true for built superblocks).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The chained block indices, in execution order.
+    pub(crate) fn block_indices(&self) -> &[u32] {
+        &self.blocks
     }
 }
 
@@ -653,6 +833,69 @@ mod tests {
         };
         let d = DecodedProgram::compile(&p, &LatencyModel::default());
         assert!(matches!(d.insts[0], DecodedInst::Jump { target: 5 }));
+    }
+
+    #[test]
+    fn superblock_chain_unrolls_backward_edges_within_caps() {
+        let p = looped_program();
+        let d = DecodedProgram::compile(&p, &LatencyModel::default());
+        let chains = d.superblocks();
+        assert_eq!(chains.len(), d.block_count());
+        // The loop body ([2,4): add + blt) fuses its own back-edge up
+        // to the block cap; the entry block fuses into it too.
+        let body = chains.iter().find(|sb| sb.entry_pc() == 2).unwrap();
+        assert_eq!(body.len(), MAX_SUPERBLOCK_BLOCKS);
+        assert!(body.block_indices().iter().all(|&b| b == 1));
+        let entry = chains.iter().find(|sb| sb.entry_pc() == 0).unwrap();
+        assert_eq!(entry.len(), MAX_SUPERBLOCK_BLOCKS);
+        assert_eq!(entry.block_indices()[0], 0);
+        assert!(entry.block_indices()[1..].iter().all(|&b| b == 1));
+        // The halt block chains nothing.
+        let tail = chains.iter().find(|sb| sb.entry_pc() == 4).unwrap();
+        assert_eq!(tail.len(), 1);
+    }
+
+    #[test]
+    fn forward_branches_are_predicted_not_taken() {
+        // if (r1 < r2) { r3 += 1 } ; r4 += 1 ; halt
+        let mut b = ProgramBuilder::new();
+        let skip = b.label("skip");
+        b.branch(Cond::GeS, 1, Operand::Reg(2), skip);
+        b.alu(IAluOp::Add, 3, 3, Operand::Imm(1));
+        b.bind(skip);
+        b.alu(IAluOp::Add, 4, 4, Operand::Imm(1));
+        b.halt();
+        let p = b.build().unwrap();
+        let d = DecodedProgram::compile(&p, &LatencyModel::default());
+        let chains = d.superblocks();
+        // The head chain falls through the forward branch and runs to
+        // the halt: all three blocks fused, no revisits.
+        let head = chains.iter().find(|sb| sb.entry_pc() == 0).unwrap();
+        assert_eq!(head.len(), 3);
+        let mut seen = head.block_indices().to_vec();
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn op_cap_bounds_unrolling_of_wide_loops() {
+        // A loop body much wider than MAX_SUPERBLOCK_OPS still forms a
+        // (one-block) superblock; a moderately wide one unrolls only
+        // until the op cap.
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.bind(top);
+        for _ in 0..100 {
+            b.alu(IAluOp::Add, 1, 1, Operand::Imm(1));
+        }
+        b.branch(Cond::LtS, 1, Operand::Reg(2), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let d = DecodedProgram::compile(&p, &LatencyModel::default());
+        let chains = d.superblocks();
+        let body = chains.iter().find(|sb| sb.entry_pc() == 0).unwrap();
+        // 101 ops per iteration: two fit under 256, a third does not.
+        assert_eq!(body.len(), 2);
     }
 
     #[test]

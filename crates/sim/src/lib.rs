@@ -16,6 +16,49 @@
 //! dynamic-instruction reduction) between runs of the same model, not
 //! absolute gem5 cycle counts.
 //!
+//! ## Execution tiers
+//!
+//! The simulator has three interpreters that produce **bit-identical**
+//! observables (statistics, machine state, errors, telemetry events)
+//! and differ only in host-side speed, selected by
+//! [`cpu::SimConfig::dispatch`]:
+//!
+//! | Tier | Module | Strategy |
+//! |---|---|---|
+//! | [`cpu::DispatchTier::Legacy`] | [`cpu`] | decode each [`ir::Inst`] at every dynamic execution |
+//! | [`cpu::DispatchTier::Predecode`] | [`decoded`] | pre-resolve operands/latencies once; dispatch per instruction |
+//! | [`cpu::DispatchTier::Threaded`] (default) | [`threaded`] | fuse basic blocks into superblocks; dispatch per chain |
+//!
+//! Lowering is staged: [`ir::Program`] →
+//! [`DecodedProgram::compile`](decoded::DecodedProgram::compile) →
+//! [`ThreadedProgram::compile`](threaded::ThreadedProgram::compile).
+//! Either prepared form can be shared across simulators and threads:
+//!
+//! ```
+//! use axmemo_sim::cpu::{Machine, SimConfig, Simulator};
+//! use axmemo_sim::pipeline::LatencyModel;
+//! use axmemo_sim::{DecodedProgram, ProgramBuilder, ThreadedProgram};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.movi(1, 6).movi(2, 7);
+//! b.alu(axmemo_sim::ir::IAluOp::Mul, 3, 1, axmemo_sim::ir::Operand::Reg(2));
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let config = SimConfig::baseline();
+//! let decoded = DecodedProgram::compile(&program, &config.latency);
+//! let threaded = ThreadedProgram::compile(&decoded);
+//!
+//! let mut sim = Simulator::new(config)?;
+//! let mut m1 = Machine::new(4096);
+//! let mut m2 = Machine::new(4096);
+//! let fast = sim.run_prepared_threaded(&threaded, &mut m1)?;
+//! let slow = sim.run_prepared(&decoded, &mut m2)?;
+//! assert_eq!(fast, slow);
+//! assert_eq!(m1.regs[3], 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -51,10 +94,12 @@ pub mod multicore;
 pub mod pipeline;
 pub mod predictor;
 pub mod stats;
+pub mod threaded;
 
 pub use builder::ProgramBuilder;
-pub use cpu::{Machine, SimConfig, SimError, Simulator, TraceSink};
-pub use decoded::DecodedProgram;
+pub use cpu::{DispatchTier, Machine, SimConfig, SimError, Simulator, TraceSink};
+pub use decoded::{DecodedProgram, Superblock};
 pub use energy::EnergyModel;
 pub use ir::{Inst, Program};
 pub use stats::RunStats;
+pub use threaded::ThreadedProgram;

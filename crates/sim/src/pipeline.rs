@@ -232,6 +232,98 @@ impl Pipeline {
         at
     }
 
+    // ---- Specialized issue paths for the threaded tier ----
+    //
+    // `FusedOp` bakes the FU class into the variant, so the threaded
+    // interpreter calls one of the monomorphic helpers below instead of
+    // the generic `issue`: the FU-class match, slot predicate, and lane
+    // increment all constant-fold per call site. Each helper is
+    // behaviour-identical to `issue` with the corresponding `FuClass`
+    // (pinned by the `specialized_issue_matches_generic` test); callers
+    // compute the source-readiness max themselves via `src_ready`.
+
+    /// Cycle register `r`'s value becomes available (masked index,
+    /// matching [`Pipeline::issue`]'s source handling).
+    #[inline(always)]
+    pub(crate) fn src_ready(&self, r: u8) -> u64 {
+        self.reg_ready[r as usize & (NUM_REGS - 1)]
+    }
+
+    /// Claim an issue slot no earlier than `earliest` on the FU lane at
+    /// bit `SHIFT` with per-cycle port capacity `CAP`.
+    #[inline(always)]
+    fn issue_slot<const SHIFT: u32, const CAP: u64>(&mut self, earliest: u64) -> u64 {
+        self.advance_to(earliest);
+        while (self.issued & 0xff) >= self.width || ((self.issued >> SHIFT) & 0xff) >= CAP {
+            let next = self.cycle + 1;
+            self.advance_to(next);
+        }
+        let at = self.cycle;
+        self.issued += (1 << LANE_TOTAL) + (1 << SHIFT);
+        at
+    }
+
+    /// `issue(&[..], Some(rd), FuClass::IntAlu, latency, 0)` with the
+    /// source max precomputed into `earliest`.
+    #[inline(always)]
+    pub(crate) fn issue_int(&mut self, earliest: u64, rd: u8, latency: u64) {
+        let at = self.issue_slot::<LANE_ALU, 2>(earliest);
+        self.reg_ready[rd as usize & (NUM_REGS - 1)] = at + latency;
+    }
+
+    /// `issue(&[..], None, FuClass::Branch, 1, 0)`.
+    #[inline(always)]
+    pub(crate) fn issue_branch(&mut self, earliest: u64) {
+        self.issue_slot::<LANE_ALU, 2>(earliest);
+    }
+
+    /// `issue(&[..], Some(rd), FuClass::IntMul, latency, 0)`.
+    #[inline(always)]
+    pub(crate) fn issue_mul(&mut self, earliest: u64, rd: u8, latency: u64) {
+        let at = self.issue_slot::<LANE_MUL, 1>(earliest);
+        self.reg_ready[rd as usize & (NUM_REGS - 1)] = at + latency;
+    }
+
+    /// `issue(&[..], Some(rd), FuClass::IntDiv, latency, 0)`: no FU
+    /// lane — the unpipelined divider serialises through `div_free`.
+    #[inline(always)]
+    pub(crate) fn issue_div(&mut self, earliest: u64, rd: u8, latency: u64) {
+        self.advance_to(earliest.max(self.div_free));
+        while (self.issued & 0xff) >= self.width {
+            let next = self.cycle + 1;
+            self.advance_to(next);
+        }
+        let at = self.cycle;
+        self.issued += 1 << LANE_TOTAL;
+        self.reg_ready[rd as usize & (NUM_REGS - 1)] = at + latency;
+        self.div_free = at + latency;
+    }
+
+    /// `issue(&[..], Some(rd), FuClass::Fp, latency, 0)`.
+    #[inline(always)]
+    pub(crate) fn issue_fp(&mut self, earliest: u64, rd: u8, latency: u64) {
+        let at = self.issue_slot::<LANE_FP, 1>(earliest);
+        self.reg_ready[rd as usize & (NUM_REGS - 1)] = at + latency;
+    }
+
+    /// `issue(&[..], Some(rd), FuClass::FpLong, latency, 0)`: shares
+    /// the FP port and additionally occupies it for the full latency.
+    #[inline(always)]
+    pub(crate) fn issue_fp_long(&mut self, earliest: u64, rd: u8, latency: u64) {
+        let at = self.issue_slot::<LANE_FP, 1>(earliest.max(self.fp_long_free));
+        self.reg_ready[rd as usize & (NUM_REGS - 1)] = at + latency;
+        self.fp_long_free = at + latency;
+    }
+
+    /// `issue(&[..], dst, FuClass::LdSt, latency, 0)`.
+    #[inline(always)]
+    pub(crate) fn issue_ldst(&mut self, earliest: u64, dst: Option<u8>, latency: u64) {
+        let at = self.issue_slot::<LANE_LDST, 1>(earliest);
+        if let Some(d) = dst {
+            self.reg_ready[d as usize & (NUM_REGS - 1)] = at + latency;
+        }
+    }
+
     /// Charge a taken-branch bubble: the front end refills.
     #[inline]
     pub fn branch_bubble(&mut self, bubble: u64) {
@@ -317,6 +409,48 @@ mod tests {
         let mut p = Pipeline::new();
         p.issue(&[], Some(1), FuClass::FpLong, 45, 0);
         assert!(p.drain() >= 45);
+    }
+
+    #[test]
+    fn specialized_issue_matches_generic() {
+        // Drive a generic-issue pipeline and a specialized-issue
+        // pipeline through the same mixed sequence; every observable
+        // (now, drain, per-op issue interleavings via shared state)
+        // must agree cycle-for-cycle.
+        let mut g = Pipeline::new();
+        let mut s = Pipeline::new();
+        let seq: [(FuClass, u8, [u8; 2], u64); 12] = [
+            (FuClass::IntAlu, 1, [0, 0], 1),
+            (FuClass::IntAlu, 2, [1, 1], 1),
+            (FuClass::IntMul, 3, [1, 2], 3),
+            (FuClass::IntDiv, 4, [3, 2], 12),
+            (FuClass::IntDiv, 5, [4, 1], 12),
+            (FuClass::Fp, 6, [5, 5], 4),
+            (FuClass::FpLong, 7, [6, 6], 15),
+            (FuClass::Fp, 8, [7, 7], 4),
+            (FuClass::LdSt, 9, [8, 8], 3),
+            (FuClass::Branch, 0, [9, 9], 1),
+            (FuClass::IntAlu, 10, [9, 9], 1),
+            (FuClass::LdSt, 0, [10, 10], 1),
+        ];
+        for &(fu, rd, srcs, lat) in &seq {
+            let dst = (rd != 0).then_some(rd);
+            g.issue(&srcs, dst, fu, lat, 0);
+            let e = s.src_ready(srcs[0]).max(s.src_ready(srcs[1]));
+            match fu {
+                FuClass::IntAlu => s.issue_int(e, rd, lat),
+                FuClass::IntMul => s.issue_mul(e, rd, lat),
+                FuClass::IntDiv => s.issue_div(e, rd, lat),
+                FuClass::Fp => s.issue_fp(e, rd, lat),
+                FuClass::FpLong => s.issue_fp_long(e, rd, lat),
+                FuClass::LdSt => s.issue_ldst(e, dst, lat),
+                FuClass::Branch => s.issue_branch(e),
+                FuClass::Memo => unreachable!(),
+            }
+            assert_eq!(g.now(), s.now());
+        }
+        assert_eq!(g.drain(), s.drain());
+        assert_eq!(g.reg_ready, s.reg_ready);
     }
 
     #[test]

@@ -1,5 +1,14 @@
 //! Run statistics: dynamic instruction counts, cycles, and the energy
 //! event breakdown consumed by [`crate::energy::EnergyModel`].
+//!
+//! The batched-counter machinery lives here too: the block-structured
+//! interpreters (predecoded and threaded) accumulate each basic block's
+//! input-independent counts once at decode time
+//! (`crate::decoded::BlockCounts`) and fold them into a run's
+//! statistics in one shot at block/superblock retire via
+//! `RunStats::apply_block`.
+
+use crate::decoded::BlockCounts;
 
 /// Counts of energy-bearing events during one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -77,6 +86,50 @@ impl EnergyBreakdown {
         self.l2_lut_accesses += other.l2_lut_accesses;
         self.quality_compares += other.quality_compares;
         self.ecc_checks += other.ecc_checks;
+    }
+}
+
+/// Dynamic instruction counts by class, flushed to telemetry at the end
+/// of a run (locals in the hot loop; no registry lookups per commit).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct InstClassCounts {
+    pub ialu: u64,
+    pub fbin: u64,
+    pub fun: u64,
+    pub load: u64,
+    pub store: u64,
+    pub mov: u64,
+    pub branch: u64,
+    pub jump: u64,
+    pub memo: u64,
+}
+
+impl RunStats {
+    /// Add one retired basic block's (or fused superblock prefix's)
+    /// input-independent counts (see [`BlockCounts`]) into the run's
+    /// statistics.
+    #[inline]
+    pub(crate) fn apply_block(&mut self, classes: &mut InstClassCounts, c: &BlockCounts) {
+        classes.ialu += c.ialu;
+        classes.fbin += c.fbin;
+        classes.fun += c.fun;
+        classes.load += c.load;
+        classes.store += c.store;
+        classes.mov += c.mov;
+        classes.branch += c.branch;
+        classes.jump += c.jump;
+        classes.memo += c.memo;
+        self.memo_insts += c.memo_insts;
+        self.energy.int_alu_ops += c.int_alu_ops;
+        self.energy.int_mul_ops += c.int_mul_ops;
+        self.energy.int_div_ops += c.int_div_ops;
+        self.energy.fp_ops += c.fp_ops;
+        self.energy.fp_div_ops += c.fp_div_ops;
+        self.energy.fp_libm_ops += c.fp_libm_ops;
+        self.energy.l1d_accesses += c.l1d_accesses;
+        self.energy.crc_beats += c.crc_beats;
+        self.energy.hvr_accesses += c.hvr_accesses;
+        self.energy.l1_lut_accesses += c.l1_lut_accesses;
     }
 }
 

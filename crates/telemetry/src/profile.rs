@@ -65,10 +65,15 @@ pub enum PhaseId {
     /// degradation/re-enable probes (counted; no modelled hardware
     /// cycles of its own).
     Quality,
+    /// Cycles retired inside fused superblocks by the threaded-code
+    /// tier, recorded as a leaf under [`PhaseId::Dispatch`]. What the
+    /// dispatch phase keeps as *exclusive* time is then exactly the
+    /// unfused residue: outer-loop transfers and side exits.
+    DispatchThreaded,
 }
 
 /// Number of distinct [`PhaseId`]s (size of per-node child arrays).
-pub const PHASE_COUNT: usize = 9;
+pub const PHASE_COUNT: usize = 10;
 
 impl PhaseId {
     /// Every phase, in enum (= report) order.
@@ -82,6 +87,7 @@ impl PhaseId {
         PhaseId::LutEvict,
         PhaseId::LutInvalidate,
         PhaseId::Quality,
+        PhaseId::DispatchThreaded,
     ];
 
     /// Wire name used in reports and folded-stack paths.
@@ -96,6 +102,7 @@ impl PhaseId {
             PhaseId::LutEvict => "lut.evict",
             PhaseId::LutInvalidate => "lut.invalidate",
             PhaseId::Quality => "quality.monitor",
+            PhaseId::DispatchThreaded => "dispatch.threaded",
         }
     }
 }
@@ -321,6 +328,16 @@ impl Profiler {
         }
     }
 
+    /// Cycles the innermost open frame's children have charged so far.
+    /// The threaded interpreter reads this around each superblock so it
+    /// can attribute the superblock's cycle delta *minus* whatever its
+    /// LUT leaves already claimed — keeping every child's exclusive
+    /// share exact without any host-clock reads.
+    #[inline]
+    pub fn open_charged(&self) -> u64 {
+        self.stack.last().map_or(0, |f| f.charged)
+    }
+
     /// Drain every open frame (host time recorded, cycles left as
     /// charged), returning how many were open. Failure paths call this
     /// so a caught panic or watchdog trip cannot leave the stack
@@ -336,7 +353,10 @@ impl Profiler {
 
     /// Register (or re-attach to) the block table for the current
     /// label. Stats accumulate across repeated runs of the same
-    /// program; a label whose block count changed gets a fresh table.
+    /// program; a label whose ranges changed gets a fresh table (the
+    /// full ranges are compared, not just the count, so the predecoded
+    /// tier's basic blocks and the threaded tier's superblocks never
+    /// alias even when their tables are the same size).
     pub fn begin_blocks(&mut self, ranges: &[(u32, u32)]) {
         if !self.on {
             return;
@@ -344,7 +364,7 @@ impl Profiler {
         if let Some(idx) = self
             .block_tables
             .iter()
-            .position(|(label, b)| *label == self.label && b.ranges.len() == ranges.len())
+            .position(|(label, b)| *label == self.label && b.ranges == ranges)
         {
             self.current_blocks = Some(idx);
             return;

@@ -14,11 +14,12 @@ use axmemo_core::config::MemoConfig;
 use axmemo_core::lut::LutStats;
 use axmemo_core::snapshot::{MemoSnapshot, RecoveryOutcome, RecoveryReport};
 use axmemo_core::unit::UnitStats;
-use axmemo_sim::cpu::{SimConfig, SimError, Simulator};
+use axmemo_sim::cpu::{DispatchTier, SimConfig, SimError, Simulator};
 use axmemo_sim::decoded::DecodedProgram;
 use axmemo_sim::energy::EnergyModel;
 use axmemo_sim::pipeline::LatencyModel;
 use axmemo_sim::stats::RunStats;
+use axmemo_sim::threaded::ThreadedProgram;
 use axmemo_sim::Program;
 use axmemo_telemetry::{escape_json, PhaseId, Telemetry};
 
@@ -146,27 +147,18 @@ impl RunReport {
 /// Per-run switches orthogonal to the LUT configuration.
 ///
 /// `Default` matches [`run_benchmark`]: truncation as specified by the
-/// benchmark, predecoded fast-path interpreter on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// benchmark, threaded superblock interpreter on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunOptions {
     /// Disable input truncation (exact memoization) for the Fig. 11
     /// approximation-effectiveness comparison.
     pub zero_trunc: bool,
-    /// Run both legs on the predecoded fast-path interpreter (the
-    /// default). `false` falls back to the legacy instruction-at-a-time
-    /// loop; results are bit-identical either way (pinned by the
-    /// decode-equivalence tests), so this exists as an escape hatch and
-    /// as the reference side of golden diffs.
-    pub predecode: bool,
-}
-
-impl Default for RunOptions {
-    fn default() -> Self {
-        Self {
-            zero_trunc: false,
-            predecode: true,
-        }
-    }
+    /// Execution tier for both legs (default
+    /// [`DispatchTier::Threaded`]). The slower tiers produce
+    /// bit-identical results (pinned by the decode-equivalence tests),
+    /// so they exist as escape hatches and as the reference sides of
+    /// golden diffs.
+    pub dispatch: DispatchTier,
 }
 
 /// Persistence plan for one run: where to restore warm LUT state from
@@ -176,7 +168,7 @@ impl Default for RunOptions {
 /// baseline/program caches) because paths are per-cell, not per-sweep.
 /// The empty plan is the default and reproduces a plain run
 /// byte-for-byte — persistence is an escape hatch with the same
-/// default-off discipline as `--no-predecode`.
+/// default-off discipline as `--dispatch legacy`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SnapshotPlan {
     /// Snapshot file to warm-start from, if any. The file is recovered
@@ -204,8 +196,9 @@ impl SnapshotPlan {
 
 /// A benchmark's programs compiled once and shared across every run
 /// that uses default truncation: the baseline and memoized [`Program`]s
-/// plus their predecoded forms (against [`LatencyModel::default`], the
-/// latency every runner-constructed [`SimConfig`] uses).
+/// plus their predecoded and threaded-superblock forms (against
+/// [`LatencyModel::default`], the latency every runner-constructed
+/// [`SimConfig`] uses).
 ///
 /// Zero-truncation runs rebuild their specs (different codegen output),
 /// so they never consume a `PreparedProgram`.
@@ -219,10 +212,15 @@ pub struct PreparedProgram {
     pub decoded_base: DecodedProgram,
     /// Predecoded memoized program.
     pub decoded_memo: DecodedProgram,
+    /// Threaded-superblock baseline program.
+    pub threaded_base: ThreadedProgram,
+    /// Threaded-superblock memoized program.
+    pub threaded_memo: ThreadedProgram,
 }
 
 impl PreparedProgram {
-    /// Build and predecode both legs of `bench` at `scale`.
+    /// Build, predecode, and superblock-lower both legs of `bench` at
+    /// `scale`.
     ///
     /// # Errors
     ///
@@ -236,11 +234,15 @@ impl PreparedProgram {
         let latency = LatencyModel::default();
         let decoded_base = DecodedProgram::compile(&program, &latency);
         let decoded_memo = DecodedProgram::compile(&memo_program, &latency);
+        let threaded_base = ThreadedProgram::compile(&decoded_base);
+        let threaded_memo = ThreadedProgram::compile(&decoded_memo);
         Ok(Self {
             program,
             memo_program,
             decoded_base,
             decoded_memo,
+            threaded_base,
+            threaded_memo,
         })
     }
 }
@@ -337,7 +339,7 @@ pub fn run_benchmark_report_cached(
     let (baseline, prepared) = match cache {
         Some(cache) => {
             let prepared = cache.prepared_for(bench, scale, opts);
-            let baseline = cache.get_or_compute(bench, scale, dataset, u64::MAX, opts.predecode)?;
+            let baseline = cache.get_or_compute(bench, scale, dataset, u64::MAX, opts.dispatch)?;
             (Some(baseline), prepared)
         }
         None => (None, None),
@@ -391,14 +393,8 @@ pub fn run_benchmark_report_snap(
     let (baseline, prepared) = match cache {
         Some(cache) => {
             let prepared = cache.prepared_for_keyed(bench, scale, opts, warm);
-            let baseline = cache.get_or_compute_keyed(
-                bench,
-                scale,
-                dataset,
-                u64::MAX,
-                opts.predecode,
-                warm,
-            )?;
+            let baseline =
+                cache.get_or_compute_keyed(bench, scale, dataset, u64::MAX, opts.dispatch, warm)?;
             (Some(baseline), prepared)
         }
         None => (None, None),
@@ -436,8 +432,8 @@ pub struct BaselineRun {
 }
 
 /// Run only the baseline leg of `bench` (no memoization) under a cycle
-/// watchdog and return the shareable [`BaselineRun`]. `predecode`
-/// selects the interpreter (results are bit-identical either way).
+/// watchdog and return the shareable [`BaselineRun`]. `dispatch`
+/// selects the interpreter (results are bit-identical across tiers).
 ///
 /// # Errors
 ///
@@ -448,36 +444,42 @@ pub fn run_baseline(
     scale: Scale,
     dataset: Dataset,
     max_cycles: u64,
-    predecode: bool,
+    dispatch: DispatchTier,
 ) -> Result<BaselineRun, Box<dyn std::error::Error>> {
     let (program, _specs) = bench.program(scale);
-    baseline_leg(bench, &program, scale, dataset, max_cycles, predecode, None)
+    baseline_leg(bench, &program, scale, dataset, max_cycles, dispatch, None)
 }
 
 /// Baseline leg with an already-built program (shared by the inline
 /// path, which reuses the program it must build anyway for codegen).
-/// When `decoded` carries the shared predecoded form, the simulator
-/// skips its internal decode; otherwise `predecode` decides which
-/// interpreter [`Simulator::run`] dispatches to.
+/// When `prepared` carries the shared lowered forms, the simulator
+/// skips its internal decode/lowering for the non-legacy tiers;
+/// otherwise `dispatch` decides which interpreter [`Simulator::run`]
+/// dispatches to internally.
 fn baseline_leg(
     bench: &dyn Benchmark,
     program: &Program,
     scale: Scale,
     dataset: Dataset,
     max_cycles: u64,
-    predecode: bool,
-    decoded: Option<&DecodedProgram>,
+    dispatch: DispatchTier,
+    prepared: Option<&PreparedProgram>,
 ) -> Result<BaselineRun, Box<dyn std::error::Error>> {
     let mut base_sim = Simulator::new(SimConfig {
         max_cycles,
-        predecode,
+        dispatch,
         ..SimConfig::baseline()
     })?;
     let mut base_machine = bench.setup(scale, dataset);
     base_sim.reset();
-    let stats = match decoded.filter(|_| predecode) {
-        Some(d) => base_sim.run_prepared(d, &mut base_machine)?,
-        None => base_sim.run(program, &mut base_machine)?,
+    let stats = match (prepared, dispatch) {
+        (Some(p), DispatchTier::Threaded) => {
+            base_sim.run_prepared_threaded(&p.threaded_base, &mut base_machine)?
+        }
+        (Some(p), DispatchTier::Predecode) => {
+            base_sim.run_prepared(&p.decoded_base, &mut base_machine)?
+        }
+        _ => base_sim.run(program, &mut base_machine)?,
     };
     let exact = bench.outputs(&base_machine, scale);
     Ok(BaselineRun { stats, exact })
@@ -512,11 +514,11 @@ fn classify_error(e: &(dyn std::error::Error + 'static)) -> FailureKind {
 
 type BaselineSlot = Arc<OnceLock<Result<Arc<BaselineRun>, BaselineFailure>>>;
 type PreparedSlot = Arc<OnceLock<Option<Arc<PreparedProgram>>>>;
-/// Baseline slot key: `(benchmark, scale, dataset, predecode, warm)`.
-type BaselineKey = (String, Scale, Dataset, bool, bool);
+/// Baseline slot key: `(benchmark, scale, dataset, dispatch, warm)`.
+type BaselineKey = (String, Scale, Dataset, DispatchTier, bool);
 
 /// Thread-safe once-per-key map of shared baseline runs, keyed by
-/// `(benchmark, scale, dataset, predecode)`.
+/// `(benchmark, scale, dataset, dispatch)`.
 ///
 /// A sweep's fault matrix runs every benchmark under many (domain ×
 /// protection × rate) cells, but the fault-free baseline those cells
@@ -532,11 +534,12 @@ type BaselineKey = (String, Scale, Dataset, bool, bool);
 /// cached too: the simulation is deterministic, so re-running it for
 /// every sibling cell would fail identically 19 more times.
 /// In addition to baseline runs, the cache shares *compiled programs*:
-/// building, memoizing and predecoding a benchmark is deterministic and
-/// identical for every cell with default truncation, so the cache holds
-/// one [`PreparedProgram`] per `(benchmark, scale)` and every predecoded
-/// run executes it via [`Simulator::run_prepared`] instead of
-/// recompiling per attempt.
+/// building, memoizing, predecoding and superblock-lowering a benchmark
+/// is deterministic and identical for every cell with default
+/// truncation, so the cache holds one [`PreparedProgram`] per
+/// `(benchmark, scale)` and every fast-path run executes it via
+/// [`Simulator::run_prepared`] / [`Simulator::run_prepared_threaded`]
+/// instead of recompiling per attempt.
 ///
 /// Both maps carry a `warm` flag in their keys: a cell warm-started
 /// from a snapshot ([`SnapshotPlan::warm`]) keys separate slots, so a
@@ -560,14 +563,14 @@ impl BaselineCache {
         Self::default()
     }
 
-    /// The shared baseline for `(bench, scale, dataset, predecode)`,
+    /// The shared baseline for `(bench, scale, dataset, dispatch)`,
     /// simulating it under `max_cycles` on first request and serving the
     /// cached run (or cached failure) afterwards. Panics inside the
     /// baseline run are caught and cached as [`FailureKind::Panic`]
-    /// failures. The interpreter choice is part of the key so a
-    /// `--no-predecode` run genuinely exercises the legacy loop instead
-    /// of reusing a fast-path baseline (they are bit-identical, but the
-    /// golden diffs exist to prove exactly that).
+    /// failures. The execution tier is part of the key so a
+    /// `--dispatch legacy` run genuinely exercises the legacy loop
+    /// instead of reusing a fast-path baseline (they are bit-identical,
+    /// but the golden diffs exist to prove exactly that).
     ///
     /// # Errors
     ///
@@ -579,9 +582,9 @@ impl BaselineCache {
         scale: Scale,
         dataset: Dataset,
         max_cycles: u64,
-        predecode: bool,
+        dispatch: DispatchTier,
     ) -> Result<Arc<BaselineRun>, BaselineFailure> {
-        self.get_or_compute_keyed(bench, scale, dataset, max_cycles, predecode, false)
+        self.get_or_compute_keyed(bench, scale, dataset, max_cycles, dispatch, false)
     }
 
     /// [`Self::get_or_compute`] with the warm-start flag in the key:
@@ -598,14 +601,14 @@ impl BaselineCache {
         scale: Scale,
         dataset: Dataset,
         max_cycles: u64,
-        predecode: bool,
+        dispatch: DispatchTier,
         warm: bool,
     ) -> Result<Arc<BaselineRun>, BaselineFailure> {
         let key = (
             bench.meta().name.to_string(),
             scale,
             dataset,
-            predecode,
+            dispatch,
             warm,
         );
         let slot = {
@@ -615,10 +618,10 @@ impl BaselineCache {
         let mut fresh = false;
         let result = slot.get_or_init(|| {
             fresh = true;
-            // Predecoded baselines reuse the shared compiled program
+            // Fast-path baselines reuse the shared compiled program
             // when available; a `None` (codegen failed) falls through to
             // the inline path so the error is reproduced and classified.
-            let prepared = if predecode {
+            let prepared = if dispatch != DispatchTier::Legacy {
                 self.prepared_keyed(bench, scale, warm)
             } else {
                 None
@@ -631,10 +634,10 @@ impl BaselineCache {
                         scale,
                         dataset,
                         max_cycles,
-                        true,
-                        Some(&p.decoded_base),
+                        dispatch,
+                        Some(&**p),
                     ),
-                    None => run_baseline(bench, scale, dataset, max_cycles, predecode),
+                    None => run_baseline(bench, scale, dataset, max_cycles, dispatch),
                 }));
             match outcome {
                 Ok(Ok(baseline)) => Ok(Arc::new(baseline)),
@@ -656,7 +659,7 @@ impl BaselineCache {
         result.clone()
     }
 
-    /// The shared compiled-and-predecoded programs for `(bench, scale)`,
+    /// The shared compiled-and-lowered programs for `(bench, scale)`,
     /// built once per key. Returns `None` when compilation failed (by
     /// error or panic); callers then fall back to inline compilation,
     /// which reproduces the failure with full context.
@@ -696,7 +699,7 @@ impl BaselineCache {
 
     /// [`Self::prepared`] gated on the options that make it usable: a
     /// prepared program is compiled with default truncation for the
-    /// predecoded interpreter, so zero-truncation or legacy runs get
+    /// fast-path interpreters, so zero-truncation or legacy runs get
     /// `None` and compile inline.
     fn prepared_for(
         &self,
@@ -715,7 +718,7 @@ impl BaselineCache {
         opts: RunOptions,
         warm: bool,
     ) -> Option<Arc<PreparedProgram>> {
-        if opts.predecode && !opts.zero_trunc {
+        if opts.dispatch != DispatchTier::Legacy && !opts.zero_trunc {
             self.prepared_keyed(bench, scale, warm)
         } else {
             None
@@ -769,8 +772,8 @@ impl BaselineCache {
 /// baseline leg — which is independent of the memoization config — is
 /// taken from the shared run. When `None`, the baseline leg runs inline
 /// exactly as before. `prepared` optionally supplies the shared
-/// compiled-and-predecoded programs; it is only consumed when the
-/// options allow (predecode on, default truncation) — otherwise the
+/// compiled-and-lowered programs; it is only consumed when the
+/// options allow (non-legacy tier, default truncation) — otherwise the
 /// programs are built inline.
 /// The telemetry handle is borrowed so it *survives* the error path:
 /// the sim-side spans and phase frames a failed run leaves open are
@@ -796,7 +799,7 @@ fn run_benchmark_inner(
     prepared: Option<&PreparedProgram>,
     plan: Option<&SnapshotPlan>,
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
-    let prepared = prepared.filter(|_| opts.predecode && !opts.zero_trunc);
+    let prepared = prepared.filter(|_| opts.dispatch != DispatchTier::Legacy && !opts.zero_trunc);
     // Load and recover the warm image first, while the telemetry handle
     // is still in hand (it moves into the simulator below): recovery
     // decisions land in the same registry/sinks as the run itself.
@@ -847,8 +850,8 @@ fn run_benchmark_inner(
                 scale,
                 dataset,
                 max_cycles,
-                opts.predecode,
-                prepared.map(|p| &p.decoded_base),
+                opts.dispatch,
+                prepared,
             )?;
             &inline_baseline
         }
@@ -861,7 +864,7 @@ fn run_benchmark_inner(
     // unit and the LUT hierarchy from there).
     let mut memo_sim = Simulator::new(SimConfig {
         max_cycles,
-        predecode: opts.predecode,
+        dispatch: opts.dispatch,
         ..SimConfig::with_memo(memo_cfg.clone())
     })?;
     let mut memo_machine = bench.setup(scale, dataset);
@@ -888,9 +891,12 @@ fn run_benchmark_inner(
             }
         }
     }
-    let memo_stats = match prepared {
-        Some(p) => memo_sim.run_prepared(&p.decoded_memo, &mut memo_machine),
-        None => memo_sim.run(memo_program, &mut memo_machine),
+    let memo_stats = match (prepared, opts.dispatch) {
+        (Some(p), DispatchTier::Threaded) => {
+            memo_sim.run_prepared_threaded(&p.threaded_memo, &mut memo_machine)
+        }
+        (Some(p), _) => memo_sim.run_prepared(&p.decoded_memo, &mut memo_machine),
+        (None, _) => memo_sim.run(memo_program, &mut memo_machine),
     };
     *tel = memo_sim.take_telemetry();
     let memo_stats = match memo_stats {
@@ -1244,7 +1250,7 @@ pub fn run_budgeted_cached_tel(
     let was_profiling = tel.profiler().is_enabled();
     let started = std::time::Instant::now();
     let baseline =
-        cache.map(|c| c.get_or_compute(bench, scale, dataset, policy.max_cycles, opts.predecode));
+        cache.map(|c| c.get_or_compute(bench, scale, dataset, policy.max_cycles, opts.dispatch));
     // Compiled programs are shared across attempts (and across sibling
     // cells through the cache); the attempt loop then only re-simulates.
     let prepared = cache.and_then(|c| c.prepared_for(bench, scale, opts));

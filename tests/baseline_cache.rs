@@ -5,7 +5,7 @@
 //! per-benchmark derived watchdogs come from measured baseline cycles.
 
 use axmemo_bench::orchestrator::Orchestrator;
-use axmemo_bench::{sweep, ReportMode};
+use axmemo_bench::{sweep, DispatchTier, ReportMode};
 use axmemo_telemetry::Telemetry;
 use axmemo_workloads::runner::{BaselineCache, DerivedBudget};
 use axmemo_workloads::{benchmark_by_name, Dataset, Scale};
@@ -69,10 +69,22 @@ fn baseline_cache_computes_once_per_key() {
     let sobel = benchmark_by_name("sobel").unwrap();
 
     let first = cache
-        .get_or_compute(bs.as_ref(), Scale::Tiny, Dataset::Eval, u64::MAX, true)
+        .get_or_compute(
+            bs.as_ref(),
+            Scale::Tiny,
+            Dataset::Eval,
+            u64::MAX,
+            DispatchTier::Threaded,
+        )
         .expect("tiny baseline succeeds");
     let second = cache
-        .get_or_compute(bs.as_ref(), Scale::Tiny, Dataset::Eval, u64::MAX, true)
+        .get_or_compute(
+            bs.as_ref(),
+            Scale::Tiny,
+            Dataset::Eval,
+            u64::MAX,
+            DispatchTier::Threaded,
+        )
         .expect("cached baseline succeeds");
     assert!(std::sync::Arc::ptr_eq(&first, &second), "same shared run");
     assert_eq!(cache.computed(), 1);
@@ -80,27 +92,45 @@ fn baseline_cache_computes_once_per_key() {
 
     // A different scale is a different key.
     cache
-        .get_or_compute(bs.as_ref(), Scale::Small, Dataset::Eval, u64::MAX, true)
+        .get_or_compute(
+            bs.as_ref(),
+            Scale::Small,
+            Dataset::Eval,
+            u64::MAX,
+            DispatchTier::Threaded,
+        )
         .expect("small baseline succeeds");
     // A different benchmark is a different key.
     cache
-        .get_or_compute(sobel.as_ref(), Scale::Tiny, Dataset::Eval, u64::MAX, true)
+        .get_or_compute(
+            sobel.as_ref(),
+            Scale::Tiny,
+            Dataset::Eval,
+            u64::MAX,
+            DispatchTier::Threaded,
+        )
         .expect("sobel baseline succeeds");
     assert_eq!(cache.computed(), 3);
 
-    // The interpreter choice is part of the key: a legacy-loop request
+    // The execution tier is part of the key: a legacy-loop request
     // simulates its own baseline instead of reusing the fast-path run
     // (they are bit-identical — the golden diffs prove it — but sharing
     // across interpreters would defeat those diffs).
     let legacy = cache
-        .get_or_compute(bs.as_ref(), Scale::Tiny, Dataset::Eval, u64::MAX, false)
+        .get_or_compute(
+            bs.as_ref(),
+            Scale::Tiny,
+            Dataset::Eval,
+            u64::MAX,
+            DispatchTier::Legacy,
+        )
         .expect("legacy baseline succeeds");
     assert!(!std::sync::Arc::ptr_eq(&first, &legacy), "distinct slot");
     assert_eq!(legacy.stats, first.stats, "bit-identical stats");
     assert_eq!(cache.computed(), 4);
 
     let cycles = cache.baseline_cycles();
-    // Both interpreter variants of blackscholes/Tiny measure identical
+    // Both tier variants of blackscholes/Tiny measure identical
     // cycles and collapse to one row.
     assert_eq!(cycles.len(), 3, "one measured entry per distinct run");
     assert!(cycles.iter().all(|(_, c)| *c > 0));
@@ -119,10 +149,22 @@ fn failed_baseline_is_cached_and_shared() {
     let cache = BaselineCache::new();
     let bs = benchmark_by_name("blackscholes").unwrap();
     let a = cache
-        .get_or_compute(bs.as_ref(), Scale::Tiny, Dataset::Eval, 1_000, true)
+        .get_or_compute(
+            bs.as_ref(),
+            Scale::Tiny,
+            Dataset::Eval,
+            1_000,
+            DispatchTier::Threaded,
+        )
         .unwrap_err();
     let b = cache
-        .get_or_compute(bs.as_ref(), Scale::Tiny, Dataset::Eval, 1_000, true)
+        .get_or_compute(
+            bs.as_ref(),
+            Scale::Tiny,
+            Dataset::Eval,
+            1_000,
+            DispatchTier::Threaded,
+        )
         .unwrap_err();
     assert_eq!(a.kind, FailureKind::Watchdog);
     assert_eq!(a.message, b.message);
