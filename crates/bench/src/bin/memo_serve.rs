@@ -1,0 +1,393 @@
+//! Memoization-as-a-service driver: replay a mixed-benchmark request
+//! trace against the `core::service` sharded backend from N concurrent
+//! client threads, and report aggregate throughput, probe-latency
+//! percentiles, and hit-rate loss versus the single-owner
+//! `TwoLevelLut` on the same trace.
+//!
+//! The trace is synthetic but benchmark-shaped: a population of
+//! Zipf-skewed "users" (rank r drawn with weight `1/r^s`) issue
+//! read-through requests — probe; on miss, pay a simulated recompute
+//! (`--service-us` of sleep, standing in for the approximated region's
+//! native execution) and install the result. Each user works a private
+//! key range of one of the ten paper benchmarks, so popular users keep
+//! their benchmark's entries warm while the tail churns the shards.
+//! Everything is seeded SplitMix64: the trace, the reference leg, and
+//! the 1-thread leg are bit-deterministic for a given seed and flags
+//! (the CI `serve-smoke` job runs the driver twice and diffs
+//! `--deterministic-only` output).
+//!
+//! The client model is closed-loop: each thread serves its share of
+//! the trace back-to-back, so on a single-core host the aggregate
+//! lookups/sec still rises with the thread count — miss-service sleeps
+//! overlap across clients even when probes cannot. Probe latency is
+//! measured around the probe alone (never the sleep) into a
+//! power-of-two telemetry histogram, merged across clients.
+//!
+//! Extra flags (before the shared ones):
+//!
+//! * `--requests <n>` — trace length (default 40000).
+//! * `--users <n>` — Zipf population size (default 64).
+//! * `--zipf <s>` — Zipf skew exponent (default 1.1).
+//! * `--shards <n>` — shard count, rounded up to a power of two
+//!   (default 8).
+//! * `--threads a,b,c` — client-thread legs to run (default 1,2,4,8).
+//! * `--service-us <n>` — simulated recompute cost per miss in
+//!   microseconds (default 50; 0 disables the sleep).
+//! * `--working-set <n>` — keys per user (default 512).
+//! * `--deterministic-only` — print only the seed-stable summary
+//!   (suppresses throughput/latency, for CI double-run diffs).
+
+use axmemo_bench::{BenchArgs, ReportMode, Table};
+use axmemo_core::config::MemoConfig;
+use axmemo_core::ids::LutId;
+use axmemo_core::service::{ServiceStats, ShardedLut};
+use axmemo_core::two_level::TwoLevelLut;
+use axmemo_telemetry::Registry;
+use axmemo_workloads::all_benchmarks;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Probe-latency histogram name (nanoseconds, power-of-two buckets).
+const PROBE_HIST: &str = "serve.probe.ns";
+
+/// Shared LUT capacity for every backend in the comparison: the
+/// sharded service splits the same budget across its shards, so
+/// hit-rate deltas measure sharding loss, not extra capacity.
+const L1_BYTES: usize = 64 * 1024;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One read-through request: which logical LUT, which key, and the
+/// benchmark the issuing user is pinned to (reporting only).
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    lut: LutId,
+    crc: u64,
+    bench: usize,
+}
+
+/// Build the seeded Zipf trace: user by CDF binary search, key uniform
+/// in the user's working set, benchmark pinned per user.
+fn build_trace(
+    seed: u64,
+    requests: usize,
+    users: usize,
+    zipf_s: f64,
+    working_set: u64,
+    bench_count: usize,
+) -> Vec<Request> {
+    let mut cdf = Vec::with_capacity(users);
+    let mut total = 0.0;
+    for rank in 1..=users {
+        total += 1.0 / (rank as f64).powf(zipf_s);
+        cdf.push(total);
+    }
+    let mut rng = seed ^ 0x5EED_5EED_5EED_5EED;
+    let mut trace = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let draw = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64 * total;
+        let user = cdf.partition_point(|&c| c < draw).min(users - 1);
+        let item = splitmix64(&mut rng) % working_set;
+        let bench = user % bench_count;
+        // Key = stable mix of (bench, user, item): distinct users never
+        // share entries, so reuse comes only from Zipf-popular users.
+        let mut key_rng = (user as u64) << 40 ^ (bench as u64) << 32 ^ item;
+        let crc = splitmix64(&mut key_rng);
+        let lut = LutId::new((bench % 8) as u8).expect("bench index is in LUT range");
+        trace.push(Request { lut, crc, bench });
+    }
+    trace
+}
+
+/// Order-sensitive fingerprint of the whole trace (seed-stable; the
+/// deterministic summary pins it so two runs provably replayed the
+/// same requests).
+fn trace_fingerprint(trace: &[Request]) -> u64 {
+    let mut acc = 0xF1A9_0000u64;
+    for r in trace {
+        let mut word = acc ^ r.crc ^ (u64::from(r.lut.raw()) << 56) ^ ((r.bench as u64) << 48);
+        acc = splitmix64(&mut word);
+    }
+    acc
+}
+
+/// The value installed on a miss: any deterministic function of the key.
+fn result_of(crc: u64) -> u64 {
+    crc.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// Serial replay against the single-owner `TwoLevelLut` (no sleeps, no
+/// sharding): the hit-rate ceiling the service legs are compared to.
+fn reference_leg(trace: &[Request]) -> (u64, u64) {
+    let mut lut = TwoLevelLut::new(&MemoConfig::l1_only(L1_BYTES));
+    let mut hits = 0u64;
+    for r in trace {
+        if lut.lookup(r.lut, r.crc).is_hit() {
+            hits += 1;
+        } else {
+            lut.update(r.lut, r.crc, result_of(r.crc));
+        }
+    }
+    (hits, trace.len() as u64)
+}
+
+/// One concurrent leg's results.
+struct LegResult {
+    threads: usize,
+    wall: Duration,
+    stats: ServiceStats,
+    latency: Registry,
+}
+
+fn probe_bounds() -> Vec<f64> {
+    (8..=22).map(|b| (1u64 << b) as f64).collect()
+}
+
+/// Replay the trace striped across `threads` closed-loop clients on a
+/// fresh service. Probe latency is measured around the probe alone;
+/// the miss-service sleep happens outside the timed window.
+fn run_leg(trace: &Arc<Vec<Request>>, threads: usize, shards: usize, service_us: u64) -> LegResult {
+    let service = Arc::new(ShardedLut::new(&MemoConfig::l1_only(L1_BYTES), shards));
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let (trace, service) = (Arc::clone(trace), Arc::clone(&service));
+            std::thread::spawn(move || {
+                let mut reg = Registry::default();
+                reg.register_histogram(PROBE_HIST, &probe_bounds());
+                for r in trace.iter().skip(t).step_by(threads) {
+                    let t0 = Instant::now();
+                    let hit = service.probe_shared(r.lut, r.crc).is_hit();
+                    reg.observe(PROBE_HIST, t0.elapsed().as_nanos() as f64);
+                    if !hit {
+                        if service_us > 0 {
+                            std::thread::sleep(Duration::from_micros(service_us));
+                        }
+                        service.update_shared(r.lut, r.crc, result_of(r.crc));
+                    }
+                }
+                reg
+            })
+        })
+        .collect();
+    let mut latency = Registry::default();
+    latency.register_histogram(PROBE_HIST, &probe_bounds());
+    for w in workers {
+        latency.merge(&w.join().expect("client thread panicked"));
+    }
+    let wall = start.elapsed();
+    service.flush_pending();
+    LegResult {
+        threads,
+        wall,
+        stats: service.stats(),
+        latency,
+    }
+}
+
+/// Print the parse error and usage, then exit.
+fn bail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: memo_serve [--requests <n>] [--users <n>] [--zipf <s>] [--shards <n>] \
+         [--threads a,b,c] [--service-us <n>] [--working-set <n>] [--deterministic-only] \
+         [--report text|json] [--seed <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_positive(flag: &str, value: Option<String>) -> u64 {
+    let value = value.unwrap_or_default();
+    match value.parse::<u64>() {
+        Ok(n) if n > 0 => n,
+        _ => bail(format!("{flag} must be a positive integer, got {value:?}")),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut requests: usize = 40_000;
+    let mut users: usize = 64;
+    let mut zipf_s: f64 = 1.1;
+    let mut shards: usize = 8;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut service_us: u64 = 50;
+    let mut working_set: u64 = 512;
+    let mut deterministic_only = false;
+    let mut shared = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--requests" => requests = parse_positive("--requests", it.next()) as usize,
+            "--users" => users = parse_positive("--users", it.next()) as usize,
+            "--shards" => shards = parse_positive("--shards", it.next()) as usize,
+            "--working-set" => working_set = parse_positive("--working-set", it.next()),
+            "--service-us" => {
+                let value = it.next().unwrap_or_default();
+                service_us = value.parse().unwrap_or_else(|_| {
+                    bail(format!("--service-us must be an integer, got {value:?}"))
+                });
+            }
+            "--zipf" => {
+                let value = it.next().unwrap_or_default();
+                match value.parse::<f64>() {
+                    Ok(s) if s.is_finite() && s >= 0.0 => zipf_s = s,
+                    _ => bail(format!(
+                        "--zipf must be a non-negative number, got {value:?}"
+                    )),
+                }
+            }
+            "--threads" => {
+                let value = it.next().unwrap_or_default();
+                let parsed: Result<Vec<usize>, _> =
+                    value.split(',').map(str::parse::<usize>).collect();
+                match parsed {
+                    Ok(list) if !list.is_empty() && list.iter().all(|&t| (1..=64).contains(&t)) => {
+                        threads = list;
+                    }
+                    _ => bail(format!(
+                        "--threads must be a comma list of 1..=64, got {value:?}"
+                    )),
+                }
+            }
+            "--deterministic-only" => deterministic_only = true,
+            _ => shared.push(arg),
+        }
+    }
+    let args = BenchArgs::try_from_iter(shared).unwrap_or_else(|msg| bail(msg));
+
+    let bench_names: Vec<&'static str> = all_benchmarks().iter().map(|b| b.meta().name).collect();
+    let trace = Arc::new(build_trace(
+        args.seed,
+        requests,
+        users,
+        zipf_s,
+        working_set,
+        bench_names.len(),
+    ));
+    let fingerprint = trace_fingerprint(&trace);
+    let mut per_bench = vec![0u64; bench_names.len()];
+    for r in trace.iter() {
+        per_bench[r.bench] += 1;
+    }
+    let (ref_hits, ref_probes) = reference_leg(&trace);
+    let ref_hit_rate = ref_hits as f64 / ref_probes as f64;
+
+    let legs: Vec<LegResult> = threads
+        .iter()
+        .map(|&t| run_leg(&trace, t, shards, service_us))
+        .collect();
+    let shard_count = ShardedLut::new(&MemoConfig::l1_only(L1_BYTES), shards).shard_count();
+
+    // --- Deterministic summary: stable for a given seed and flags. ---
+    let mut det = Table::new(
+        format!("memo_serve deterministic summary, seed {}", args.seed),
+        &["Field", "Value"],
+    );
+    det.row(vec!["requests".into(), requests.to_string()]);
+    det.row(vec!["users".into(), users.to_string()]);
+    det.row(vec!["zipf".into(), format!("{zipf_s:.3}")]);
+    det.row(vec!["shards".into(), shard_count.to_string()]);
+    det.row(vec!["working-set".into(), working_set.to_string()]);
+    det.row(vec![
+        "trace-fingerprint".into(),
+        format!("{fingerprint:016x}"),
+    ]);
+    for (name, count) in bench_names.iter().zip(&per_bench) {
+        det.row(vec![format!("trace[{name}]"), count.to_string()]);
+    }
+    det.row(vec!["reference-probes".into(), ref_probes.to_string()]);
+    det.row(vec!["reference-hits".into(), ref_hits.to_string()]);
+    det.row(vec![
+        "reference-hit-rate".into(),
+        format!("{ref_hit_rate:.4}"),
+    ]);
+    // The 1-thread leg is bit-deterministic: its try-locks always
+    // succeed, so its counters double as the sharding-loss pin.
+    if let Some(leg) = legs.iter().find(|l| l.threads == 1) {
+        det.row(vec!["t1-hits".into(), leg.stats.hits.to_string()]);
+        det.row(vec![
+            "t1-updates-applied".into(),
+            leg.stats.updates_applied.to_string(),
+        ]);
+        det.row(vec![
+            "t1-updates-queued".into(),
+            leg.stats.updates_queued.to_string(),
+        ]);
+        det.row(vec![
+            "t1-hit-loss".into(),
+            format!("{:.4}", ref_hit_rate - leg.stats.hit_rate()),
+        ]);
+    }
+    if deterministic_only {
+        println!("{}", det.render(args.report));
+        return Ok(());
+    }
+
+    // --- Measured summary: throughput and latency, host-dependent. ---
+    let mut table = Table::new(
+        format!(
+            "memo_serve measured legs, {} requests, {} shards, service {}us",
+            requests, shard_count, service_us
+        ),
+        &[
+            "Threads",
+            "Lookups/sec",
+            "p50 ns",
+            "p99 ns",
+            "Hit rate",
+            "dHit vs owner",
+        ],
+    );
+    for leg in &legs {
+        let throughput = ref_probes as f64 / leg.wall.as_secs_f64();
+        let hist = leg
+            .latency
+            .histogram(PROBE_HIST)
+            .expect("probe histogram registered");
+        table.row(vec![
+            leg.threads.to_string(),
+            format!("{throughput:.0}"),
+            format!("{:.0}", hist.p50()),
+            format!("{:.0}", hist.p99()),
+            format!("{:.4}", leg.stats.hit_rate()),
+            format!("{:+.4}", leg.stats.hit_rate() - ref_hit_rate),
+        ]);
+    }
+    let (first, last) = (legs.first(), legs.last());
+    if let (Some(a), Some(b)) = (first, last) {
+        if a.threads != b.threads {
+            let scaling = a.wall.as_secs_f64() / b.wall.as_secs_f64();
+            table.summary(
+                format!("throughput scaling {}t -> {}t", a.threads, b.threads),
+                format!("{scaling:.2}x"),
+            );
+        }
+    }
+    table.summary(
+        "host threads",
+        std::thread::available_parallelism()
+            .map(|n| n.to_string())
+            .unwrap_or_else(|_| "unknown".into()),
+    );
+    // One parseable document per run: JSON mode nests both tables in a
+    // single object (the repo convention is that --report json output
+    // parses with `python3 -m json.tool`).
+    match args.report {
+        ReportMode::Json => println!(
+            "{{\"deterministic\":{},\"measured\":{}}}",
+            det.render(args.report),
+            table.render(args.report)
+        ),
+        _ => {
+            println!("{}", det.render(args.report));
+            println!("{}", table.render(args.report));
+        }
+    }
+    Ok(())
+}

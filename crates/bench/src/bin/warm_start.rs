@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "usage: warm_start [--state-dir <dir>] [--generations <n>] [--benches a,b,c] \
              [--trace-out <path>] [--report text|json] [--seed <n>] [--jobs <n>] \
              [--no-baseline-cache] [--dispatch legacy|predecode|threaded] \
-             [--profile-out <path>] \
+             [--restore-policy oldest|mru] [--profile-out <path>] \
              [--profile folded|json|text]"
         );
         std::process::exit(2);
@@ -123,6 +123,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let plan = SnapshotPlan {
                 restore_from: (generation > 0).then(|| snap_path(generation - 1)),
                 snapshot_out: Some(snap_path(generation)),
+                restore_policy: args.restore_policy,
             };
             let report = run_cell_report_snap(
                 bench.as_ref(),

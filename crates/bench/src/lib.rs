@@ -24,6 +24,7 @@ pub mod sweep;
 use axmemo_baselines::cost::kernel_profile;
 use axmemo_baselines::{AtmModel, ContenderOutcome, SoftwareLut};
 use axmemo_compiler::codegen::memoize;
+use axmemo_core::backend::RestorePolicy;
 use axmemo_core::config::MemoConfig;
 use axmemo_core::unit::LookupEvent;
 pub use axmemo_sim::cpu::DispatchTier;
@@ -129,6 +130,10 @@ pub struct BenchArgs {
     /// Directory to warm-start per-benchmark runs from
     /// (`--restore-from`); `None` runs cold.
     pub restore_from: Option<String>,
+    /// Restore order/admission policy (`--restore-policy oldest|mru`,
+    /// default `oldest` — byte-identical to pre-policy restores).
+    /// Inert without `--restore-from`.
+    pub restore_policy: RestorePolicy,
 }
 
 impl BenchArgs {
@@ -143,7 +148,8 @@ impl BenchArgs {
                      [--jobs <n>] [--no-baseline-cache] \
                      [--dispatch legacy|predecode|threaded] \
                      [--profile-out <path>] [--profile folded|json|text] \
-                     [--snapshot-out <dir>] [--restore-from <dir>]"
+                     [--snapshot-out <dir>] [--restore-from <dir>] \
+                     [--restore-policy oldest|mru]"
                 );
                 std::process::exit(2);
             }
@@ -205,6 +211,14 @@ impl BenchArgs {
                             .ok_or("--restore-from requires a directory argument")?,
                     );
                 }
+                "--restore-policy" => match it.next().as_deref() {
+                    Some(p) => {
+                        out.restore_policy = RestorePolicy::parse(p).ok_or_else(|| {
+                            format!("--restore-policy must be oldest|mru, got {p}")
+                        })?;
+                    }
+                    None => return Err("--restore-policy requires oldest|mru".to_string()),
+                },
                 "--profile" => match it.next().as_deref() {
                     Some("folded") => out.profile_mode = ProfileMode::Folded,
                     Some("json") => out.profile_mode = ProfileMode::Json,
@@ -307,6 +321,7 @@ impl BenchArgs {
                 .snapshot_out
                 .as_ref()
                 .map(|dir| std::path::Path::new(dir).join(&file)),
+            restore_policy: self.restore_policy,
         }
     }
 

@@ -1,0 +1,295 @@
+//! The [`MemoBackend`] trait: the LUT hierarchy behind an interface.
+//!
+//! Everything above the LUT — the [`crate::unit::MemoizationUnit`]
+//! façade, the snapshot subsystem, the figure runners — talks to the
+//! table through this trait rather than to [`TwoLevelLut`] directly.
+//! That keeps the single-owner hierarchy the default, byte-identical
+//! implementation while allowing alternative backends: the concurrent
+//! N-shard service backend ([`crate::service::ShardedLut`]) implements
+//! the same trait, so the same drivers and tests run against both.
+//!
+//! The trait surface mirrors the five operations of the hardware
+//! interface (probe / update / invalidate / export / restore) plus the
+//! statistics and fault accessors the reporting layers need. Telemetry
+//! flows through the same [`Telemetry`] handle as everywhere else;
+//! [`Telemetry::off`] keeps the no-observer path zero-cost.
+
+use crate::faults::FaultStats;
+use crate::ids::LutId;
+use crate::lut::{ExportedEntry, LutStats};
+use crate::snapshot::SnapshotGeometry;
+use crate::two_level::{TwoLevelLut, TwoLevelOutcome};
+use axmemo_telemetry::Telemetry;
+
+/// Order in which previously-exported entries are re-installed by a
+/// warm restore (see `EXPERIMENTS.md`, "Warm start").
+///
+/// Entries are exported in LRU order, oldest first. Restoring them in
+/// that same order reproduces the donor's relative recency exactly —
+/// the right default, and byte-identical to the pre-policy behaviour.
+/// But for scan-dominated workloads whose working set exceeds the LUT
+/// (sobel, jmeint), a full restore is pollution: the image holds the
+/// donor's tail-end entries, the run probes from the start of the
+/// stream, and every restored way must be evicted one miss at a time.
+/// [`RestorePolicy::MruFirst`] bounds that pollution: entries are
+/// admitted newest-first (the donor's hottest state wins) and each set
+/// accepts restored entries into at most half its ways, leaving the
+/// other half invalid for the live run's working set. Entries past the
+/// cap are counted as dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum RestorePolicy {
+    /// Replay the export stream oldest-first, displacing the least
+    /// recently restored entry when a set overflows. The default;
+    /// reproduces pre-policy restores byte-for-byte.
+    #[default]
+    OldestFirst,
+    /// Fresh-biased warm start: admit entries newest-first, never
+    /// displace, cap restored occupancy at half of each set's ways,
+    /// and start the quality ladder fresh instead of resuming the
+    /// donor's rung (the warm run re-earns any degradation from its
+    /// own sampled comparisons).
+    MruFirst,
+}
+
+impl RestorePolicy {
+    /// Parse a command-line spelling (`oldest` / `mru`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "oldest" | "oldest-first" => Some(Self::OldestFirst),
+            "mru" | "mru-first" => Some(Self::MruFirst),
+            _ => None,
+        }
+    }
+
+    /// The command-line spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::OldestFirst => "oldest",
+            Self::MruFirst => "mru",
+        }
+    }
+}
+
+/// Result of exporting one level's entries: the entries in LRU order
+/// (oldest first) plus the count of stored records that could not be
+/// exported because their state was corrupt (an out-of-range stored
+/// `lut_id`, e.g. after an SEU in the LUT_ID tag bits). Corrupt
+/// records are skipped and counted, never admitted and never a panic.
+pub type ExportOutcome = (Vec<ExportedEntry>, u64);
+
+/// A memoization lookup-table backend.
+///
+/// Implemented by the single-owner [`TwoLevelLut`] (the default used
+/// throughout the simulator) and by the concurrent
+/// [`crate::service::ShardedLut`]. Object-safe, so drivers can hold a
+/// `Box<dyn MemoBackend>` when the backend is chosen at runtime.
+pub trait MemoBackend: std::fmt::Debug {
+    /// Probe `{lut_id, crc}`. Emits the same `lut.*` telemetry as
+    /// [`TwoLevelLut::lookup_tel`] when the backend supports it.
+    fn probe(&mut self, lut_id: LutId, crc: u64, tel: &mut Telemetry) -> TwoLevelOutcome;
+
+    /// Install (or refresh) the entry for `{lut_id, crc}`.
+    fn update(&mut self, lut_id: LutId, crc: u64, data: u64, tel: &mut Telemetry);
+
+    /// Invalidate every entry of one logical LUT; returns the number of
+    /// entries cleared.
+    fn invalidate(&mut self, lut_id: LutId) -> u64;
+
+    /// Clear everything (between runs).
+    fn invalidate_all(&mut self);
+
+    /// Snapshot occupancy gauges/histograms into telemetry.
+    fn record_occupancy(&self, tel: &mut Telemetry);
+
+    /// Whether a second level is present (affects miss timing).
+    fn has_l2(&self) -> bool;
+
+    /// First-level statistics (aggregated across shards for concurrent
+    /// backends).
+    fn l1_stats(&self) -> LutStats;
+
+    /// Second-level statistics (zero when absent).
+    fn l2_stats(&self) -> LutStats;
+
+    /// Total hit rate across both levels (Fig. 9's metric): hits at
+    /// either level over first-level lookups.
+    fn total_hit_rate(&self) -> f64 {
+        let l1 = self.l1_stats();
+        let lookups = l1.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        (l1.hits + self.l2_stats().hits) as f64 / lookups as f64
+    }
+
+    /// Reset statistics at every level.
+    fn reset_stats(&mut self);
+
+    /// Injected-fault counters summed across the hierarchy.
+    fn fault_stats(&self) -> FaultStats;
+
+    /// Re-seed the fault streams (between runs).
+    fn reset_faults(&mut self);
+
+    /// Geometry for snapshot reporting, when the backend has one.
+    fn snapshot_geometry(&self) -> Option<SnapshotGeometry>;
+
+    /// Export the first level's valid entries (LRU order, oldest
+    /// first) plus the count of corrupt records skipped.
+    fn export_l1(&self) -> ExportOutcome;
+
+    /// Export the second level's valid entries; empty when no L2.
+    fn export_l2(&self) -> ExportOutcome;
+
+    /// Restore previously-exported entries into the first level under
+    /// `policy`. Returns `(restored, dropped)`.
+    fn restore_l1(&mut self, entries: &[ExportedEntry], policy: RestorePolicy) -> (u64, u64);
+
+    /// Restore previously-exported entries into the second level.
+    /// Drops everything when the backend has no L2.
+    fn restore_l2(&mut self, entries: &[ExportedEntry], policy: RestorePolicy) -> (u64, u64);
+}
+
+impl MemoBackend for TwoLevelLut {
+    fn probe(&mut self, lut_id: LutId, crc: u64, tel: &mut Telemetry) -> TwoLevelOutcome {
+        self.lookup_tel(lut_id, crc, tel)
+    }
+
+    fn update(&mut self, lut_id: LutId, crc: u64, data: u64, tel: &mut Telemetry) {
+        self.update_tel(lut_id, crc, data, tel);
+    }
+
+    fn invalidate(&mut self, lut_id: LutId) -> u64 {
+        TwoLevelLut::invalidate(self, lut_id)
+    }
+
+    fn invalidate_all(&mut self) {
+        TwoLevelLut::invalidate_all(self);
+    }
+
+    fn record_occupancy(&self, tel: &mut Telemetry) {
+        TwoLevelLut::record_occupancy(self, tel);
+    }
+
+    fn has_l2(&self) -> bool {
+        TwoLevelLut::has_l2(self)
+    }
+
+    fn l1_stats(&self) -> LutStats {
+        TwoLevelLut::l1_stats(self)
+    }
+
+    fn l2_stats(&self) -> LutStats {
+        TwoLevelLut::l2_stats(self)
+    }
+
+    fn total_hit_rate(&self) -> f64 {
+        TwoLevelLut::total_hit_rate(self)
+    }
+
+    fn reset_stats(&mut self) {
+        TwoLevelLut::reset_stats(self);
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        TwoLevelLut::fault_stats(self)
+    }
+
+    fn reset_faults(&mut self) {
+        TwoLevelLut::reset_faults(self);
+    }
+
+    fn snapshot_geometry(&self) -> Option<SnapshotGeometry> {
+        let l1 = self.l1().geometry();
+        Some(SnapshotGeometry {
+            l1_sets: l1.sets as u64,
+            l1_ways: l1.ways as u64,
+            data_width_bytes: l1.data_width.bytes() as u32,
+            l2: self
+                .l2()
+                .map(|l2| (l2.geometry().sets as u64, l2.geometry().ways as u64)),
+        })
+    }
+
+    fn export_l1(&self) -> ExportOutcome {
+        self.export_l1_counted()
+    }
+
+    fn export_l2(&self) -> ExportOutcome {
+        self.export_l2_counted()
+    }
+
+    fn restore_l1(&mut self, entries: &[ExportedEntry], policy: RestorePolicy) -> (u64, u64) {
+        self.restore_l1_with(entries, policy)
+    }
+
+    fn restore_l2(&mut self, entries: &[ExportedEntry], policy: RestorePolicy) -> (u64, u64) {
+        self.restore_l2_with(entries, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoConfig;
+
+    fn id(i: u8) -> LutId {
+        LutId::new(i).unwrap()
+    }
+
+    #[test]
+    fn trait_delegates_to_two_level() {
+        let mut lut = TwoLevelLut::new(&MemoConfig::l1_only(1024));
+        let b: &mut dyn MemoBackend = &mut lut;
+        let mut tel = Telemetry::off();
+        assert!(!b.probe(id(0), 7, &mut tel).is_hit());
+        b.update(id(0), 7, 99, &mut tel);
+        assert_eq!(b.probe(id(0), 7, &mut tel).data(), Some(99));
+        assert_eq!(b.l1_stats().hits, 1);
+        assert!((b.total_hit_rate() - 0.5).abs() < 1e-12);
+        let (entries, skipped) = b.export_l1();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(skipped, 0);
+        assert_eq!(b.invalidate(id(0)), 1);
+        b.reset_stats();
+        assert_eq!(b.l1_stats(), LutStats::default());
+    }
+
+    #[test]
+    fn trait_restore_roundtrip_matches_inherent() {
+        let mut src = TwoLevelLut::new(&MemoConfig::l1_only(1024));
+        for i in 0..32u64 {
+            src.update(id(0), i * 17, i);
+        }
+        let (entries, _) = MemoBackend::export_l1(&src);
+        let mut via_trait = TwoLevelLut::new(&MemoConfig::l1_only(1024));
+        let mut via_inherent = TwoLevelLut::new(&MemoConfig::l1_only(1024));
+        let (r, d) = MemoBackend::restore_l1(&mut via_trait, &entries, RestorePolicy::OldestFirst);
+        let (ri, di) = via_inherent.restore_l1_entries(&entries);
+        assert_eq!((r, d), (ri, di));
+        assert_eq!(
+            via_trait.export_l1_entries(),
+            via_inherent.export_l1_entries()
+        );
+    }
+
+    #[test]
+    fn snapshot_geometry_reports_both_levels() {
+        let lut = TwoLevelLut::new(&MemoConfig::l1_l2(1024, 8 * 1024));
+        let geo = MemoBackend::snapshot_geometry(&lut).unwrap();
+        assert_eq!(geo.l1_sets, 16);
+        assert!(geo.l2.is_some());
+    }
+
+    #[test]
+    fn restore_policy_parses_cli_spellings() {
+        assert_eq!(
+            RestorePolicy::parse("oldest"),
+            Some(RestorePolicy::OldestFirst)
+        );
+        assert_eq!(RestorePolicy::parse("mru"), Some(RestorePolicy::MruFirst));
+        assert_eq!(RestorePolicy::parse("bogus"), None);
+        assert_eq!(RestorePolicy::default(), RestorePolicy::OldestFirst);
+        assert_eq!(RestorePolicy::MruFirst.label(), "mru");
+    }
+}

@@ -199,6 +199,9 @@ pub struct LutArray {
     /// Fault-injection site for this array's SRAM; `None` (the default)
     /// keeps the access path exactly as it was without fault modelling.
     faults: Option<FaultInjector>,
+    /// Stored records found with an out-of-range `lut_id` (an SEU in
+    /// the LUT_ID tag bits) and dropped instead of exported/forwarded.
+    bad_entries_dropped: u64,
 }
 
 impl LutArray {
@@ -210,6 +213,7 @@ impl LutArray {
             clock: 0,
             stats: LutStats::default(),
             faults: None,
+            bad_entries_dropped: 0,
         }
     }
 
@@ -372,17 +376,22 @@ impl LutArray {
             best
         };
         self.stats.evictions += 1;
-        let index_bits = self.geometry.index_bits();
-        let _ = index_bits;
         let victim = {
             let ways = self.ways_of(set);
             ways[victim_way]
         };
-        let evicted = Evicted {
-            lut_id: LutId::new(victim.lut_id).expect("stored lut_id is valid"),
+        // A fault can in principle leave a stored lut_id out of range
+        // (an SEU in the LUT_ID tag bits); such a victim carries no
+        // usable identity, so it is dropped and counted rather than
+        // forwarded to the next level — never a panic.
+        let evicted = LutId::new(victim.lut_id).map(|victim_id| Evicted {
+            lut_id: victim_id,
             crc: self.crc_of(victim.tag, set),
             data: victim.data,
-        };
+        });
+        if evicted.is_none() {
+            self.bad_entries_dropped += 1;
+        }
         let ways = self.ways_of(set);
         ways[victim_way] = Entry {
             valid: true,
@@ -391,7 +400,7 @@ impl LutArray {
             data,
             last_use: clock,
         };
-        Some(evicted)
+        evicted
     }
 
     /// Invalidate every entry belonging to `lut_id` (the `invalidate`
@@ -434,24 +443,68 @@ impl LutArray {
     /// [`Self::restore_entry`] reproduces the relative recency of the
     /// source array.
     pub fn export_entries(&self) -> Vec<ExportedEntry> {
+        self.export_entries_counted().0
+    }
+
+    /// [`Self::export_entries`] plus the count of stored records that
+    /// could not be exported because their stored `lut_id` was out of
+    /// range (an SEU in the LUT_ID tag bits — see
+    /// [`Self::corrupt_stored_lut_id`]). Corrupt records are skipped
+    /// and counted, never a panic.
+    pub fn export_entries_counted(&self) -> (Vec<ExportedEntry>, u64) {
         let ways = self.geometry.ways;
+        let mut skipped = 0u64;
         let mut out: Vec<(u64, ExportedEntry)> = Vec::with_capacity(self.occupancy());
         for (i, e) in self.sets.iter().enumerate() {
             if !e.valid {
                 continue;
             }
+            let Some(lut_id) = LutId::new(e.lut_id) else {
+                skipped += 1;
+                continue;
+            };
             let set = i / ways;
             out.push((
                 e.last_use,
                 ExportedEntry {
-                    lut_id: LutId::new(e.lut_id).expect("stored lut_id is valid"),
+                    lut_id,
                     crc: self.crc_of(e.tag, set),
                     data: e.data,
                 },
             ));
         }
         out.sort_by_key(|(last_use, _)| *last_use);
-        out.into_iter().map(|(_, e)| e).collect()
+        (out.into_iter().map(|(_, e)| e).collect(), skipped)
+    }
+
+    /// Drops observed on the mutation paths so far: LRU victims whose
+    /// stored `lut_id` was out of range when [`Self::insert`] went to
+    /// forward them to the next level.
+    pub fn bad_entries_dropped(&self) -> u64 {
+        self.bad_entries_dropped
+    }
+
+    /// Overwrite the stored `lut_id` byte of the entry matching
+    /// `{lut_id, crc}` with `raw`, returning `true` if the entry was
+    /// found.
+    ///
+    /// This is a deterministic fault-model hook for tests and
+    /// experiments: it models a single-event upset in the LUT_ID tag
+    /// bits, the one field the seeded per-access injector deliberately
+    /// never touches (changing its mask domains would shift the fault
+    /// RNG stream and every pinned sweep golden). With `raw >= 8` the
+    /// entry becomes unexportable and exercises the skip-and-count
+    /// paths.
+    pub fn corrupt_stored_lut_id(&mut self, lut_id: LutId, crc: u64, raw: u8) -> bool {
+        let set = self.set_index(crc);
+        let tag = self.tag_of(crc);
+        for e in self.ways_of(set) {
+            if e.valid && e.lut_id == lut_id.raw() && e.tag == tag {
+                e.lut_id = raw;
+                return true;
+            }
+        }
+        false
     }
 
     /// Reinstall a previously-exported entry without touching the access
@@ -505,6 +558,50 @@ impl LutArray {
             data,
             last_use: clock,
         };
+        false
+    }
+
+    /// Like [`Self::restore_entry`], but never displaces a valid entry
+    /// and admits into a set only while its valid-entry count is below
+    /// `max_set_occupancy`. Backs the MRU-first restore policy: replay
+    /// the export stream newest-first through this with a cap of half
+    /// the ways, and each set keeps the donor's hottest entries while
+    /// leaving headroom for the live run's working set.
+    ///
+    /// Returns `false` (entry dropped) when the set is at the cap and
+    /// no existing entry matches.
+    pub fn restore_entry_capped(
+        &mut self,
+        lut_id: LutId,
+        crc: u64,
+        data: u64,
+        max_set_occupancy: usize,
+    ) -> bool {
+        let set = self.set_index(crc);
+        let tag = self.tag_of(crc);
+        self.clock += 1;
+        let clock = self.clock;
+        for e in self.ways_of(set) {
+            if e.valid && e.lut_id == lut_id.raw() && e.tag == tag {
+                e.data = data;
+                e.last_use = clock;
+                return true;
+            }
+        }
+        let occupied = self.ways_of(set).iter().filter(|e| e.valid).count();
+        if occupied >= max_set_occupancy {
+            return false;
+        }
+        if let Some(e) = self.ways_of(set).iter_mut().find(|e| !e.valid) {
+            *e = Entry {
+                valid: true,
+                lut_id: lut_id.raw(),
+                tag,
+                data,
+                last_use: clock,
+            };
+            return true;
+        }
         false
     }
 

@@ -1,0 +1,605 @@
+//! Concurrent N-shard memoization backend — the serve path.
+//!
+//! The single-owner [`TwoLevelLut`] models one core's private unit.
+//! A memoization *service* instead shares warm state across many
+//! client streams at once, the way stream-level fuzzy memoization
+//! amortizes reuse across successive inference inputs. [`ShardedLut`]
+//! is that shape: the total LUT capacity is split across `N`
+//! (power-of-two) shards, each an ordinary [`TwoLevelLut`] behind its
+//! own fine-grained lock, and requests are routed by a SplitMix64 mix
+//! of `(lut_id, crc)` so no single hot key serializes the whole table.
+//!
+//! # Update-coalescing queue
+//!
+//! Writers never wait on a busy shard. [`ShardedLut::update_shared`]
+//! takes the shard lock only opportunistically (`try_lock`): when the
+//! shard is busy serving probes, the write is pushed onto a small
+//! per-shard pending queue instead. A later probe (or updater) that
+//! does acquire the lock drains the queue first, so queued writes are
+//! applied in submission order before the probe is answered. Queued
+//! writes coalesce — a second write to the same `{lut_id, crc}`
+//! overwrites the pending data in place — and when the bounded queue
+//! is full the write is dropped and counted, never blocked on. Every
+//! submitted update is therefore accounted for exactly once:
+//! `applied + coalesced + dropped == submitted` (see
+//! [`ServiceStats`], asserted by `tests/service.rs`).
+//!
+//! # Determinism
+//!
+//! With a single client thread, `try_lock` always succeeds, the queue
+//! stays empty, and the shard sequence is a pure function of the
+//! request stream — which is why the serve driver's single-threaded
+//! leg (and the 1-shard equivalence test) is bit-deterministic.
+//! Multi-threaded hit counts depend on interleaving and are reported
+//! as measurements, not goldens.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::backend::{ExportOutcome, MemoBackend, RestorePolicy};
+use crate::config::MemoConfig;
+use crate::faults::FaultStats;
+use crate::ids::LutId;
+use crate::lut::{ExportedEntry, LutStats};
+use crate::snapshot::SnapshotGeometry;
+use crate::two_level::{TwoLevelLut, TwoLevelOutcome};
+use axmemo_telemetry::Telemetry;
+
+/// Default bound on each shard's pending-update queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Smallest per-shard L1 the capacity split will produce, in bytes
+/// (one 64-byte line's worth of entries).
+const MIN_SHARD_BYTES: usize = 64;
+
+#[derive(Debug)]
+struct PendingWrite {
+    lut_id: LutId,
+    crc: u64,
+    data: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShardCounters {
+    probes: AtomicU64,
+    hits: AtomicU64,
+    updates_applied: AtomicU64,
+    updates_queued: AtomicU64,
+    updates_coalesced: AtomicU64,
+    updates_dropped: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Shard {
+    lut: Mutex<TwoLevelLut>,
+    pending: Mutex<Vec<PendingWrite>>,
+    counters: ShardCounters,
+}
+
+impl Shard {
+    /// Apply every queued write to the locked LUT, oldest first.
+    fn drain_pending(&self, lut: &mut TwoLevelLut) {
+        let drained = {
+            let mut q = self.pending.lock().expect("shard queue poisoned");
+            std::mem::take(&mut *q)
+        };
+        if drained.is_empty() {
+            return;
+        }
+        self.counters
+            .updates_applied
+            .fetch_add(drained.len() as u64, Ordering::Relaxed);
+        for w in drained {
+            lut.update(w.lut_id, w.crc, w.data);
+        }
+    }
+}
+
+/// Aggregate statistics of a [`ShardedLut`].
+///
+/// `l1`/`l2` sum the per-shard array counters; the `updates_*` fields
+/// account for every submitted update exactly once
+/// (`updates_applied + updates_coalesced + updates_dropped ==`
+/// submitted; a queued write is counted `applied` when drained).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Summed first-level statistics across shards.
+    pub l1: LutStats,
+    /// Summed second-level statistics across shards.
+    pub l2: LutStats,
+    /// Probes served.
+    pub probes: u64,
+    /// Probes that hit at either level.
+    pub hits: u64,
+    /// Updates written into a shard LUT (inline or drained).
+    pub updates_applied: u64,
+    /// Updates that found the shard busy and were queued.
+    pub updates_queued: u64,
+    /// Queued updates overwritten in place by a newer write to the
+    /// same key before being drained.
+    pub updates_coalesced: u64,
+    /// Updates dropped because the pending queue was full.
+    pub updates_dropped: u64,
+    /// Writes still sitting in pending queues (flushed by
+    /// [`ShardedLut::flush_pending`]).
+    pub pending_now: u64,
+}
+
+impl ServiceStats {
+    /// Hit fraction over probes served.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+}
+
+/// The concurrent sharded LUT service (see module docs).
+///
+/// Shared-reference operations ([`Self::probe_shared`],
+/// [`Self::update_shared`]) are safe to call from many threads at
+/// once; the type is `Sync` because every shard guards its state with
+/// its own lock. The [`MemoBackend`] impl (which takes `&mut self`)
+/// makes a `ShardedLut` usable anywhere a single-owner backend is —
+/// e.g. inside a [`crate::unit::MemoizationUnit`] — and is what the
+/// 1-shard equivalence test drives.
+#[derive(Debug)]
+pub struct ShardedLut {
+    shards: Vec<Shard>,
+    /// Mask for the power-of-two shard count.
+    shard_mask: u64,
+    queue_capacity: usize,
+}
+
+impl ShardedLut {
+    /// Split `config`'s LUT capacity across `shards` (rounded up to a
+    /// power of two, minimum 1): each shard gets `l1_bytes / N` (and
+    /// `l2_bytes / N` when an L2 is configured), floored at one
+    /// 64-byte line, so a ShardedLut has the same total capacity as
+    /// the single-owner LUT it is compared against.
+    pub fn new(config: &MemoConfig, shards: usize) -> Self {
+        Self::with_queue_capacity(config, shards, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// [`Self::new`] with an explicit pending-queue bound per shard.
+    pub fn with_queue_capacity(config: &MemoConfig, shards: usize, queue_capacity: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shard_cfg = MemoConfig {
+            l1_bytes: (config.l1_bytes / n).max(MIN_SHARD_BYTES),
+            l2_bytes: config.l2_bytes.map(|b| (b / n).max(MIN_SHARD_BYTES)),
+            ..config.clone()
+        };
+        let shards = (0..n)
+            .map(|_| Shard {
+                lut: Mutex::new(TwoLevelLut::new(&shard_cfg)),
+                pending: Mutex::new(Vec::new()),
+                counters: ShardCounters::default(),
+            })
+            .collect();
+        Self {
+            shards,
+            shard_mask: (n - 1) as u64,
+            queue_capacity,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Route `{lut_id, crc}` to a shard index: a SplitMix64 finalizer
+    /// over the key so adjacent CRCs (which share low set-index bits)
+    /// spread across shards instead of serializing on one.
+    pub fn shard_of(&self, lut_id: LutId, crc: u64) -> usize {
+        let mut z = crc ^ (u64::from(lut_id.raw()) << 56);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) & self.shard_mask) as usize
+    }
+
+    /// Probe `{lut_id, crc}` from any thread. Takes the target shard's
+    /// lock, drains that shard's pending writes (so a reader observes
+    /// every update submitted before it on this shard), then performs
+    /// the lookup.
+    pub fn probe_shared(&self, lut_id: LutId, crc: u64) -> TwoLevelOutcome {
+        let shard = &self.shards[self.shard_of(lut_id, crc)];
+        let mut lut = shard.lut.lock().expect("shard poisoned");
+        shard.drain_pending(&mut lut);
+        let out = lut.lookup(lut_id, crc);
+        shard.counters.probes.fetch_add(1, Ordering::Relaxed);
+        if out.is_hit() {
+            shard.counters.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Submit an update from any thread — never blocks on a busy
+    /// shard. If the shard lock is free the write (and any queued
+    /// predecessors) is applied inline; otherwise it is queued,
+    /// coalescing with an in-flight write to the same key, or dropped
+    /// (and counted) when the queue is at capacity.
+    pub fn update_shared(&self, lut_id: LutId, crc: u64, data: u64) {
+        let shard = &self.shards[self.shard_of(lut_id, crc)];
+        match shard.lut.try_lock() {
+            Ok(mut lut) => {
+                shard.drain_pending(&mut lut);
+                lut.update(lut_id, crc, data);
+                shard
+                    .counters
+                    .updates_applied
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let mut q = shard.pending.lock().expect("shard queue poisoned");
+                if let Some(w) = q.iter_mut().find(|w| w.lut_id == lut_id && w.crc == crc) {
+                    w.data = data;
+                    shard
+                        .counters
+                        .updates_coalesced
+                        .fetch_add(1, Ordering::Relaxed);
+                } else if q.len() < self.queue_capacity {
+                    q.push(PendingWrite { lut_id, crc, data });
+                    shard
+                        .counters
+                        .updates_queued
+                        .fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shard
+                        .counters
+                        .updates_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Drain every shard's pending queue (end of a run, or before
+    /// export). Returns the number of writes applied.
+    pub fn flush_pending(&self) -> u64 {
+        let mut applied = 0;
+        for shard in &self.shards {
+            let before = shard.counters.updates_applied.load(Ordering::Relaxed);
+            let mut lut = shard.lut.lock().expect("shard poisoned");
+            shard.drain_pending(&mut lut);
+            applied += shard.counters.updates_applied.load(Ordering::Relaxed) - before;
+        }
+        applied
+    }
+
+    /// Run `f` against one shard's LUT while holding that shard's
+    /// lock. Used by tests to pin the never-block property (an
+    /// [`Self::update_shared`] to the held shard must queue, not
+    /// wait) and by maintenance paths that need direct array access.
+    pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut TwoLevelLut) -> R) -> R {
+        let mut lut = self.shards[index].lut.lock().expect("shard poisoned");
+        f(&mut lut)
+    }
+
+    /// Aggregate statistics across all shards.
+    pub fn stats(&self) -> ServiceStats {
+        let mut s = ServiceStats::default();
+        for shard in &self.shards {
+            let lut = shard.lut.lock().expect("shard poisoned");
+            sum_stats(&mut s.l1, lut.l1_stats());
+            sum_stats(&mut s.l2, lut.l2_stats());
+            drop(lut);
+            s.probes += shard.counters.probes.load(Ordering::Relaxed);
+            s.hits += shard.counters.hits.load(Ordering::Relaxed);
+            s.updates_applied += shard.counters.updates_applied.load(Ordering::Relaxed);
+            s.updates_queued += shard.counters.updates_queued.load(Ordering::Relaxed);
+            s.updates_coalesced += shard.counters.updates_coalesced.load(Ordering::Relaxed);
+            s.updates_dropped += shard.counters.updates_dropped.load(Ordering::Relaxed);
+            s.pending_now += shard.pending.lock().expect("shard queue poisoned").len() as u64;
+        }
+        s
+    }
+
+    /// Record per-shard load into telemetry: one observation per shard
+    /// into the `service.shard.*` histograms (probes, hits, occupancy)
+    /// plus aggregate `service.*` counters. Fixed metric names keep
+    /// the registry `&'static`-keyed for any shard count.
+    pub fn record_telemetry(&self, tel: &mut Telemetry) {
+        let mut agg = ServiceStats::default();
+        for shard in &self.shards {
+            let probes = shard.counters.probes.load(Ordering::Relaxed);
+            let hits = shard.counters.hits.load(Ordering::Relaxed);
+            tel.observe("service.shard.probes", probes as f64);
+            tel.observe("service.shard.hits", hits as f64);
+            let occupancy = self.occupancy_of(shard);
+            tel.observe("service.shard.occupancy", occupancy as f64);
+            agg.probes += probes;
+            agg.hits += hits;
+            agg.updates_applied += shard.counters.updates_applied.load(Ordering::Relaxed);
+            agg.updates_coalesced += shard.counters.updates_coalesced.load(Ordering::Relaxed);
+            agg.updates_dropped += shard.counters.updates_dropped.load(Ordering::Relaxed);
+        }
+        tel.count("service.probes", agg.probes);
+        tel.count("service.hits", agg.hits);
+        tel.count("service.updates.applied", agg.updates_applied);
+        tel.count("service.updates.coalesced", agg.updates_coalesced);
+        tel.count("service.updates.dropped", agg.updates_dropped);
+    }
+
+    fn occupancy_of(&self, shard: &Shard) -> usize {
+        let lut = shard.lut.lock().expect("shard poisoned");
+        let mut occ = lut.l1().occupancy();
+        if let Some(l2) = lut.l2() {
+            occ += l2.occupancy();
+        }
+        occ
+    }
+
+    /// Group entries by target shard, preserving relative order.
+    fn bucket_entries<'e>(&self, entries: &'e [ExportedEntry]) -> Vec<Vec<&'e ExportedEntry>> {
+        let mut buckets: Vec<Vec<&ExportedEntry>> = vec![Vec::new(); self.shards.len()];
+        for e in entries {
+            buckets[self.shard_of(e.lut_id, e.crc)].push(e);
+        }
+        buckets
+    }
+
+    fn export_level(&self, l2: bool) -> ExportOutcome {
+        let mut entries = Vec::new();
+        let mut skipped = 0;
+        for shard in &self.shards {
+            let lut = shard.lut.lock().expect("shard poisoned");
+            let (mut e, s) = if l2 {
+                lut.export_l2_counted()
+            } else {
+                lut.export_l1_counted()
+            };
+            entries.append(&mut e);
+            skipped += s;
+        }
+        (entries, skipped)
+    }
+
+    fn restore_level(
+        &self,
+        entries: &[ExportedEntry],
+        policy: RestorePolicy,
+        l2: bool,
+    ) -> (u64, u64) {
+        let (mut restored, mut dropped) = (0, 0);
+        for (i, bucket) in self.bucket_entries(entries).into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let owned: Vec<ExportedEntry> = bucket.into_iter().copied().collect();
+            let mut lut = self.shards[i].lut.lock().expect("shard poisoned");
+            let (r, d) = if l2 {
+                lut.restore_l2_with(&owned, policy)
+            } else {
+                lut.restore_l1_with(&owned, policy)
+            };
+            restored += r;
+            dropped += d;
+        }
+        (restored, dropped)
+    }
+}
+
+fn sum_stats(into: &mut LutStats, s: LutStats) {
+    into.hits += s.hits;
+    into.misses += s.misses;
+    into.inserts += s.inserts;
+    into.evictions += s.evictions;
+    into.invalidations += s.invalidations;
+}
+
+impl MemoBackend for ShardedLut {
+    fn probe(&mut self, lut_id: LutId, crc: u64, tel: &mut Telemetry) -> TwoLevelOutcome {
+        tel.count("lut.probes", 1);
+        self.probe_shared(lut_id, crc)
+    }
+
+    fn update(&mut self, lut_id: LutId, crc: u64, data: u64, tel: &mut Telemetry) {
+        tel.count("lut.updates", 1);
+        self.update_shared(lut_id, crc, data);
+    }
+
+    fn invalidate(&mut self, lut_id: LutId) -> u64 {
+        self.flush_pending();
+        let mut n = 0;
+        for shard in &self.shards {
+            n += shard.lut.lock().expect("shard poisoned").invalidate(lut_id);
+        }
+        n
+    }
+
+    fn invalidate_all(&mut self) {
+        for shard in &self.shards {
+            // Pending writes target pre-wipe state: discard them too.
+            shard.pending.lock().expect("shard queue poisoned").clear();
+            shard.lut.lock().expect("shard poisoned").invalidate_all();
+        }
+    }
+
+    fn record_occupancy(&self, tel: &mut Telemetry) {
+        self.record_telemetry(tel);
+    }
+
+    fn has_l2(&self) -> bool {
+        self.shards[0].lut.lock().expect("shard poisoned").has_l2()
+    }
+
+    fn l1_stats(&self) -> LutStats {
+        self.stats().l1
+    }
+
+    fn l2_stats(&self) -> LutStats {
+        self.stats().l2
+    }
+
+    fn reset_stats(&mut self) {
+        for shard in &self.shards {
+            shard.lut.lock().expect("shard poisoned").reset_stats();
+            shard.counters.probes.store(0, Ordering::Relaxed);
+            shard.counters.hits.store(0, Ordering::Relaxed);
+            shard.counters.updates_applied.store(0, Ordering::Relaxed);
+            shard.counters.updates_queued.store(0, Ordering::Relaxed);
+            shard.counters.updates_coalesced.store(0, Ordering::Relaxed);
+            shard.counters.updates_dropped.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        let mut agg = FaultStats::default();
+        for shard in &self.shards {
+            agg.merge(&shard.lut.lock().expect("shard poisoned").fault_stats());
+        }
+        agg
+    }
+
+    fn reset_faults(&mut self) {
+        for shard in &self.shards {
+            shard.lut.lock().expect("shard poisoned").reset_faults();
+        }
+    }
+
+    fn snapshot_geometry(&self) -> Option<SnapshotGeometry> {
+        // Report the aggregate: per-shard sets summed, ways and width
+        // from the (uniform) shard geometry.
+        let shard0 = self.shards[0].lut.lock().expect("shard poisoned");
+        let l1 = shard0.l1().geometry();
+        let l2 = shard0
+            .l2()
+            .map(|a| (a.geometry().sets as u64, a.geometry().ways as u64));
+        let n = self.shards.len() as u64;
+        Some(SnapshotGeometry {
+            l1_sets: l1.sets as u64 * n,
+            l1_ways: l1.ways as u64,
+            data_width_bytes: l1.data_width.bytes() as u32,
+            l2: l2.map(|(sets, ways)| (sets * n, ways)),
+        })
+    }
+
+    fn export_l1(&self) -> ExportOutcome {
+        self.flush_pending();
+        self.export_level(false)
+    }
+
+    fn export_l2(&self) -> ExportOutcome {
+        self.export_level(true)
+    }
+
+    fn restore_l1(&mut self, entries: &[ExportedEntry], policy: RestorePolicy) -> (u64, u64) {
+        self.restore_level(entries, policy, false)
+    }
+
+    fn restore_l2(&mut self, entries: &[ExportedEntry], policy: RestorePolicy) -> (u64, u64) {
+        self.restore_level(entries, policy, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u8) -> LutId {
+        LutId::new(i).unwrap()
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cfg = MemoConfig::l1_only(8 * 1024);
+        assert_eq!(ShardedLut::new(&cfg, 0).shard_count(), 1);
+        assert_eq!(ShardedLut::new(&cfg, 3).shard_count(), 4);
+        assert_eq!(ShardedLut::new(&cfg, 8).shard_count(), 8);
+    }
+
+    #[test]
+    fn read_through_hits_after_update() {
+        let s = ShardedLut::new(&MemoConfig::l1_only(4096), 4);
+        assert!(!s.probe_shared(id(0), 1234).is_hit());
+        s.update_shared(id(0), 1234, 777);
+        assert_eq!(s.probe_shared(id(0), 1234).data(), Some(777));
+        let st = s.stats();
+        assert_eq!(st.probes, 2);
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.updates_applied, 1);
+    }
+
+    #[test]
+    fn busy_shard_queues_and_probe_drains() {
+        let s = ShardedLut::new(&MemoConfig::l1_only(4096), 2);
+        let shard = s.shard_of(id(0), 42);
+        s.with_shard(shard, |_lut| {
+            // Shard lock held: the write must queue, not block.
+            s.update_shared(id(0), 42, 9);
+        });
+        let st = s.stats();
+        assert_eq!(st.updates_queued, 1);
+        assert_eq!(st.pending_now, 1);
+        // The next probe drains the queue before answering.
+        assert_eq!(s.probe_shared(id(0), 42).data(), Some(9));
+        let st = s.stats();
+        assert_eq!(st.updates_applied, 1);
+        assert_eq!(st.pending_now, 0);
+    }
+
+    #[test]
+    fn queued_updates_coalesce_by_key() {
+        let s = ShardedLut::new(&MemoConfig::l1_only(4096), 2);
+        let shard = s.shard_of(id(0), 42);
+        s.with_shard(shard, |_lut| {
+            s.update_shared(id(0), 42, 1);
+            s.update_shared(id(0), 42, 2);
+            s.update_shared(id(0), 42, 3);
+        });
+        let st = s.stats();
+        assert_eq!(st.updates_queued, 1);
+        assert_eq!(st.updates_coalesced, 2);
+        // Newest write wins.
+        assert_eq!(s.probe_shared(id(0), 42).data(), Some(3));
+    }
+
+    #[test]
+    fn full_queue_drops_and_counts() {
+        let s = ShardedLut::with_queue_capacity(&MemoConfig::l1_only(4096), 1, 2);
+        s.with_shard(0, |_lut| {
+            for i in 0..5u64 {
+                s.update_shared(id(0), i * 1000, i);
+            }
+        });
+        let st = s.stats();
+        assert_eq!(st.updates_queued, 2);
+        assert_eq!(st.updates_dropped, 3);
+        assert_eq!(s.flush_pending(), 2);
+    }
+
+    #[test]
+    fn export_restore_roundtrip_across_shards() {
+        let cfg = MemoConfig::l1_only(8 * 1024);
+        let a = ShardedLut::new(&cfg, 4);
+        for i in 0..100u64 {
+            a.update_shared(id((i % 3) as u8), i * 977, i);
+        }
+        let (entries, skipped) = MemoBackend::export_l1(&a);
+        assert_eq!(entries.len(), 100);
+        assert_eq!(skipped, 0);
+        let mut b = ShardedLut::new(&cfg, 4);
+        let (restored, dropped) =
+            MemoBackend::restore_l1(&mut b, &entries, RestorePolicy::OldestFirst);
+        assert_eq!((restored, dropped), (100, 0));
+        for i in 0..100u64 {
+            assert_eq!(b.probe_shared(id((i % 3) as u8), i * 977).data(), Some(i));
+        }
+    }
+
+    #[test]
+    fn invalidate_all_discards_pending() {
+        let mut s = ShardedLut::new(&MemoConfig::l1_only(4096), 2);
+        let shard = s.shard_of(id(0), 7);
+        s.with_shard(shard, |_lut| {
+            s.update_shared(id(0), 7, 1);
+        });
+        MemoBackend::invalidate_all(&mut s);
+        assert_eq!(s.stats().pending_now, 0);
+        assert!(!s.probe_shared(id(0), 7).is_hit());
+    }
+}

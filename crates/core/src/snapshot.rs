@@ -2,7 +2,7 @@
 //!
 //! A production memo-service's most valuable asset is its warm LUT;
 //! this module makes it survive restarts. [`MemoSnapshot`] captures the
-//! [`TwoLevelLut`] contents (L1 + L2 entries plus donor statistics),
+//! [`crate::two_level::TwoLevelLut`] contents (L1 + L2 entries plus donor statistics),
 //! the [`AdaptiveTruncation`] controller and the [`QualityMonitor`]
 //! ladder position into a versioned, section-based binary format, and
 //! [`MemoSnapshot::recover`] rebuilds as much of that state as the
@@ -55,11 +55,11 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use crate::adaptive::{AdaptiveConfig, AdaptiveState, AdaptiveTruncation};
+use crate::backend::MemoBackend;
 use crate::crc::{CrcAlgorithm, CrcWidth, TableCrc};
 use crate::ids::LutId;
 use crate::lut::{ExportedEntry, LutStats};
 use crate::quality::{DegradationStage, QualityMonitor, QualityState};
-use crate::two_level::TwoLevelLut;
 use axmemo_telemetry::{Telemetry, Value};
 
 /// Magic bytes opening every snapshot file.
@@ -322,23 +322,33 @@ pub struct MemoSnapshot {
 impl MemoSnapshot {
     /// Capture the warm state of a LUT hierarchy plus the optional
     /// controllers that steer it.
-    pub fn capture(
-        lut: &TwoLevelLut,
+    pub fn capture<B: MemoBackend + ?Sized>(
+        lut: &B,
         adaptive: Option<&AdaptiveTruncation>,
         quality: Option<&QualityMonitor>,
     ) -> Self {
-        let l1_geo = lut.l1().geometry();
+        Self::capture_tel(lut, adaptive, quality, &mut Telemetry::off())
+    }
+
+    /// [`Self::capture`] with telemetry: stored records skipped because
+    /// their state was corrupt (an out-of-range stored `lut_id` — a
+    /// fault the export path degrades through rather than panics on)
+    /// are counted into `snapshot.capture.bad_records`.
+    pub fn capture_tel<B: MemoBackend + ?Sized>(
+        lut: &B,
+        adaptive: Option<&AdaptiveTruncation>,
+        quality: Option<&QualityMonitor>,
+        tel: &mut Telemetry,
+    ) -> Self {
+        let (l1_entries, l1_skipped) = lut.export_l1();
+        let (l2_entries, l2_skipped) = lut.export_l2();
+        if l1_skipped + l2_skipped > 0 {
+            tel.count("snapshot.capture.bad_records", l1_skipped + l2_skipped);
+        }
         Self {
-            geometry: Some(SnapshotGeometry {
-                l1_sets: l1_geo.sets as u64,
-                l1_ways: l1_geo.ways as u64,
-                data_width_bytes: l1_geo.data_width.bytes() as u32,
-                l2: lut
-                    .l2()
-                    .map(|l2| (l2.geometry().sets as u64, l2.geometry().ways as u64)),
-            }),
-            l1_entries: lut.export_l1_entries(),
-            l2_entries: lut.export_l2_entries(),
+            geometry: lut.snapshot_geometry(),
+            l1_entries,
+            l2_entries,
             l1_stats: Some(lut.l1_stats()),
             l2_stats: Some(lut.l2_stats()),
             adaptive: adaptive.map(AdaptiveTruncation::export_state),
@@ -1089,6 +1099,7 @@ impl CrashPoint {
 mod tests {
     use super::*;
     use crate::config::MemoConfig;
+    use crate::two_level::TwoLevelLut;
 
     fn warm_lut() -> TwoLevelLut {
         let mut lut = TwoLevelLut::new(&MemoConfig::l1_l2(1024, 8 * 1024));

@@ -7,6 +7,7 @@
 //! there unless itself evicted). LUT entries are never written back to
 //! main memory: an entry evicted from L2 is simply invalidated.
 
+use crate::backend::RestorePolicy;
 use crate::config::MemoConfig;
 use crate::faults::{FaultInjector, FaultStats};
 use crate::ids::LutId;
@@ -319,6 +320,21 @@ impl TwoLevelLut {
             .unwrap_or_default()
     }
 
+    /// [`Self::export_l1_entries`] plus the count of corrupt stored
+    /// records skipped (see [`LutArray::export_entries_counted`]).
+    pub fn export_l1_counted(&self) -> (Vec<ExportedEntry>, u64) {
+        self.l1.export_entries_counted()
+    }
+
+    /// [`Self::export_l2_entries`] plus the count of corrupt stored
+    /// records skipped; `(vec![], 0)` when no L2 is configured.
+    pub fn export_l2_counted(&self) -> (Vec<ExportedEntry>, u64) {
+        self.l2
+            .as_ref()
+            .map(|l2| l2.export_entries_counted())
+            .unwrap_or_default()
+    }
+
     /// Restore previously-exported entries into the L1, in order
     /// (oldest first, so relative recency survives). Restores are
     /// stats-neutral and fault-free (see [`LutArray::restore_entry`]).
@@ -350,9 +366,71 @@ impl TwoLevelLut {
         (entries.len() as u64 - dropped, dropped)
     }
 
+    /// Policy-selected L1 restore (see [`RestorePolicy`]).
+    /// [`RestorePolicy::OldestFirst`] is exactly
+    /// [`Self::restore_l1_entries`].
+    pub fn restore_l1_with(
+        &mut self,
+        entries: &[ExportedEntry],
+        policy: RestorePolicy,
+    ) -> (u64, u64) {
+        match policy {
+            RestorePolicy::OldestFirst => self.restore_l1_entries(entries),
+            RestorePolicy::MruFirst => Self::restore_mru_first(&mut self.l1, entries),
+        }
+    }
+
+    /// Policy-selected L2 restore; `(0, len)` when no L2 is configured.
+    pub fn restore_l2_with(
+        &mut self,
+        entries: &[ExportedEntry],
+        policy: RestorePolicy,
+    ) -> (u64, u64) {
+        match policy {
+            RestorePolicy::OldestFirst => self.restore_l2_entries(entries),
+            RestorePolicy::MruFirst => {
+                let Some(l2) = self.l2.as_mut() else {
+                    return (0, entries.len() as u64);
+                };
+                Self::restore_mru_first(l2, entries)
+            }
+        }
+    }
+
+    /// MRU-first restore into one array: admit the export stream
+    /// newest-first with per-set occupancy capped at half the ways
+    /// (never displacing), so each set keeps the donor's hottest
+    /// entries while leaving invalid ways for the live run's working
+    /// set. A second oldest-first pass re-touches the admitted entries
+    /// so their relative LRU recency matches the donor's (the
+    /// admission pass necessarily stamps them in reverse).
+    fn restore_mru_first(array: &mut LutArray, entries: &[ExportedEntry]) -> (u64, u64) {
+        let cap = (array.geometry().ways / 2).max(1);
+        let mut restored = 0u64;
+        for e in entries.iter().rev() {
+            if array.restore_entry_capped(e.lut_id, e.crc, e.data, cap) {
+                restored += 1;
+            }
+        }
+        // Recency repair: only already-admitted entries can match, and
+        // sets that rejected an entry are at the cap, so this pass
+        // admits nothing new.
+        for e in entries {
+            let _ = array.restore_entry_capped(e.lut_id, e.crc, e.data, cap);
+        }
+        (restored, entries.len() as u64 - restored)
+    }
+
     /// Direct read access to the L1 array (ablation experiments).
     pub fn l1(&self) -> &LutArray {
         &self.l1
+    }
+
+    /// Direct mutable access to the L1 array — the fault-model hook
+    /// used by the export-under-corruption regression tests (e.g.
+    /// [`LutArray::corrupt_stored_lut_id`]).
+    pub fn l1_mut(&mut self) -> &mut LutArray {
+        &mut self.l1
     }
 
     /// Direct read access to the L2 array, if present.

@@ -16,6 +16,7 @@
 //! simulator can charge it; the functional behaviour is independent of
 //! timing.
 
+use crate::backend::{MemoBackend, RestorePolicy};
 use crate::config::MemoConfig;
 use crate::crc::PipelinedCrc;
 use crate::faults::{FaultInjector, FaultStats, Protection};
@@ -177,12 +178,17 @@ pub struct LookupEvent {
 /// unit.feed(lut, tid, InputValue::F32(1.5), 8);
 /// assert!(unit.lookup(lut, tid).skips_computation());
 /// ```
+/// The LUT hierarchy is held behind the [`MemoBackend`] trait; the
+/// default backend is the single-owner [`TwoLevelLut`] (byte-identical
+/// to the pre-trait unit), and [`MemoizationUnit::with_backend`]
+/// accepts any other implementation (e.g. the sharded
+/// [`crate::service::ShardedLut`]).
 #[derive(Debug)]
-pub struct MemoizationUnit {
+pub struct MemoizationUnit<B: MemoBackend = TwoLevelLut> {
     config: MemoConfig,
     crc: PipelinedCrc,
     hvr: HashValueRegisters,
-    lut: TwoLevelLut,
+    lut: B,
     quality: QualityMonitor,
     /// Unit-level fault injector (dropped updates). LUT bit-flips live
     /// inside the LUT arrays themselves.
@@ -205,8 +211,9 @@ pub struct MemoizationUnit {
     warm_image: Option<crate::snapshot::MemoSnapshot>,
 }
 
-impl MemoizationUnit {
-    /// Build a unit for `config`.
+impl MemoizationUnit<TwoLevelLut> {
+    /// Build a unit for `config` with the default single-owner
+    /// [`TwoLevelLut`] backend.
     ///
     /// # Errors
     ///
@@ -215,13 +222,22 @@ impl MemoizationUnit {
     /// invalid.
     pub fn new(config: MemoConfig) -> Result<Self, crate::config::ConfigError> {
         config.validate()?;
+        let lut = TwoLevelLut::new(&config);
+        Ok(Self::with_backend(config, lut))
+    }
+}
+
+impl<B: MemoBackend> MemoizationUnit<B> {
+    /// Build a unit around an already-constructed backend. The caller
+    /// is responsible for having validated `config` (use
+    /// [`MemoizationUnit::new`] for the default backend, which does).
+    pub fn with_backend(config: MemoConfig, lut: B) -> Self {
         let crc = PipelinedCrc::new(config.crc_width);
         let hvr = HashValueRegisters::new(&crc, config.smt_threads);
-        let lut = TwoLevelLut::new(&config);
         let faults = FaultInjector::for_unit(&config.faults);
         let config_threads = config.smt_threads;
         let pending = vec![None; crate::ids::MAX_LUTS * config.smt_threads];
-        Ok(Self {
+        Self {
             config,
             crc,
             hvr,
@@ -236,7 +252,7 @@ impl MemoizationUnit {
             per_lut: [(0, 0); crate::ids::MAX_LUTS],
             capture_armed: false,
             warm_image: None,
-        })
+        }
     }
 
     /// The unit's configuration.
@@ -254,8 +270,8 @@ impl MemoizationUnit {
         self.stats
     }
 
-    /// The LUT hierarchy (for hit-rate reporting, Fig. 9).
-    pub fn lut(&self) -> &TwoLevelLut {
+    /// The LUT backend (for hit-rate reporting, Fig. 9).
+    pub fn lut(&self) -> &B {
         &self.lut
     }
 
@@ -385,7 +401,7 @@ impl MemoizationUnit {
             }
         }
 
-        let result = match self.lut.lookup_tel(lut, crc, tel) {
+        let result = match self.lut.probe(lut, crc, tel) {
             TwoLevelOutcome::Hit(level, data) => {
                 if self.config.quality_monitoring && self.quality.should_sample_hit() {
                     self.stats.sampled_misses += 1;
@@ -571,10 +587,10 @@ impl MemoizationUnit {
             // the LUT (the entry is keyed under stale truncation) or a
             // fault dropped the write.
             if !suppressed && !dropped {
-                self.lut.update_tel(lut, p.crc, data, tel);
+                self.lut.update(lut, p.crc, data, tel);
             }
         } else if !dropped {
-            self.lut.update_tel(lut, p.crc, data, tel);
+            self.lut.update(lut, p.crc, data, tel);
         }
         if let (Some(ev), Some(log)) = (p.event, self.event_log.as_mut()) {
             log[ev].data = Some(data);
@@ -648,10 +664,11 @@ impl MemoizationUnit {
         // wipe. Only the first invalidate captures — subsequent ones
         // (multi-LUT programs) see a partially-wiped array.
         if self.capture_armed && self.warm_image.is_none() {
-            self.warm_image = Some(crate::snapshot::MemoSnapshot::capture(
+            self.warm_image = Some(crate::snapshot::MemoSnapshot::capture_tel(
                 &self.lut,
                 None,
                 Some(&self.quality),
+                tel,
             ));
             tel.count("snapshot.captures", 1);
         }
@@ -737,10 +754,29 @@ impl MemoizationUnit {
         &mut self,
         snapshot: &crate::snapshot::MemoSnapshot,
     ) -> crate::snapshot::RestoreSummary {
-        let (l1_restored, l1_dropped) = self.lut.restore_l1_entries(&snapshot.l1_entries);
-        let (l2_restored, l2_dropped) = self.lut.restore_l2_entries(&snapshot.l2_entries);
+        self.restore_warm_with(snapshot, RestorePolicy::OldestFirst)
+    }
+
+    /// [`Self::restore_warm`] with an explicit [`RestorePolicy`].
+    /// [`RestorePolicy::OldestFirst`] reproduces [`Self::restore_warm`]
+    /// byte-for-byte; [`RestorePolicy::MruFirst`] bounds restore
+    /// pollution for scan-dominated workloads (see `EXPERIMENTS.md`).
+    pub fn restore_warm_with(
+        &mut self,
+        snapshot: &crate::snapshot::MemoSnapshot,
+        policy: RestorePolicy,
+    ) -> crate::snapshot::RestoreSummary {
+        let (l1_restored, l1_dropped) = self.lut.restore_l1(&snapshot.l1_entries, policy);
+        let (l2_restored, l2_dropped) = self.lut.restore_l2(&snapshot.l2_entries, policy);
+        // MruFirst is the fresh-biased policy: the warm run keeps the
+        // donor's hottest entries but re-earns any quality degradation
+        // from its own sampled comparisons. Resuming a donor ladder
+        // that ended degraded (sobel walks to `reduced_truncation`
+        // near the end of a run) locks the whole warm run into the
+        // conservative rung and is the dominant term in the measured
+        // warm-restore hit-rate collapse — see EXPERIMENTS.md.
         let quality_restored = match &snapshot.quality {
-            Some(q) if self.config.quality_monitoring => {
+            Some(q) if self.config.quality_monitoring && policy == RestorePolicy::OldestFirst => {
                 self.quality = QualityMonitor::from_state(q.clone());
                 true
             }

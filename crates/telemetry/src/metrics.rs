@@ -56,15 +56,17 @@ impl Histogram {
         }
     }
 
-    /// Record one observation.
+    /// Record one observation. Counts saturate at `u64::MAX` rather
+    /// than wrapping (a long-lived serve process outlives any counter
+    /// headroom assumption).
     pub fn observe(&mut self, v: f64) {
         let idx = self
             .bounds
             .iter()
             .position(|&b| v <= b)
             .unwrap_or(self.bounds.len());
-        self.counts[idx] += 1;
-        self.total += 1;
+        self.counts[idx] = self.counts[idx].saturating_add(1);
+        self.total = self.total.saturating_add(1);
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
@@ -168,8 +170,12 @@ impl Registry {
     }
 
     /// Add `n` to the counter `name` (auto-registered at 0).
+    /// Saturates at `u64::MAX` instead of overflowing — a long-lived
+    /// serve run must degrade its telemetry, not panic (debug) or wrap
+    /// to a nonsense value (release).
     pub fn counter_add(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_insert(0) += n;
+        let c = self.counters.entry(name).or_insert(0);
+        *c = c.saturating_add(n);
     }
 
     /// Current value of counter `name` (0 when never touched).
@@ -229,7 +235,8 @@ impl Registry {
     /// agree (and are replaced otherwise).
     pub fn merge(&mut self, other: &Registry) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k).or_insert(0) += v;
+            let c = self.counters.entry(k).or_insert(0);
+            *c = c.saturating_add(*v);
         }
         for (k, v) in &other.gauges {
             self.gauges.insert(k, *v);
@@ -238,9 +245,9 @@ impl Registry {
             match self.histograms.get_mut(k) {
                 Some(mine) if mine.bounds == h.bounds => {
                     for (c, o) in mine.counts.iter_mut().zip(&h.counts) {
-                        *c += o;
+                        *c = c.saturating_add(*o);
                     }
-                    mine.total += h.total;
+                    mine.total = mine.total.saturating_add(h.total);
                     mine.sum += h.sum;
                     mine.min = mine.min.min(h.min);
                     mine.max = mine.max.max(h.max);
@@ -392,6 +399,46 @@ mod tests {
         let h = a.histogram("h").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.bucket_counts(), &[1, 1, 0]);
+    }
+
+    #[test]
+    fn counter_add_saturates_instead_of_overflowing() {
+        let mut r = Registry::new();
+        r.counter_add("c", u64::MAX - 1);
+        r.counter_add("c", 5);
+        assert_eq!(r.counter("c"), u64::MAX);
+        r.counter_add("c", 1);
+        assert_eq!(r.counter("c"), u64::MAX);
+    }
+
+    #[test]
+    fn merge_saturates_counters_and_histogram_totals() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.counter_add("c", u64::MAX);
+        b.counter_add("c", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), u64::MAX);
+
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(0.5);
+        // Force the saturated regime directly: totals pinned at MAX
+        // must stay there through observe and merge.
+        h.total = u64::MAX;
+        h.counts[0] = u64::MAX;
+        h.observe(0.5);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.bucket_counts()[0], u64::MAX);
+        let mut mine = Registry::new();
+        mine.register_histogram("h", &[1.0]);
+        mine.observe("h", 0.5);
+        let mut theirs = Registry::new();
+        theirs.register_histogram("h", &[1.0]);
+        theirs.observe("h", 0.5);
+        theirs.histograms.get_mut("h").unwrap().total = u64::MAX;
+        theirs.histograms.get_mut("h").unwrap().counts[0] = u64::MAX;
+        mine.merge(&theirs);
+        assert_eq!(mine.histogram("h").unwrap().count(), u64::MAX);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::meta::Metric;
 use crate::{Benchmark, Dataset, Scale};
 use axmemo_compiler::codegen::memoize;
+use axmemo_core::backend::RestorePolicy;
 use axmemo_core::config::MemoConfig;
 use axmemo_core::lut::LutStats;
 use axmemo_core::snapshot::{MemoSnapshot, RecoveryOutcome, RecoveryReport};
@@ -178,10 +179,18 @@ pub struct SnapshotPlan {
     pub restore_from: Option<PathBuf>,
     /// Path to atomically write the end-of-run warm image to, if any.
     pub snapshot_out: Option<PathBuf>,
+    /// Order/admission policy for the restore. The default
+    /// (`OldestFirst`) reproduces pre-policy restores byte-for-byte;
+    /// `MruFirst` bounds restore pollution for scan-dominated
+    /// workloads (sobel/jmeint — see EXPERIMENTS.md). Inert without
+    /// `restore_from`.
+    pub restore_policy: RestorePolicy,
 }
 
 impl SnapshotPlan {
     /// `true` when the plan does nothing (the byte-identical default).
+    /// The policy alone never makes a plan non-empty: it only shapes a
+    /// restore that `restore_from` requests.
     pub fn is_empty(&self) -> bool {
         self.restore_from.is_none() && self.snapshot_out.is_none()
     }
@@ -881,7 +890,7 @@ fn run_benchmark_inner(
     if let Some(plan) = plan {
         if let Some(unit) = memo_sim.memo_unit_mut() {
             if let Some(image) = &warm_image {
-                let summary = unit.restore_warm(image);
+                let summary = unit.restore_warm_with(image, plan.restore_policy);
                 if let Some(rec) = recovery.as_mut() {
                     rec.applied = Some(summary);
                 }

@@ -1,0 +1,267 @@
+//! Shard-invariant and export-under-corruption integration tests for
+//! the `core::service` concurrent backend and the `MemoBackend` trait.
+//!
+//! The seeded stress tests pin the accounting contract documented in
+//! `core::service`: every probe is counted exactly once
+//! (`probes == hits + misses`), and every submitted update is
+//! accounted for exactly once after a flush
+//! (`applied + coalesced + dropped == submitted`, `pending == 0`) —
+//! coalescing and full-queue drops are the *only* ways a write can
+//! fail to land, and both are counted. A 1-shard service driven from a
+//! single thread must match the single-owner `TwoLevelLut`
+//! outcome-for-outcome and byte-for-byte on the same trace.
+
+use axmemo_core::backend::MemoBackend;
+use axmemo_core::config::MemoConfig;
+use axmemo_core::ids::LutId;
+use axmemo_core::service::ShardedLut;
+use axmemo_core::snapshot::MemoSnapshot;
+use axmemo_core::two_level::TwoLevelLut;
+use axmemo_telemetry::Telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// SplitMix64 — the repo-wide seeded RNG (matches `sim::rng`).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded multi-thread stress: N client threads hammer a sharded
+/// service with overlapping key ranges; afterwards every probe and
+/// every submitted update must be accounted for exactly once.
+#[test]
+fn stress_conserves_probes_and_updates_across_threads() {
+    const THREADS: u64 = 4;
+    const OPS: u64 = 20_000;
+    let service = Arc::new(ShardedLut::new(&MemoConfig::l1_only(8 * 1024), 4));
+    let probes = Arc::new(AtomicU64::new(0));
+    let hits = Arc::new(AtomicU64::new(0));
+    let misses = Arc::new(AtomicU64::new(0));
+    let submitted = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let (service, probes, hits, misses, submitted) = (
+                Arc::clone(&service),
+                Arc::clone(&probes),
+                Arc::clone(&hits),
+                Arc::clone(&misses),
+                Arc::clone(&submitted),
+            );
+            std::thread::spawn(move || {
+                let mut rng = 0xA11C_E000 + t;
+                for _ in 0..OPS {
+                    let r = splitmix64(&mut rng);
+                    let lut = LutId::new((r % 8) as u8).unwrap();
+                    // Deliberately small key space so threads collide
+                    // on shards and keys (exercising queue/coalesce).
+                    let crc = (r >> 8) % 4096;
+                    probes.fetch_add(1, Ordering::Relaxed);
+                    if service.probe_shared(lut, crc).is_hit() {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                        submitted.fetch_add(1, Ordering::Relaxed);
+                        service.update_shared(lut, crc, crc.wrapping_mul(3) ^ 1);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    service.flush_pending();
+
+    let stats = service.stats();
+    let (p, h, m) = (
+        probes.load(Ordering::Relaxed),
+        hits.load(Ordering::Relaxed),
+        misses.load(Ordering::Relaxed),
+    );
+    assert_eq!(p, THREADS * OPS);
+    assert_eq!(p, h + m, "every probe is a hit or a miss");
+    assert_eq!(stats.probes, p, "service counts every client probe");
+    assert_eq!(stats.hits, h, "service hit count matches client view");
+    assert_eq!(stats.pending_now, 0, "flush drains every queue");
+    assert_eq!(
+        stats.updates_applied + stats.updates_coalesced + stats.updates_dropped,
+        submitted.load(Ordering::Relaxed),
+        "no lost updates beyond counted coalesces/drops"
+    );
+}
+
+/// Drive the same seeded single-thread trace through a 1-shard service
+/// and a single-owner `TwoLevelLut`: outcomes, stats, and the final
+/// exported L1 image must match exactly (the service's try-lock always
+/// succeeds single-threaded, so the path is bit-deterministic).
+#[test]
+fn one_shard_service_matches_single_owner_on_same_trace() {
+    let config = MemoConfig::l1_only(4 * 1024);
+    let service = ShardedLut::new(&config, 1);
+    let mut owner = TwoLevelLut::new(&config);
+
+    let mut rng = 0xDECAFBAD;
+    for op in 0..30_000u64 {
+        let r = splitmix64(&mut rng);
+        let lut = LutId::new((r % 8) as u8).unwrap();
+        let crc = (r >> 8) % 2048;
+        let service_hit = service.probe_shared(lut, crc).is_hit();
+        let owner_hit = owner.lookup(lut, crc).is_hit();
+        assert_eq!(service_hit, owner_hit, "outcome diverged at op {op}");
+        if !service_hit {
+            let data = crc.wrapping_mul(7) ^ 0x55;
+            service.update_shared(lut, crc, data);
+            owner.update(lut, crc, data);
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.updates_queued, 0, "single-thread never queues");
+    assert_eq!(stats.l1.hits, owner.l1_stats().hits);
+    assert_eq!(stats.l1.misses, owner.l1_stats().misses);
+    assert_eq!(stats.l1.inserts, owner.l1_stats().inserts);
+
+    // Byte-identity: the exported L1 images match entry-for-entry.
+    let (service_export, s_skipped) = MemoBackend::export_l1(&service);
+    let (owner_export, o_skipped) = owner.export_l1_counted();
+    assert_eq!(s_skipped, 0);
+    assert_eq!(o_skipped, 0);
+    assert_eq!(service_export, owner_export, "exported images diverged");
+}
+
+/// Fault-then-export regression (satellite bugfix): a stored `lut_id`
+/// corrupted out of range — an SEU in the tag bits — must degrade to a
+/// skipped-and-counted record, never a panic, on both the export path
+/// and the insert-eviction path.
+#[test]
+fn corrupt_stored_lut_id_degrades_instead_of_panicking() {
+    let mut lut = TwoLevelLut::new(&MemoConfig::l1_only(1024));
+    let lut_id = LutId::new(3).unwrap();
+    for crc in 0..64u64 {
+        lut.update(lut_id, crc, crc + 100);
+    }
+    let (clean, skipped) = lut.export_l1_counted();
+    assert_eq!(skipped, 0);
+    assert!(!clean.is_empty());
+
+    // Flip the stored LUT_ID tag of one live entry out of range.
+    let victim = clean[0];
+    assert!(
+        lut.l1_mut()
+            .corrupt_stored_lut_id(victim.lut_id, victim.crc, 0xEE),
+        "corruption hook must find the live entry"
+    );
+
+    // Export path: the bad record is skipped and counted, not a panic.
+    let (dirty, skipped) = lut.export_l1_counted();
+    assert_eq!(skipped, 1, "exactly the corrupted record is skipped");
+    assert_eq!(dirty.len(), clean.len() - 1);
+
+    // Armed-capture path: the skip lands in snapshot telemetry.
+    let mut tel = Telemetry::enabled();
+    let snap = MemoSnapshot::capture_tel(&lut, None, None, &mut tel);
+    assert_eq!(snap.l1_entries.len(), clean.len() - 1);
+    assert_eq!(tel.registry().counter("snapshot.capture.bad_records"), 1);
+
+    // Insert-eviction path: keep inserting until the corrupted victim
+    // is evicted; the eviction must drop-and-count, not panic.
+    let before = lut.l1().bad_entries_dropped();
+    for crc in 64..4096u64 {
+        lut.update(lut_id, crc, crc);
+    }
+    assert!(
+        lut.l1().bad_entries_dropped() > before,
+        "evicting the corrupted entry must count a dropped record"
+    );
+}
+
+/// A clean hierarchy emits no `snapshot.capture.bad_records` counter
+/// at all (default registries stay byte-identical).
+#[test]
+fn clean_capture_emits_no_bad_record_counter() {
+    let mut lut = TwoLevelLut::new(&MemoConfig::l1_only(1024));
+    let lut_id = LutId::new(0).unwrap();
+    for crc in 0..32u64 {
+        lut.update(lut_id, crc, crc);
+    }
+    let mut tel = Telemetry::enabled();
+    let _ = MemoSnapshot::capture_tel(&lut, None, None, &mut tel);
+    assert_eq!(tel.registry().counter("snapshot.capture.bad_records"), 0);
+    assert!(
+        !tel.registry()
+            .counters()
+            .any(|(name, _)| name.contains("bad_records")),
+        "clean captures must not materialize the counter"
+    );
+}
+
+/// Writers never block on a busy shard: while a reader holds the shard
+/// lock, `update_shared` returns immediately and the write is queued,
+/// then applied by the next probe's drain.
+#[test]
+fn writer_queues_behind_busy_shard_and_next_probe_drains() {
+    let service = Arc::new(ShardedLut::new(&MemoConfig::l1_only(4 * 1024), 2));
+    let lut = LutId::new(1).unwrap();
+    let crc = 0x1234;
+    let shard = service.shard_of(lut, crc);
+
+    let after_write = {
+        let service_ref = Arc::clone(&service);
+        service.with_shard(shard, move |_locked| {
+            // The shard lut lock is held; a concurrent writer must not
+            // block. Run it to completion from inside the closure —
+            // only possible because update_shared never waits on the
+            // lut lock.
+            let h = std::thread::spawn(move || service_ref.update_shared(lut, crc, 42));
+            h.join().expect("writer must complete while shard is busy");
+        });
+        service.stats()
+    };
+    assert_eq!(
+        after_write.updates_queued, 1,
+        "write queued behind busy shard"
+    );
+    assert_eq!(after_write.pending_now, 1);
+
+    // The next probe drains the queue before answering.
+    assert!(service.probe_shared(lut, crc).is_hit());
+    let stats = service.stats();
+    assert_eq!(stats.pending_now, 0);
+    assert_eq!(stats.updates_applied, 1);
+}
+
+/// `MemoizationUnit` is generic over the backend: a sharded service
+/// plugged in behind the unit serves the same ISA-level flow.
+#[test]
+fn unit_runs_against_sharded_backend() {
+    use axmemo_core::ids::ThreadId;
+    use axmemo_core::truncate::InputValue;
+    use axmemo_core::unit::{LookupResult, MemoizationUnit};
+
+    let mut config = MemoConfig::l1_only(4 * 1024);
+    // Quality sampling turns a few real hits into sampled misses at
+    // the unit level; disable it so unit-level and backend-level hit
+    // counts compare exactly.
+    config.quality_monitoring = false;
+    let backend = ShardedLut::new(&config, 2);
+    let mut unit = MemoizationUnit::with_backend(config, backend);
+    let (lut, tid) = (LutId::new(0).unwrap(), ThreadId(0));
+    let mut hits = 0u64;
+    for i in 0..400u64 {
+        let key = i % 100;
+        unit.feed(lut, tid, InputValue::I64(key as i64), 8);
+        match unit.lookup(lut, tid) {
+            LookupResult::Hit { .. } => hits += 1,
+            _ => {
+                unit.update(lut, tid, key + 7);
+            }
+        }
+    }
+    assert!(hits > 0, "second pass over the keys must hit");
+    let stats = unit.lut().l1_stats();
+    assert_eq!(stats.hits, hits);
+}

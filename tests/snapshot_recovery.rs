@@ -157,6 +157,7 @@ fn runner_warm_start_beats_cold_and_keeps_stats_clean() {
     let cold_plan = SnapshotPlan {
         restore_from: None,
         snapshot_out: Some(path.clone()),
+        ..SnapshotPlan::default()
     };
     let cold = run_cell_report_snap(
         fft().as_ref(),
@@ -178,6 +179,7 @@ fn runner_warm_start_beats_cold_and_keeps_stats_clean() {
     let warm_plan = SnapshotPlan {
         restore_from: Some(path.clone()),
         snapshot_out: None,
+        ..SnapshotPlan::default()
     };
     let warm = run_cell_report_snap(
         fft().as_ref(),
@@ -224,6 +226,7 @@ fn snapshot_files_and_default_off_path_are_deterministic() {
         let plan = SnapshotPlan {
             restore_from: None,
             snapshot_out: Some(dir.join(format!("fft.{leg}.axmsnap"))),
+            ..SnapshotPlan::default()
         };
         run_cell_report_snap(
             fft().as_ref(),
@@ -278,6 +281,7 @@ fn corrupt_snapshot_degrades_to_reported_cold_start() {
     let plan = SnapshotPlan {
         restore_from: Some(path),
         snapshot_out: None,
+        ..SnapshotPlan::default()
     };
     let report = run_cell_report_snap(
         fft().as_ref(),
@@ -319,6 +323,7 @@ fn missing_restore_file_is_an_error_naming_the_path() {
     let plan = SnapshotPlan {
         restore_from: Some(bogus.clone()),
         snapshot_out: None,
+        ..SnapshotPlan::default()
     };
     let err = run_cell_report_snap(
         fft().as_ref(),
