@@ -1,0 +1,1149 @@
+//! Batched lockstep execution tier: many independent machines advance
+//! through one [`ThreadedProgram`] together.
+//!
+//! The threaded tier measured the ceiling of single-stream
+//! interpretation: with dispatch fused into superblocks, the
+//! cycle-approximate pipeline model dominates per-instruction host
+//! cost. This tier amortizes what is left to amortize across a *batch*
+//! of independent input sets (same program, different registers /
+//! memory / LUT state / fault seeds):
+//!
+//! - **One dispatch per cohort.** Lanes at the same pc form a cohort;
+//!   the superblock lookup, entry check, and profiler snapshot are paid
+//!   once, and each lane then runs the fused-op span through a tight
+//!   scalar loop (the same shape as the threaded tier's — the fastest
+//!   the host executes) while the ops and schedule cache stay hot
+//!   across lanes.
+//! - **Memoized issue schedules.** Each superblock's maximal *pure*
+//!   runs — consecutive ops with input-independent latencies, found at
+//!   compile time as [`PureRun`](crate::threaded)s — skip the per-op
+//!   scoreboard walk. At a run's entry the lane extracts a compact
+//!   signature of everything that can influence the run's timing
+//!   (issue-slot counters plus cycle-relative readiness deltas of the
+//!   run's live-ins and serialised units); the first lane to arrive
+//!   with a given signature simulates the run once on a scratch
+//!   pipeline seeded from it, and every later arrival with the same
+//!   signature — any lane, any iteration — replays the recorded deltas
+//!   in O(writes) via `Pipeline::apply_replay`. Architectural values
+//!   are still computed per op. In steady-state loops entry signatures
+//!   recur every iteration, so hit rates approach 100% and one lane's
+//!   recording serves the whole batch.
+//! - **Lane-mask divergence.** A lane whose branch disagrees with the
+//!   fused direction (or that halts or faults) just leaves its own
+//!   walk with its exit recorded; when the cohort's superblock
+//!   retires, parked lanes apply their exact side-exit counts and
+//!   re-enter the outer loop at their own pc. Lanes regroup
+//!   automatically whenever their pcs coincide again; a cohort of one
+//!   degenerates to the scalar drain.
+//!
+//! **Byte-identity invariant.** Lanes share no mutable state — each
+//! owns its simulator (caches, memoization unit, fault injectors,
+//! telemetry), machine, pipeline, predictor, and CRC queue — and every
+//! op performs the same watchdog guard, error check, pipeline call, and
+//! telemetry call in the same per-lane order as the scalar threaded
+//! loop. Each lane's `RunStats`, machine state, error value,
+//! fault-injector draws, and telemetry event stream are therefore
+//! bit-identical to the same cell run serially under
+//! `--dispatch threaded` (pinned by `tests/decode_equivalence.rs` and
+//! the CI `batch-matrix` golden diffs). Only profiler attribution
+//! differs: superblock retire cycles land in the `dispatch.batched`
+//! leaf instead of `dispatch.threaded`.
+
+use crate::cpu::{
+    charge_mem_levels, cond_taken, fbin, funop, ialu, ialu_simple, input_value, spike_cycles,
+    Machine, SimError, Simulator,
+};
+use crate::pipeline::{FuClass, Pipeline, ReplayDelta, ReplaySig};
+use crate::predictor::BranchPredictor;
+use crate::stats::{InstClassCounts, RunStats};
+use crate::threaded::{FusedOp, PureRun, ThreadedProgram};
+use axmemo_core::faults::Protection;
+use axmemo_core::ids::{ThreadId, MAX_LUTS};
+use axmemo_core::unit::LookupResult;
+use axmemo_telemetry::PhaseId;
+use core::fmt;
+
+/// One lane of a batch: a simulator/machine pair advancing through the
+/// shared program independently of every other lane.
+pub struct BatchLane<'a> {
+    /// The lane's simulator — configuration, caches, memoization unit,
+    /// fault injectors, and telemetry all belong to this lane alone.
+    pub sim: &'a mut Simulator,
+    /// The lane's architectural state (registers + memory).
+    pub machine: &'a mut Machine,
+}
+
+impl fmt::Debug for BatchLane<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchLane").finish_non_exhaustive()
+    }
+}
+
+/// Run a single simulator/machine pair as a one-lane batch (the
+/// `--dispatch batched` path for drivers without a natural batch
+/// population). Exactly equivalent to the threaded tier.
+pub(crate) fn run_single(
+    sim: &mut Simulator,
+    tp: &ThreadedProgram,
+    machine: &mut Machine,
+) -> Result<RunStats, SimError> {
+    let mut lanes = [BatchLane { sim, machine }];
+    run_batch(tp, &mut lanes)
+        .pop()
+        .expect("one lane in, one result out")
+}
+
+/// Execute every lane of `lanes` through `tp` in lockstep, returning
+/// one result per lane in lane order.
+///
+/// Each lane's result — statistics, machine state, error value, fault
+/// draws, telemetry events — is bit-identical to running that lane's
+/// simulator/machine pair alone through
+/// [`Simulator::run_prepared_threaded`]. Lanes are fully independent;
+/// an error (watchdog trip, fault) ends only the lane it occurs on.
+///
+/// # Panics
+///
+/// Panics if any lane's simulator is configured with a different
+/// [`LatencyModel`](crate::pipeline::LatencyModel) than `tp` was
+/// lowered against.
+pub fn run_batch(
+    tp: &ThreadedProgram,
+    lanes: &mut [BatchLane<'_>],
+) -> Vec<Result<RunStats, SimError>> {
+    if lanes.is_empty() {
+        return Vec::new();
+    }
+    for lane in lanes.iter() {
+        assert_eq!(
+            *tp.latency(),
+            lane.sim.config.latency,
+            "ThreadedProgram latency model does not match a lane's simulator config"
+        );
+    }
+    // Specialize on whether any lane arms a watchdog, mirroring the
+    // threaded tier: with every limit at `u64::MAX` the per-op guard
+    // can never fire, so the unarmed variant compiles it out while
+    // staying exact for every lane.
+    let armed = lanes
+        .iter()
+        .any(|l| l.sim.config.max_insts != u64::MAX || l.sim.config.max_cycles != u64::MAX);
+    if armed {
+        run_batch_impl::<true>(tp, lanes)
+    } else {
+        run_batch_impl::<false>(tp, lanes)
+    }
+}
+
+/// How a lane left the current superblock.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SbEnd {
+    /// Completed the op run (fall-through) or side-exited: retire with
+    /// the recorded exit counts and continue at `next_pc`.
+    Run,
+    /// Executed `Halt`: retire with the chain totals, then finalize.
+    Halt,
+    /// Errored: the result is already recorded; nothing retires.
+    Err,
+}
+
+/// A memoized issue schedule for one [`PureRun`]: the entry signature
+/// it was recorded from, the pipeline clock after each op relative to
+/// entry (for exact watchdog-guard reconstruction), and the end-of-run
+/// scoreboard deltas.
+struct CachedSched {
+    sig: ReplaySig,
+    rel_at: Vec<u64>,
+    delta: ReplayDelta,
+}
+
+/// Variant budget per pure run. Steady-state loops see one or two
+/// entry signatures per run, so a handful covers real programs; a run
+/// whose entry timing never settles stops recording and walks the
+/// scoreboard scalar instead of growing the cache without bound.
+const MAX_VARIANTS: usize = 8;
+
+fn run_batch_impl<const WATCHDOG: bool>(
+    tp: &ThreadedProgram,
+    lanes: &mut [BatchLane<'_>],
+) -> Vec<Result<RunStats, SimError>> {
+    let n = lanes.len();
+    let taken_bubble = tp.latency().taken_branch_bubble;
+
+    // Split the lanes into parallel `&mut` vectors up front so the op
+    // loops reach a lane's simulator/machine through one indexed load
+    // instead of an indexed load plus a `BatchLane` field walk.
+    let (mut sims, mut machines): (Vec<&mut Simulator>, Vec<&mut Machine>) = lanes
+        .iter_mut()
+        .map(|lane| (&mut *lane.sim, &mut *lane.machine))
+        .unzip();
+
+    // Structure-of-arrays lane state: one entry per lane, indexed by
+    // lane id throughout. The state *every* op touches — scoreboard,
+    // retire counter, watchdog limits — is packed per lane into `Hot`
+    // so the lane loops pay one bounds check and walk one allocation.
+    let mut hot: Vec<Hot> = Vec::with_capacity(n);
+    let mut predictors: Vec<Option<BranchPredictor>> = Vec::with_capacity(n);
+    let mut stats: Vec<RunStats> = Vec::with_capacity(n);
+    let mut classes: Vec<InstClassCounts> = Vec::with_capacity(n);
+    let mut crc_ready: Vec<[u64; MAX_LUTS]> = Vec::with_capacity(n);
+    let mut pc: Vec<usize> = Vec::with_capacity(n);
+    let mut queue_capacity: Vec<u64> = Vec::with_capacity(n);
+    let mut has_l2_lut: Vec<bool> = Vec::with_capacity(n);
+    let mut ecc: Vec<bool> = Vec::with_capacity(n);
+    let mut prof_on: Vec<bool> = Vec::with_capacity(n);
+    let mut l1d_before = Vec::with_capacity(n);
+    let mut l2_before = Vec::with_capacity(n);
+    for sim in sims.iter_mut() {
+        hot.push(Hot {
+            pipe: Pipeline::new(),
+            dyn_insts: 0,
+            max_insts: sim.config.max_insts,
+            max_cycles: sim.config.max_cycles,
+        });
+        predictors.push(sim.config.predictor.map(BranchPredictor::new));
+        stats.push(RunStats::default());
+        classes.push(InstClassCounts::default());
+        crc_ready.push([0u64; MAX_LUTS]);
+        pc.push(0);
+        queue_capacity.push(
+            sim.config
+                .memo
+                .as_ref()
+                .map(|m| m.input_queue_depth as u64 * 8)
+                .unwrap_or(0),
+        );
+        has_l2_lut.push(
+            sim.memo
+                .as_ref()
+                .is_some_and(|u| u.config().l2_bytes.is_some()),
+        );
+        ecc.push(
+            sim.memo
+                .as_ref()
+                .is_some_and(|u| u.config().faults.protection == Protection::EccProtected),
+        );
+        l1d_before.push(sim.cache.l1d_stats());
+        l2_before.push(sim.cache.l2_stats());
+        let on = sim.telemetry.profiler().is_enabled();
+        prof_on.push(on);
+        if on {
+            sim.telemetry.profiler_mut().begin_blocks(&tp.ranges);
+        }
+        sim.telemetry.profiler_mut().enter(PhaseId::Dispatch);
+    }
+
+    // Per-cohort scratch, indexed by lane id.
+    let mut next_pc: Vec<usize> = vec![0; n];
+    let mut exit: Vec<u32> = vec![0; n];
+    let mut end: Vec<SbEnd> = vec![SbEnd::Run; n];
+    let mut sb_cycle0: Vec<u64> = vec![0; n];
+    let mut sb_inst0: Vec<u64> = vec![0; n];
+    let mut sb_charged0: Vec<u64> = vec![0; n];
+    let mut results: Vec<Option<Result<RunStats, SimError>>> = (0..n).map(|_| None).collect();
+    // Lanes still executing (sorted by lane id — removals keep order).
+    let mut running: Vec<usize> = (0..n).collect();
+    let mut cohort: Vec<usize> = Vec::with_capacity(n);
+    // Schedule variants memoized this batch, `[superblock][run]` —
+    // shared across lanes: the first lane to reach a run with a new
+    // entry signature records it, every later arrival replays it.
+    let mut sched_cache: Vec<Vec<Vec<CachedSched>>> = tp
+        .runs
+        .iter()
+        .map(|rs| rs.iter().map(|_| Vec::new()).collect())
+        .collect();
+
+    while !running.is_empty() {
+        // Cohort: every running lane at the leader's pc (leader = the
+        // lowest-id running lane). Lanes at other pcs wait; they will
+        // lead or join a cohort in a later round.
+        let entry_pc = pc[running[0]];
+        cohort.clear();
+        cohort.extend(running.iter().copied().filter(|&l| pc[l] == entry_pc));
+
+        let Some(&sb_idx) = tp.block_of.get(entry_pc) else {
+            for &l in &cohort {
+                results[l] = Some(Err(SimError::PcOutOfRange { pc: entry_pc }));
+            }
+            running.retain(|&l| results[l].is_none());
+            continue;
+        };
+        let sb = &tp.superblocks[sb_idx as usize];
+        debug_assert_eq!(
+            sb.entry_pc as usize, entry_pc,
+            "control transfer into the middle of a superblock"
+        );
+        for &l in &cohort {
+            end[l] = SbEnd::Run;
+            next_pc[l] = sb.fall_pc as usize;
+            exit[l] = sb.total_exit;
+            if prof_on[l] {
+                sb_cycle0[l] = hot[l].pipe.now();
+                sb_inst0[l] = hot[l].dyn_insts;
+                sb_charged0[l] = sims[l].telemetry.profiler().open_charged();
+            }
+        }
+        let ops = &tp.ops[sb.ops_start as usize..sb.ops_end as usize];
+        let runs: &[PureRun] = &tp.runs[sb_idx as usize];
+        let run_cache = &mut sched_cache[sb_idx as usize];
+
+        // Lane-minor cohort walk: the superblock lookup, entry check,
+        // and profiler snapshot above were paid once for the whole
+        // cohort; each lane then runs the fused-op span through a
+        // tight scalar loop (the same shape as the threaded tier's,
+        // which the host executes fastest) while the ops and schedule
+        // cache stay hot across lanes. Divergence is trivial here: a
+        // lane that side-exits, halts, or errs just leaves its own
+        // loop with `end`/`next_pc`/`exit` recorded; survivors regroup
+        // by pc at the top of the outer loop.
+        //
+        // Every piece of lane state is hoisted into a local borrow
+        // before the walk so the per-op cost is the op itself, not
+        // repeated lane indexing; the `LaneCtx` handed to the
+        // (inlined) `exec_op` is rebuilt from plain reborrows each
+        // iteration, which costs nothing.
+        for &l in &cohort {
+            let Hot {
+                pipe,
+                dyn_insts,
+                max_insts,
+                max_cycles,
+            } = &mut hot[l];
+            let machine = &mut *machines[l];
+            let sim = &mut *sims[l];
+            let predictor = &mut predictors[l];
+            let lane_stats = &mut stats[l];
+            let lane_crc = &mut crc_ready[l];
+            let lane_queue_capacity = queue_capacity[l];
+            let lane_has_l2_lut = has_l2_lut[l];
+            let lane_ecc = ecc[l];
+            let lane_next_pc = &mut next_pc[l];
+            let lane_exit = &mut exit[l];
+            let mut idx = 0usize;
+            let mut run_i = 0usize;
+            'lane: while idx < ops.len() {
+                // Schedule-replay fast path: a pure run starts here.
+                // Extract the entry signature; record the run's
+                // schedule on first sight of a signature, replay it on
+                // every repeat: architectural values per op, then one
+                // O(writes) scoreboard update instead of the per-op
+                // walk. Either route performs the identical op
+                // sequence (the replay's exactness is the
+                // shift-invariance the `pipeline` tests pin).
+                if run_i < runs.len() && runs[run_i].start as usize == idx {
+                    let run = &runs[run_i];
+                    let variants = &mut run_cache[run_i];
+                    run_i += 1;
+                    if let Some(sig) = pipe.replay_sig(&run.live_in, run.uses_div, run.uses_fp_long)
+                    {
+                        let run_ops = &ops[idx..idx + run.len as usize];
+                        let mut found = variants.iter().position(|c| c.sig == sig);
+                        if found.is_none() && variants.len() < MAX_VARIANTS {
+                            let (rel_at, delta) = run.record(run_ops, &sig);
+                            variants.push(CachedSched { sig, rel_at, delta });
+                            found = Some(variants.len() - 1);
+                        }
+                        if let Some(ci) = found {
+                            let cached = &variants[ci];
+                            let base = pipe.now();
+                            if !WATCHDOG && !run.uses_div {
+                                // No guard to reconstruct and no
+                                // fallible op: straight-line
+                                // architectural evaluation, bulk
+                                // retire, one scoreboard update.
+                                for op in run_ops {
+                                    exec_pure_arch(op, machine)
+                                        .expect("div-free run ops cannot fail");
+                                }
+                                *dyn_insts += run_ops.len() as u64;
+                                pipe.apply_replay(base, &cached.delta);
+                                idx += run_ops.len();
+                                continue 'lane;
+                            }
+                            let mut failed = None;
+                            for (j, op) in run_ops.iter().enumerate() {
+                                // The scalar loop's guard reads the
+                                // pipeline clock after the previous
+                                // op's issue — which the schedule
+                                // knows without running the
+                                // scoreboard. Same trip order as the
+                                // scalar tiers: instruction limit
+                                // first, then cycle limit.
+                                let now = if j == 0 {
+                                    base
+                                } else {
+                                    base + cached.rel_at[j - 1]
+                                };
+                                if WATCHDOG && ((*dyn_insts >= *max_insts) | (now > *max_cycles)) {
+                                    failed = Some(if *dyn_insts >= *max_insts {
+                                        SimError::InstLimit { limit: *max_insts }
+                                    } else {
+                                        SimError::CycleLimit { limit: *max_cycles }
+                                    });
+                                    break;
+                                }
+                                if let Err(e) = exec_pure_arch(op, machine) {
+                                    failed = Some(e);
+                                    break;
+                                }
+                                *dyn_insts += 1;
+                            }
+                            match failed {
+                                None => {
+                                    pipe.apply_replay(base, &cached.delta);
+                                    idx += run_ops.len();
+                                    continue 'lane;
+                                }
+                                Some(e) => {
+                                    end[l] = SbEnd::Err;
+                                    results[l] = Some(Err(e));
+                                    break 'lane;
+                                }
+                            }
+                        }
+                    }
+                    // Signature too wide for the fixed-width deltas or
+                    // variant budget exhausted: this run's ops fall
+                    // through to the scalar stretch below (which
+                    // extends to the *next* run's start).
+                }
+
+                // Scalar stretch up to the next pure run (or the end
+                // of the span) — per op, the same guard -> execute ->
+                // retire sequence as the serial threaded loop, so trip
+                // points and side effects match bit for bit.
+                let stop = if run_i < runs.len() {
+                    runs[run_i].start as usize
+                } else {
+                    ops.len()
+                };
+                while idx < stop {
+                    if WATCHDOG && ((*dyn_insts >= *max_insts) | (pipe.now() > *max_cycles)) {
+                        let e = if *dyn_insts >= *max_insts {
+                            SimError::InstLimit { limit: *max_insts }
+                        } else {
+                            SimError::CycleLimit { limit: *max_cycles }
+                        };
+                        end[l] = SbEnd::Err;
+                        results[l] = Some(Err(e));
+                        break 'lane;
+                    }
+                    let ctx = LaneCtx {
+                        sim: &mut *sim,
+                        machine: &mut *machine,
+                        pipe: &mut *pipe,
+                        predictor: &mut *predictor,
+                        stats: &mut *lane_stats,
+                        crc_ready: &mut *lane_crc,
+                        dyn_insts: &mut *dyn_insts,
+                        queue_capacity: lane_queue_capacity,
+                        has_l2_lut: lane_has_l2_lut,
+                        ecc: lane_ecc,
+                        taken_bubble,
+                    };
+                    match exec_op(ctx, &ops[idx], lane_next_pc, lane_exit) {
+                        Ok(OpOutcome::Next) => idx += 1,
+                        Ok(OpOutcome::Exit) => break 'lane,
+                        Ok(OpOutcome::Halt) => {
+                            end[l] = SbEnd::Halt;
+                            break 'lane;
+                        }
+                        Err(e) => {
+                            end[l] = SbEnd::Err;
+                            results[l] = Some(Err(e));
+                            break 'lane;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Retire the superblock per lane: batched exit counts, profiler
+        // attribution, then either continue at the lane's next pc or
+        // finalize a halted lane exactly as the scalar tail does.
+        let mut finished = false;
+        for &l in &cohort {
+            if end[l] == SbEnd::Err {
+                finished = true;
+                continue;
+            }
+            let ex = if end[l] == SbEnd::Halt {
+                sb.total_exit
+            } else {
+                exit[l]
+            };
+            stats[l].apply_block(&mut classes[l], &tp.exit_counts[ex as usize]);
+            if prof_on[l] {
+                let cyc = hot[l].pipe.now().saturating_sub(sb_cycle0[l]);
+                let prof = sims[l].telemetry.profiler_mut();
+                prof.block_retire(sb_idx as usize, cyc, hot[l].dyn_insts - sb_inst0[l]);
+                let charged = prof.open_charged().saturating_sub(sb_charged0[l]);
+                prof.leaf(PhaseId::DispatchBatched, cyc.saturating_sub(charged));
+            }
+            if end[l] == SbEnd::Halt {
+                finished = true;
+                let mut st = std::mem::take(&mut stats[l]);
+                st.dynamic_insts = hot[l].dyn_insts;
+                st.energy.instructions = hot[l].dyn_insts;
+                st.cycles = hot[l].pipe.drain();
+                let sim = &mut *sims[l];
+                sim.telemetry.profiler_mut().exit_cycles(st.cycles);
+                if let Some(unit) = sim.memo.as_ref() {
+                    st.energy.quality_compares = unit.stats().sampled_misses;
+                }
+                let predictor_stats = predictors[l].as_ref().map(|bp| bp.stats());
+                sim.flush_run_telemetry(
+                    &st,
+                    &classes[l],
+                    predictor_stats,
+                    l1d_before[l],
+                    l2_before[l],
+                );
+                results[l] = Some(Ok(st));
+            } else {
+                pc[l] = next_pc[l];
+            }
+        }
+        if finished {
+            running.retain(|&l| results[l].is_none());
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every lane terminated"))
+        .collect()
+}
+
+/// The per-lane state *every* fused op touches — scoreboard, retire
+/// counter, watchdog limits — packed into one struct so each lane's
+/// walk hoists all of it through a single bounds-checked index and one
+/// contiguous allocation (the scoreboard's register-ready table
+/// dominates the footprint; the scalars ride in its cache lines).
+struct Hot {
+    pipe: Pipeline,
+    dyn_insts: u64,
+    max_insts: u64,
+    max_cycles: u64,
+}
+
+/// Everything one lane needs to execute one fused op: disjoint &muts
+/// into the lane's simulator and the batch's SoA state.
+struct LaneCtx<'a> {
+    sim: &'a mut Simulator,
+    machine: &'a mut Machine,
+    pipe: &'a mut Pipeline,
+    predictor: &'a mut Option<BranchPredictor>,
+    stats: &'a mut RunStats,
+    crc_ready: &'a mut [u64; MAX_LUTS],
+    dyn_insts: &'a mut u64,
+    queue_capacity: u64,
+    has_l2_lut: bool,
+    ecc: bool,
+    taken_bubble: u64,
+}
+
+/// How one fused op left its lane.
+enum OpOutcome {
+    /// Proceed to the next fused op.
+    Next,
+    /// Side exit (or chain-ending jump): `next_pc`/`exit` are set; the
+    /// lane parks until the cohort retires.
+    Exit,
+    /// `Halt`: the lane finalizes at retire.
+    Halt,
+}
+
+/// Execute one fused op for one lane — the scalar threaded loop's match
+/// body verbatim, with the lane's state threaded through `ctx`. The
+/// dynamic-instruction counter advances exactly as in the scalar loop
+/// (`Guard` is not a dynamic instruction; exiting ops count themselves
+/// before leaving).
+#[inline(always)]
+fn exec_op(
+    ctx: LaneCtx<'_>,
+    op: &FusedOp,
+    next_pc: &mut usize,
+    exit: &mut u32,
+) -> Result<OpOutcome, SimError> {
+    let LaneCtx {
+        sim,
+        machine,
+        pipe,
+        predictor,
+        stats,
+        crc_ready,
+        dyn_insts,
+        queue_capacity,
+        has_l2_lut,
+        ecc,
+        taken_bubble,
+    } = ctx;
+    let tid = ThreadId(0);
+    match *op {
+        FusedOp::Guard => {
+            return Ok(OpOutcome::Next); // stands in for a run of region markers
+        }
+        FusedOp::Halt => {
+            *dyn_insts += 1;
+            return Ok(OpOutcome::Halt);
+        }
+        FusedOp::AluRR {
+            op,
+            rd,
+            ra,
+            rb,
+            lat,
+        } => {
+            let v = ialu_simple(op, machine.reg(ra), machine.reg(rb));
+            machine.set_reg(rd, v);
+            let e = pipe.src_ready(ra).max(pipe.src_ready(rb));
+            pipe.issue_int(e, rd, lat);
+        }
+        FusedOp::AluRI {
+            op,
+            rd,
+            ra,
+            imm,
+            lat,
+        } => {
+            let v = ialu_simple(op, machine.reg(ra), imm);
+            machine.set_reg(rd, v);
+            pipe.issue_int(pipe.src_ready(ra), rd, lat);
+        }
+        FusedOp::MulRR { rd, ra, rb, lat } => {
+            let v = machine.reg(ra).wrapping_mul(machine.reg(rb));
+            machine.set_reg(rd, v);
+            let e = pipe.src_ready(ra).max(pipe.src_ready(rb));
+            pipe.issue_mul(e, rd, lat);
+        }
+        FusedOp::MulRI { rd, ra, imm, lat } => {
+            let v = machine.reg(ra).wrapping_mul(imm);
+            machine.set_reg(rd, v);
+            pipe.issue_mul(pipe.src_ready(ra), rd, lat);
+        }
+        FusedOp::DivRR {
+            op,
+            rd,
+            ra,
+            rb,
+            lat,
+            pc: at,
+        } => {
+            let a = machine.reg(ra);
+            let b = machine.reg(rb);
+            let v = ialu(op, a, b).ok_or(SimError::DivByZero { pc: at as usize })?;
+            machine.set_reg(rd, v);
+            let e = pipe.src_ready(ra).max(pipe.src_ready(rb));
+            pipe.issue_div(e, rd, lat);
+        }
+        FusedOp::DivRI {
+            op,
+            rd,
+            ra,
+            imm,
+            lat,
+            pc: at,
+        } => {
+            let a = machine.reg(ra);
+            let v = ialu(op, a, imm).ok_or(SimError::DivByZero { pc: at as usize })?;
+            machine.set_reg(rd, v);
+            pipe.issue_div(pipe.src_ready(ra), rd, lat);
+        }
+        FusedOp::FBinP {
+            op,
+            rd,
+            ra,
+            rb,
+            lat,
+        } => {
+            let v = fbin(op, machine.reg_f32(ra), machine.reg_f32(rb));
+            machine.set_reg_f32(rd, v);
+            let e = pipe.src_ready(ra).max(pipe.src_ready(rb));
+            pipe.issue_fp(e, rd, lat);
+        }
+        FusedOp::FBinLong { rd, ra, rb, lat } => {
+            let v = machine.reg_f32(ra) / machine.reg_f32(rb);
+            machine.set_reg_f32(rd, v);
+            let e = pipe.src_ready(ra).max(pipe.src_ready(rb));
+            pipe.issue_fp_long(e, rd, lat);
+        }
+        FusedOp::FUnP { op, rd, ra, lat } => {
+            let v = funop(op, machine.reg(ra));
+            machine.set_reg(rd, v);
+            pipe.issue_fp(pipe.src_ready(ra), rd, lat);
+        }
+        FusedOp::FUnLong { op, rd, ra, lat } => {
+            let v = funop(op, machine.reg(ra));
+            machine.set_reg(rd, v);
+            pipe.issue_fp_long(pipe.src_ready(ra), rd, lat);
+        }
+        FusedOp::Ld {
+            width,
+            rd,
+            base,
+            offset,
+        } => {
+            let addr = machine.reg(base).wrapping_add_signed(offset.into());
+            let v = machine.load(addr, width)?;
+            machine.set_reg(rd, v);
+            let (mut latency, served) = sim.cache.access_served(addr);
+            latency += spike_cycles(&mut sim.mem_faults);
+            charge_mem_levels(stats, served);
+            pipe.issue_ldst(pipe.src_ready(base), Some(rd), latency);
+        }
+        FusedOp::St {
+            width,
+            rs,
+            base,
+            offset,
+            lat,
+        } => {
+            let addr = machine.reg(base).wrapping_add_signed(offset.into());
+            machine.store(addr, width, machine.reg(rs))?;
+            let (_, served) = sim.cache.access_served(addr);
+            charge_mem_levels(stats, served);
+            let st_latency = lat + spike_cycles(&mut sim.mem_faults);
+            let e = pipe.src_ready(rs).max(pipe.src_ready(base));
+            pipe.issue_ldst(e, None, st_latency);
+        }
+        FusedOp::MovImm { rd, imm } => {
+            machine.set_reg(rd, imm);
+            pipe.issue_int(0, rd, 1);
+        }
+        FusedOp::Mov { rd, ra } => {
+            machine.set_reg(rd, machine.reg(ra));
+            pipe.issue_int(pipe.src_ready(ra), rd, 1);
+        }
+        FusedOp::BranchRR {
+            cond,
+            ra,
+            rb,
+            pc: bpc,
+            exit_pc,
+            exit: ex,
+            expect_taken,
+        } => {
+            let taken = cond_taken(cond, machine.reg(ra), machine.reg(rb));
+            let e = pipe.src_ready(ra).max(pipe.src_ready(rb));
+            pipe.issue_branch(e);
+            match predictor.as_mut() {
+                Some(bp) => {
+                    let stall = bp.resolve(bpc as usize, taken);
+                    if stall > 0 {
+                        pipe.branch_bubble(stall);
+                        stats.branch_bubbles += 1;
+                    }
+                }
+                None if taken => {
+                    pipe.branch_bubble(taken_bubble);
+                    stats.branch_bubbles += 1;
+                }
+                None => {}
+            }
+            if taken != expect_taken {
+                *dyn_insts += 1;
+                *next_pc = exit_pc as usize;
+                *exit = ex;
+                return Ok(OpOutcome::Exit);
+            }
+        }
+        FusedOp::BranchRI {
+            cond,
+            ra,
+            imm,
+            pc: bpc,
+            exit_pc,
+            exit: ex,
+            expect_taken,
+        } => {
+            let taken = cond_taken(cond, machine.reg(ra), imm);
+            pipe.issue_branch(pipe.src_ready(ra));
+            match predictor.as_mut() {
+                Some(bp) => {
+                    let stall = bp.resolve(bpc as usize, taken);
+                    if stall > 0 {
+                        pipe.branch_bubble(stall);
+                        stats.branch_bubbles += 1;
+                    }
+                }
+                None if taken => {
+                    pipe.branch_bubble(taken_bubble);
+                    stats.branch_bubbles += 1;
+                }
+                None => {}
+            }
+            if taken != expect_taken {
+                *dyn_insts += 1;
+                *next_pc = exit_pc as usize;
+                *exit = ex;
+                return Ok(OpOutcome::Exit);
+            }
+        }
+        FusedOp::JumpFused => {
+            pipe.issue_branch(0);
+            pipe.branch_bubble(taken_bubble);
+            stats.branch_bubbles += 1;
+        }
+        FusedOp::JumpExit { target } => {
+            pipe.issue_branch(0);
+            pipe.branch_bubble(taken_bubble);
+            stats.branch_bubbles += 1;
+            *dyn_insts += 1;
+            *next_pc = target as usize;
+            return Ok(OpOutcome::Exit); // `exit` already holds the chain total
+        }
+        FusedOp::MemoBranchHit {
+            exit_pc,
+            exit: ex,
+            expect_hit,
+        } => {
+            pipe.issue_branch(0);
+            if machine.memo_hit {
+                pipe.branch_bubble(taken_bubble);
+                stats.branch_bubbles += 1;
+            }
+            if machine.memo_hit != expect_hit {
+                *dyn_insts += 1;
+                *next_pc = exit_pc as usize;
+                *exit = ex;
+                return Ok(OpOutcome::Exit);
+            }
+        }
+        FusedOp::MemoLdCrc {
+            width,
+            rd,
+            base,
+            offset,
+            lut,
+            trunc,
+            beat,
+            pc: at_pc,
+        } => {
+            let unit = sim
+                .memo
+                .as_mut()
+                .ok_or(SimError::NoMemoUnit { pc: at_pc as usize })?;
+            let addr = machine.reg(base).wrapping_add_signed(offset.into());
+            let raw = machine.load(addr, width)?;
+            machine.set_reg(rd, raw);
+            let (mut latency, served) = sim.cache.access_served(addr);
+            latency += spike_cycles(&mut sim.mem_faults);
+            charge_mem_levels(stats, served);
+            let backlog = crc_ready[lut.index()];
+            let not_before = backlog.saturating_sub(queue_capacity);
+            let at = pipe.issue(&[base], Some(rd), FuClass::LdSt, latency, not_before);
+            sim.telemetry.set_cycle(at);
+            unit.feed_tel(lut, tid, input_value(width, raw), trunc, &mut sim.telemetry);
+            crc_ready[lut.index()] = crc_ready[lut.index()].max(at + latency) + beat;
+            if not_before > at {
+                stats.memo_stall_cycles += not_before - at;
+            }
+        }
+        FusedOp::MemoRegCrc {
+            width,
+            src,
+            mask,
+            lut,
+            trunc,
+            beat,
+            pc: at_pc,
+        } => {
+            let unit = sim
+                .memo
+                .as_mut()
+                .ok_or(SimError::NoMemoUnit { pc: at_pc as usize })?;
+            let raw = machine.reg(src) & mask;
+            let backlog = crc_ready[lut.index()];
+            let not_before = backlog.saturating_sub(queue_capacity);
+            let at = pipe.issue(&[src], None, FuClass::Memo, 1, not_before);
+            sim.telemetry.set_cycle(at);
+            unit.feed_tel(lut, tid, input_value(width, raw), trunc, &mut sim.telemetry);
+            crc_ready[lut.index()] = crc_ready[lut.index()].max(at + 1) + beat;
+        }
+        FusedOp::MemoLookup { rd, lut, pc: at_pc } => {
+            let unit = sim
+                .memo
+                .as_mut()
+                .ok_or(SimError::NoMemoUnit { pc: at_pc as usize })?;
+            // lookup waits for the CRC pipeline to drain (§3.4).
+            let not_before = crc_ready[lut.index()];
+            sim.telemetry.set_cycle(pipe.now().max(not_before));
+            let result = unit.lookup_tel(lut, tid, &mut sim.telemetry);
+            let latency = unit.lookup_cycles(&result);
+            let before = pipe.now();
+            pipe.issue(&[], Some(rd), FuClass::Memo, latency, not_before);
+            stats.memo_stall_cycles += not_before.saturating_sub(before.max(1)) / 2;
+            let mut lut_accesses = 1;
+            if has_l2_lut
+                && !matches!(
+                    result,
+                    LookupResult::Hit {
+                        level: axmemo_core::two_level::HitLevel::L1,
+                        ..
+                    }
+                )
+            {
+                stats.energy.l2_lut_accesses += 1;
+                lut_accesses += 1;
+            }
+            if ecc {
+                stats.energy.ecc_checks += lut_accesses;
+            }
+            match result {
+                LookupResult::Hit { data, .. } => {
+                    machine.set_reg(rd, data);
+                    machine.memo_hit = true;
+                }
+                _ => {
+                    machine.memo_hit = false;
+                }
+            }
+        }
+        FusedOp::MemoUpdate {
+            src,
+            lut,
+            pc: at_pc,
+        } => {
+            let unit = sim
+                .memo
+                .as_mut()
+                .ok_or(SimError::NoMemoUnit { pc: at_pc as usize })?;
+            let data = machine.reg(src);
+            sim.telemetry.set_cycle(pipe.now());
+            let cycles = unit.update_tel(lut, tid, data, &mut sim.telemetry);
+            pipe.issue(&[src], None, FuClass::Memo, cycles, 0);
+            let mut lut_accesses = 1;
+            if has_l2_lut {
+                stats.energy.l2_lut_accesses += 1;
+                lut_accesses += 1;
+            }
+            if ecc {
+                stats.energy.ecc_checks += lut_accesses;
+            }
+        }
+        FusedOp::MemoInvalidate { lut, pc: at_pc } => {
+            let unit = sim
+                .memo
+                .as_mut()
+                .ok_or(SimError::NoMemoUnit { pc: at_pc as usize })?;
+            sim.telemetry.set_cycle(pipe.now());
+            let cycles = unit.invalidate_tel(lut, &mut sim.telemetry);
+            pipe.issue(&[], None, FuClass::Memo, cycles, 0);
+        }
+    }
+    *dyn_insts += 1;
+    Ok(OpOutcome::Next)
+}
+
+/// Execute one *pure* fused op architecturally (registers only) — the
+/// arithmetic half of the scalar arms, used under schedule replay where
+/// the scoreboard half is precomputed.
+#[inline(always)]
+fn exec_pure_arch(op: &FusedOp, machine: &mut Machine) -> Result<(), SimError> {
+    match *op {
+        FusedOp::AluRR { op, rd, ra, rb, .. } => {
+            let v = ialu_simple(op, machine.reg(ra), machine.reg(rb));
+            machine.set_reg(rd, v);
+        }
+        FusedOp::AluRI {
+            op, rd, ra, imm, ..
+        } => {
+            let v = ialu_simple(op, machine.reg(ra), imm);
+            machine.set_reg(rd, v);
+        }
+        FusedOp::MulRR { rd, ra, rb, .. } => {
+            let v = machine.reg(ra).wrapping_mul(machine.reg(rb));
+            machine.set_reg(rd, v);
+        }
+        FusedOp::MulRI { rd, ra, imm, .. } => {
+            let v = machine.reg(ra).wrapping_mul(imm);
+            machine.set_reg(rd, v);
+        }
+        FusedOp::DivRR {
+            op,
+            rd,
+            ra,
+            rb,
+            pc: at,
+            ..
+        } => {
+            let v = ialu(op, machine.reg(ra), machine.reg(rb))
+                .ok_or(SimError::DivByZero { pc: at as usize })?;
+            machine.set_reg(rd, v);
+        }
+        FusedOp::DivRI {
+            op,
+            rd,
+            ra,
+            imm,
+            pc: at,
+            ..
+        } => {
+            let v =
+                ialu(op, machine.reg(ra), imm).ok_or(SimError::DivByZero { pc: at as usize })?;
+            machine.set_reg(rd, v);
+        }
+        FusedOp::FBinP { op, rd, ra, rb, .. } => {
+            let v = fbin(op, machine.reg_f32(ra), machine.reg_f32(rb));
+            machine.set_reg_f32(rd, v);
+        }
+        FusedOp::FBinLong { rd, ra, rb, .. } => {
+            let v = machine.reg_f32(ra) / machine.reg_f32(rb);
+            machine.set_reg_f32(rd, v);
+        }
+        FusedOp::FUnP { op, rd, ra, .. } | FusedOp::FUnLong { op, rd, ra, .. } => {
+            let v = funop(op, machine.reg(ra));
+            machine.set_reg(rd, v);
+        }
+        FusedOp::MovImm { rd, imm } => machine.set_reg(rd, imm),
+        FusedOp::Mov { rd, ra } => {
+            let v = machine.reg(ra);
+            machine.set_reg(rd, v);
+        }
+        _ => unreachable!("pure runs contain pure ops only"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::cpu::SimConfig;
+    use crate::decoded::DecodedProgram;
+    use crate::ir::{Cond, IAluOp, Operand, Program};
+    use crate::pipeline::LatencyModel;
+
+    /// A loop whose trip count comes from r10 (poked per lane before
+    /// the run) with a body fat enough to earn a replayable `PureRun`.
+    fn lane_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.movi(1, 0).movi(2, 0);
+        let top = b.label("top");
+        b.bind(top);
+        b.alu(IAluOp::Add, 3, 1, Operand::Imm(13));
+        b.alu(IAluOp::Mul, 4, 3, Operand::Imm(7));
+        b.alu(IAluOp::And, 5, 4, Operand::Imm(0xff));
+        b.alu(IAluOp::Add, 2, 2, Operand::Reg(5));
+        b.alu(IAluOp::Add, 1, 1, Operand::Imm(1));
+        b.branch(Cond::LtS, 1, Operand::Reg(10), top);
+        b.alu(IAluOp::Mul, 6, 2, Operand::Imm(3));
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn prepare(p: &Program) -> ThreadedProgram {
+        ThreadedProgram::compile(&DecodedProgram::compile(p, &LatencyModel::default()))
+    }
+
+    fn serial(
+        tp: &ThreadedProgram,
+        cfg: &SimConfig,
+        input: u64,
+    ) -> Result<(RunStats, [u64; 32]), SimError> {
+        let mut sim = Simulator::new(cfg.clone()).unwrap();
+        let mut m = Machine::new(4096);
+        m.regs[10] = input;
+        let stats = sim.run_prepared_threaded(tp, &mut m)?;
+        Ok((stats, m.regs))
+    }
+
+    #[test]
+    fn lanes_match_their_serial_runs_exactly() {
+        let p = lane_program();
+        let tp = prepare(&p);
+        // The loop body must exercise the schedule-replay fast path.
+        assert!(
+            tp.runs.iter().any(|rs| !rs.is_empty()),
+            "test program earns no replayable PureRun"
+        );
+        let cfg = SimConfig::baseline();
+        // Different trip counts force mid-batch divergence: lanes side
+        // exit their unrolled superblocks at different chain positions
+        // and regroup at the epilogue.
+        let inputs = [3u64, 50, 7, 1000, 0, 211, 50, 9999];
+        let refs: Vec<_> = inputs.iter().map(|&i| serial(&tp, &cfg, i)).collect();
+
+        let mut sims: Vec<Simulator> = inputs
+            .iter()
+            .map(|_| Simulator::new(cfg.clone()).unwrap())
+            .collect();
+        let mut machines: Vec<Machine> = inputs
+            .iter()
+            .map(|&i| {
+                let mut m = Machine::new(4096);
+                m.regs[10] = i;
+                m
+            })
+            .collect();
+        let mut lanes: Vec<BatchLane> = sims
+            .iter_mut()
+            .zip(machines.iter_mut())
+            .map(|(sim, machine)| BatchLane { sim, machine })
+            .collect();
+        let results = run_batch(&tp, &mut lanes);
+        drop(lanes);
+        for (i, r) in results.into_iter().enumerate() {
+            let got = r.map(|stats| (stats, machines[i].regs));
+            assert_eq!(got, refs[i], "lane {i} (input {})", inputs[i]);
+        }
+    }
+
+    #[test]
+    fn mixed_watchdog_lanes_trip_like_their_serial_runs() {
+        let p = lane_program();
+        let tp = prepare(&p);
+        // One unarmed lane forces the armed batch variant to keep exact
+        // semantics for armed and unarmed lanes side by side; the tight
+        // limits trip inside the schedule-replay prefix, mid-block, and
+        // never.
+        let cells: [(u64, u64, u64); 5] = [
+            // (input, max_insts, max_cycles)
+            (50, 7, u64::MAX),
+            (50, u64::MAX, u64::MAX),
+            (50, u64::MAX, 13),
+            (1000, 333, u64::MAX),
+            (3, 2_000_000_000, u64::MAX),
+        ];
+        let cfg_of = |max_insts, max_cycles| SimConfig {
+            max_insts,
+            max_cycles,
+            ..SimConfig::baseline()
+        };
+        let refs: Vec<_> = cells
+            .iter()
+            .map(|&(i, mi, mc)| serial(&tp, &cfg_of(mi, mc), i))
+            .collect();
+        let mut sims: Vec<Simulator> = cells
+            .iter()
+            .map(|&(_, mi, mc)| Simulator::new(cfg_of(mi, mc)).unwrap())
+            .collect();
+        let mut machines: Vec<Machine> = cells
+            .iter()
+            .map(|&(i, _, _)| {
+                let mut m = Machine::new(4096);
+                m.regs[10] = i;
+                m
+            })
+            .collect();
+        let mut lanes: Vec<BatchLane> = sims
+            .iter_mut()
+            .zip(machines.iter_mut())
+            .map(|(sim, machine)| BatchLane { sim, machine })
+            .collect();
+        let results = run_batch(&tp, &mut lanes);
+        drop(lanes);
+        for (i, r) in results.into_iter().enumerate() {
+            let got = r.map(|stats| (stats, machines[i].regs));
+            assert_eq!(got, refs[i], "lane {i}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let p = lane_program();
+        let tp = prepare(&p);
+        assert!(run_batch(&tp, &mut []).is_empty());
+    }
+}

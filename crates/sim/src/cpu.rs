@@ -220,22 +220,33 @@ pub enum DispatchTier {
     /// branch disagrees with its static prediction.
     #[default]
     Threaded,
+    /// Batched lockstep execution over the same fused superblocks
+    /// (`sim::batched`): many independent machines advance through one
+    /// [`ThreadedProgram`] together, paying one op decode per cohort
+    /// and replaying precomputed issue schedules per lane. A
+    /// single-lane batch degenerates to the threaded tier's exact
+    /// behaviour; every lane of a wider batch is still bit-identical
+    /// to its serial run.
+    Batched,
 }
 
 impl DispatchTier {
     /// All tiers, in escape-hatch order (reference first).
-    pub const ALL: [DispatchTier; 3] = [
+    pub const ALL: [DispatchTier; 4] = [
         DispatchTier::Legacy,
         DispatchTier::Predecode,
         DispatchTier::Threaded,
+        DispatchTier::Batched,
     ];
 
-    /// The flag-facing name (`legacy` | `predecode` | `threaded`).
+    /// The flag-facing name (`legacy` | `predecode` | `threaded` |
+    /// `batched`).
     pub fn name(self) -> &'static str {
         match self {
             DispatchTier::Legacy => "legacy",
             DispatchTier::Predecode => "predecode",
             DispatchTier::Threaded => "threaded",
+            DispatchTier::Batched => "batched",
         }
     }
 
@@ -245,6 +256,7 @@ impl DispatchTier {
             "legacy" => Some(DispatchTier::Legacy),
             "predecode" | "predecoded" => Some(DispatchTier::Predecode),
             "threaded" => Some(DispatchTier::Threaded),
+            "batched" => Some(DispatchTier::Batched),
             _ => None,
         }
     }
@@ -436,6 +448,11 @@ impl Simulator {
                 let threaded = ThreadedProgram::compile(&decoded);
                 self.run_threaded(&threaded, machine)
             }
+            DispatchTier::Batched => {
+                let decoded = DecodedProgram::compile(program, &self.config.latency);
+                let threaded = ThreadedProgram::compile(&decoded);
+                crate::batched::run_single(self, &threaded, machine)
+            }
         }
     }
 
@@ -488,6 +505,32 @@ impl Simulator {
             "ThreadedProgram latency model does not match the simulator config"
         );
         self.run_threaded(threaded, machine)
+    }
+
+    /// Execute an already-lowered threaded program on the batched tier
+    /// as a single-lane batch (see [`crate::batched`]). Multi-lane
+    /// batches go through [`crate::batched::run_batch`], which takes a
+    /// simulator/machine pair per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threaded` was lowered against a different
+    /// [`LatencyModel`] than this simulator's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on the first fault, exactly as [`Self::run`].
+    pub fn run_prepared_batched(
+        &mut self,
+        threaded: &ThreadedProgram,
+        machine: &mut Machine,
+    ) -> Result<RunStats, SimError> {
+        assert_eq!(
+            *threaded.latency(),
+            self.config.latency,
+            "ThreadedProgram latency model does not match the simulator config"
+        );
+        crate::batched::run_single(self, threaded, machine)
     }
 
     /// Like [`Self::run`] with an optional trace sink receiving every
@@ -1724,6 +1767,49 @@ mod tests {
         let reference = run(DispatchTier::Legacy);
         assert_eq!(run(DispatchTier::Predecode), reference);
         assert_eq!(run(DispatchTier::Threaded), reference);
+        assert_eq!(run(DispatchTier::Batched), reference);
+    }
+
+    #[test]
+    fn run_prepared_batched_matches_run() {
+        use crate::decoded::DecodedProgram;
+        let p = memo_square_program();
+        let cfg = SimConfig::with_memo(MemoConfig::l1_only(4096));
+        let decoded = DecodedProgram::compile(&p, &cfg.latency);
+        let threaded = ThreadedProgram::compile(&decoded);
+        let setup = || {
+            let mut m = Machine::new(64 * 1024);
+            for i in 0..256 {
+                m.store_f32(0x1000 + 4 * i, (i % 8) as f32 + 1.0);
+            }
+            m
+        };
+        let mut sim = Simulator::new(cfg.clone()).unwrap();
+        let mut m1 = setup();
+        let direct = sim.run(&p, &mut m1).unwrap();
+        let mut sim = Simulator::new(cfg).unwrap();
+        let mut m2 = setup();
+        let prepared = sim.run_prepared_batched(&threaded, &mut m2).unwrap();
+        assert_eq!(direct, prepared);
+        assert_eq!(m1.mem, m2.mem);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency model")]
+    fn run_prepared_batched_rejects_mismatched_latency_model() {
+        use crate::decoded::DecodedProgram;
+        use crate::pipeline::LatencyModel;
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let other = LatencyModel {
+            int_div: 99,
+            ..LatencyModel::default()
+        };
+        let threaded = ThreadedProgram::compile(&DecodedProgram::compile(&p, &other));
+        let mut sim = Simulator::new(SimConfig::baseline()).unwrap();
+        let mut m = Machine::new(64);
+        let _ = sim.run_prepared_batched(&threaded, &mut m);
     }
 
     #[test]
@@ -1800,6 +1886,11 @@ mod tests {
                 reference,
                 "max_insts {max_insts}"
             );
+            assert_eq!(
+                run(DispatchTier::Batched, max_insts, u64::MAX),
+                reference,
+                "max_insts {max_insts}"
+            );
         }
         for max_cycles in [0, 13, 97, 800, 4000] {
             let reference = run(DispatchTier::Legacy, u64::MAX, max_cycles);
@@ -1810,6 +1901,11 @@ mod tests {
             );
             assert_eq!(
                 run(DispatchTier::Threaded, u64::MAX, max_cycles),
+                reference,
+                "max_cycles {max_cycles}"
+            );
+            assert_eq!(
+                run(DispatchTier::Batched, u64::MAX, max_cycles),
                 reference,
                 "max_cycles {max_cycles}"
             );

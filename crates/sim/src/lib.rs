@@ -18,7 +18,7 @@
 //!
 //! ## Execution tiers
 //!
-//! The simulator has three interpreters that produce **bit-identical**
+//! The simulator has four interpreters that produce **bit-identical**
 //! observables (statistics, machine state, errors, telemetry events)
 //! and differ only in host-side speed, selected by
 //! [`cpu::SimConfig::dispatch`]:
@@ -28,6 +28,7 @@
 //! | [`cpu::DispatchTier::Legacy`] | [`cpu`] | decode each [`ir::Inst`] at every dynamic execution |
 //! | [`cpu::DispatchTier::Predecode`] | [`decoded`] | pre-resolve operands/latencies once; dispatch per instruction |
 //! | [`cpu::DispatchTier::Threaded`] (default) | [`threaded`] | fuse basic blocks into superblocks; dispatch per chain |
+//! | [`cpu::DispatchTier::Batched`] | [`batched`] | run many independent lanes through one shared [`ThreadedProgram`] in lockstep, replaying memoized issue schedules |
 //!
 //! Lowering is staged: [`ir::Program`] →
 //! [`DecodedProgram::compile`](decoded::DecodedProgram::compile) →
@@ -83,6 +84,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batched;
 pub mod builder;
 pub mod cache;
 pub mod cpu;
@@ -96,6 +98,7 @@ pub mod predictor;
 pub mod stats;
 pub mod threaded;
 
+pub use batched::{run_batch, BatchLane};
 pub use builder::ProgramBuilder;
 pub use cpu::{DispatchTier, Machine, SimConfig, SimError, Simulator, TraceSink};
 pub use decoded::{DecodedProgram, Superblock};

@@ -70,10 +70,16 @@ pub enum PhaseId {
     /// dispatch phase keeps as *exclusive* time is then exactly the
     /// unfused residue: outer-loop transfers and side exits.
     DispatchThreaded,
+    /// Cycles retired inside fused superblocks by the batched lockstep
+    /// tier, recorded as a leaf under [`PhaseId::Dispatch`]. Per-lane
+    /// attribution rides the same per-block channel as the threaded
+    /// tier; this phase separates batched from single-stream retire so
+    /// before/after profiles show where amortized bookkeeping went.
+    DispatchBatched,
 }
 
 /// Number of distinct [`PhaseId`]s (size of per-node child arrays).
-pub const PHASE_COUNT: usize = 10;
+pub const PHASE_COUNT: usize = 11;
 
 impl PhaseId {
     /// Every phase, in enum (= report) order.
@@ -88,6 +94,7 @@ impl PhaseId {
         PhaseId::LutInvalidate,
         PhaseId::Quality,
         PhaseId::DispatchThreaded,
+        PhaseId::DispatchBatched,
     ];
 
     /// Wire name used in reports and folded-stack paths.
@@ -103,6 +110,7 @@ impl PhaseId {
             PhaseId::LutInvalidate => "lut.invalidate",
             PhaseId::Quality => "quality.monitor",
             PhaseId::DispatchThreaded => "dispatch.threaded",
+            PhaseId::DispatchBatched => "dispatch.batched",
         }
     }
 }
